@@ -1,0 +1,65 @@
+// Extension bench (§7 future work / §6 "Optimizing for network transfer
+// cost"): wrap L3 in the transfer-cost-aware adjuster and sweep the
+// latency-vs-cost trade-off coefficient λ. Cross-cluster traffic from
+// cluster-1 costs 1 unit per request (cloud egress pricing); local traffic
+// is free.
+#include "bench_util.h"
+
+#include "l3/lb/cost_aware.h"
+#include "l3/lb/l3_policy.h"
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
+
+#include <iostream>
+#include <memory>
+
+int main(int argc, char** argv) {
+  using namespace l3;
+  const auto args = bench::parse_args(argc, argv);
+  (void)args;
+
+  bench::print_header("Extension",
+                      "transfer-cost-aware L3 (λ sweep) on scenario-1");
+
+  const auto trace = workload::make_scenario1();
+  workload::RunnerConfig config;
+  if (args.fast) config.duration = 180.0;
+
+  auto make_cost_aware = [&](double lambda)
+      -> std::unique_ptr<lb::LoadBalancingPolicy> {
+    lb::TransferCostMatrix costs(3);
+    for (mesh::ClusterId from = 0; from < 3; ++from) {
+      for (mesh::ClusterId to = 0; to < 3; ++to) {
+        if (from != to) costs.set(from, to, 1.0);
+      }
+    }
+    return std::make_unique<lb::CostAwareAdjuster>(
+        std::make_unique<lb::L3Policy>(config.l3), costs,
+        lb::CostAwareConfig{.lambda = lambda});
+  };
+
+  Table table({"policy", "P99 (ms)", "P50 (ms)", "cross-cluster traffic (%)",
+               "egress cost (units/s)"});
+  auto report = [&](workload::RunResult r) {
+    const double remote = r.traffic_share[1] + r.traffic_share[2];
+    const double rps = static_cast<double>(r.requests) /
+                       (config.duration > 0 ? config.duration : 600.0);
+    table.add_row({r.policy + (r.policy == "cost-aware" ? "" : ""),
+                   fmt_ms(r.summary.latency.p99),
+                   fmt_ms(r.summary.latency.p50), fmt_percent(remote),
+                   fmt_double(remote * rps, 1)});
+  };
+
+  report(workload::run_scenario(trace, workload::PolicyKind::kL3, config));
+  for (const double lambda : {0.5, 2.0, 8.0}) {
+    auto r = workload::run_scenario_with(trace, make_cost_aware(lambda),
+                                         config);
+    r.policy = "cost-aware λ=" + fmt_double(lambda, 1);
+    report(std::move(r));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: λ buys egress savings with a latency price — "
+               "traffic concentrates on the free local cluster even when a "
+               "remote one is temporarily faster.\n";
+  return 0;
+}

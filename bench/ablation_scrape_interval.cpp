@@ -1,0 +1,50 @@
+// Ablation of the metric pipeline's freshness (§4 "Metric collection"): the
+// paper scrapes every 5 s with 10 s query windows and notes that a lower
+// scrape interval yields "a measurable improvement" at the cost of
+// Prometheus load. Sweep the scrape interval on scenario-4 (the spikiest
+// trace, where staleness hurts the most).
+#include "bench_util.h"
+
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace l3;
+  const auto args = bench::parse_args(argc, argv);
+  const int reps = args.reps > 0 ? args.reps : (args.fast ? 1 : 2);
+
+  bench::print_header("Ablation", "scrape interval / data freshness on "
+                                  "scenario-4");
+
+  const auto trace = workload::make_scenario4();
+  workload::RunnerConfig base;
+  if (args.fast) base.duration = 180.0;
+
+  const auto rr = workload::run_scenario_repeated(
+      trace, workload::PolicyKind::kRoundRobin, base, reps);
+  const double rr_p99 = workload::mean_p99(rr);
+
+  Table table({"scrape interval (s)", "query window (s)", "L3 P99 (ms)",
+               "vs RR (%)"});
+  for (const double interval : {1.0, 2.5, 5.0, 10.0, 15.0}) {
+    workload::RunnerConfig config = base;
+    config.scrape_interval = interval;
+    // The paper's rule: the window must span at least two scrape samples.
+    config.controller.query_window = 2.0 * interval;
+    config.controller.control_interval = std::max(5.0, interval);
+    const auto results = workload::run_scenario_repeated(
+        trace, workload::PolicyKind::kL3, config, reps);
+    const double p99 = workload::mean_p99(results);
+    table.add_row({fmt_double(interval, 1),
+                   fmt_double(config.controller.query_window, 1), fmt_ms(p99),
+                   fmt_double(bench::percent_decrease(rr_p99, p99))});
+  }
+  table.print(std::cout);
+  std::cout << "\nround-robin reference P99: " << fmt_ms(rr_p99)
+            << " ms\nexpected: fresher data → better tail, with diminishing "
+               "returns below the control interval and clear degradation at "
+               "15 s (decisions on stale spikes).\n";
+  return 0;
+}

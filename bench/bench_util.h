@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction bench binaries: repetition
+// control from the command line and uniform table output.
+//
+// Every bench accepts:   [--reps N] [--fast]
+//   --reps N   repetitions per configuration (default: the paper's count)
+//   --fast     shrink durations/repetitions for smoke runs
+#pragma once
+
+#include "l3/common/table.h"
+#include "l3/common/time.h"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace l3::bench {
+
+/// Parsed command-line options.
+struct BenchArgs {
+  int reps = -1;     ///< -1: use the bench's default
+  bool fast = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      args.fast = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--reps N] [--fast]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Prints the standard bench header naming the reproduced figure.
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::cout << "== " << figure << " — " << description << " ==\n";
+}
+
+/// Percentage decrease of `value` relative to `baseline` (positive = better).
+inline double percent_decrease(double baseline, double value) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - value) / baseline * 100.0;
+}
+
+}  // namespace l3::bench

@@ -1,0 +1,63 @@
+// Reproduces Figure 1: per-cluster P50/P99 latency over the 10-minute
+// captures of scenario-1 and scenario-2 (30-second sampling for a readable
+// table; the underlying traces are per-second).
+//
+// Expected shape: scenario-1 medians 50–100 ms with cluster-2 spikes toward
+// ~350 ms and P99 fluctuating into the 100–950 ms band; scenario-2 medians
+// 3–9 ms with P99 mostly 10–100 ms and intermittent spikes >2000 ms.
+#include "bench_util.h"
+
+#include "l3/workload/scenarios.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace {
+
+void print_trace(const l3::workload::ScenarioTrace& trace) {
+  using namespace l3;
+  std::cout << "\n--- " << trace.name() << " ---\n";
+  Table table({"t (min)", "c1 P50", "c1 P99", "c2 P50", "c2 P99", "c3 P50",
+               "c3 P99  (ms)"});
+  for (std::size_t step = 0; step < trace.steps(); step += 30) {
+    std::vector<std::string> row;
+    row.push_back(fmt_double(static_cast<double>(step) / 60.0, 1));
+    for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
+      const auto& p = trace.at(c, step);
+      row.push_back(fmt_ms(p.median));
+      row.push_back(fmt_ms(p.p99));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Range summary per cluster (the bands Fig. 1's prose quotes).
+  for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
+    double med_lo = 1e9, med_hi = 0, p99_lo = 1e9, p99_hi = 0;
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      const auto& p = trace.at(c, s);
+      med_lo = std::min(med_lo, p.median);
+      med_hi = std::max(med_hi, p.median);
+      p99_lo = std::min(p99_lo, p.p99);
+      p99_hi = std::max(p99_hi, p.p99);
+    }
+    std::cout << "cluster-" << c + 1 << ": median " << fmt_ms(med_lo) << ".."
+              << fmt_ms(med_hi) << " ms, P99 " << fmt_ms(p99_lo) << ".."
+              << fmt_ms(p99_hi) << " ms\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace l3;
+  (void)bench::parse_args(argc, argv);
+  bench::print_header("Figure 1",
+                      "latency variation of scenario-1 and scenario-2");
+  print_trace(workload::make_scenario1());
+  print_trace(workload::make_scenario2());
+  std::cout << "\npaper: s1 median 50–100 ms (spikes ~350 ms on cluster-2), "
+               "P99 100–950 ms; s2 median 3–9 ms, P99 10–100 ms with spikes "
+               ">2000 ms\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 4: the rate-control transfer curves of Algorithm 2.
+//
+//  (a) w_b = 2000 > w_µ = 1000: on RPS decrease (c < 0) the weight grows
+//      opportunistically (c = −0.5 lifts 2000 to >2800); on increase it
+//      converges asymptotically down toward w_µ.
+//  (b) w_b = 500 < w_µ = 1000: decreases shrink the weight, increases pull
+//      it up toward w_µ.
+#include "bench_util.h"
+
+#include "l3/lb/rate_control.h"
+
+#include <iostream>
+
+namespace {
+
+void print_curve(double w_b, double w_mu) {
+  using namespace l3;
+  std::cout << "\n--- w_b = " << w_b << ", w_mu = " << w_mu << " ---\n";
+  Table table({"relative change c", "output weight"});
+  for (double c = -1.0; c <= 3.0 + 1e-9; c += 0.25) {
+    table.add_row({fmt_double(c, 2),
+                   fmt_double(lb::rate_control_weight(w_b, w_mu, c), 1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace l3;
+  (void)bench::parse_args(argc, argv);
+  bench::print_header("Figure 4", "rate-control weight-adjustment curves");
+  print_curve(2000.0, 1000.0);  // Fig. 4a
+  print_curve(500.0, 1000.0);   // Fig. 4b
+  std::cout << "\nanchors from the paper: c = -0.5 lifts w_b = 2000 to >2800; "
+               "c -> +inf converges every weight to w_mu; c = 0 is identity\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 11: 99th-percentile latency under the failure scenarios.
+//
+// Paper values (ms): failure-1 — RR 447.5, C3 364.2, L3 364.9 (C3 and L3
+// tie; L3 trades some latency for success rate); failure-2 — RR 117.2,
+// C3 84.6, L3 76.2 (L3 −35 % vs RR).
+#include "bench_util.h"
+
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace l3;
+  const auto args = bench::parse_args(argc, argv);
+  const int reps = args.reps > 0 ? args.reps : (args.fast ? 1 : 3);
+
+  bench::print_header("Figure 11", "P99 latency on failure-1 / failure-2");
+
+  workload::RunnerConfig config;
+  if (args.fast) config.duration = 180.0;
+
+  Table table({"scenario", "round-robin P99 (ms)", "C3 P99 (ms)",
+               "L3 P99 (ms)", "L3 vs RR (%)"});
+  for (const auto& trace :
+       {workload::make_failure1(), workload::make_failure2()}) {
+    double p99[3];
+    const workload::PolicyKind kinds[3] = {workload::PolicyKind::kRoundRobin,
+                                           workload::PolicyKind::kC3,
+                                           workload::PolicyKind::kL3};
+    for (int k = 0; k < 3; ++k) {
+      p99[k] = workload::mean_p99(
+          workload::run_scenario_repeated(trace, kinds[k], config, reps));
+    }
+    table.add_row({trace.name(), fmt_ms(p99[0]), fmt_ms(p99[1]),
+                   fmt_ms(p99[2]),
+                   fmt_double(bench::percent_decrease(p99[0], p99[2]))});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: f1 447.5/364.2/364.9 ms (L3 −18.5 % vs RR); "
+               "f2 117.2/84.6/76.2 ms (L3 −35 % vs RR)\n";
+  return 0;
+}

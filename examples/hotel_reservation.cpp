@@ -1,0 +1,39 @@
+// Example: the DeathStarBench hotel-reservation application on a
+// three-cluster mesh, with one L3 controller per cluster (the production
+// layout of §3) and rotating per-cluster performance disturbances.
+//
+// Demonstrates: the dsb application model, multi-controller operation,
+// per-service TrafficSplits, and the end-to-end latency impact of L3.
+#include "l3/common/table.h"
+#include "l3/dsb/runner.h"
+
+#include <iostream>
+
+int main() {
+  using namespace l3;
+
+  std::cout << "DeathStarBench hotel-reservation: 17 services x 3 clusters,\n"
+               "client at the cluster-1 frontend, 200 RPS, rotating cluster\n"
+               "disturbances (tail-heavy slowdowns).\n\n";
+
+  dsb::DsbRunnerConfig config;
+  config.duration = 300.0;  // 5-minute demo
+
+  Table table({"algorithm", "P50 (ms)", "P99 (ms)", "requests",
+               "weight updates"});
+  for (const auto kind :
+       {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
+        workload::PolicyKind::kL3}) {
+    const auto r = dsb::run_hotel_reservation(kind, config);
+    table.add_row({r.policy, fmt_ms(r.summary.latency.p50),
+                   fmt_ms(r.summary.latency.p99), std::to_string(r.requests),
+                   std::to_string(r.weight_updates)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery inter-service hop (frontend->search, search->geo, "
+               "...) is a TrafficSplit\nacross the three clusters; the "
+               "stateful memcached/mongodb tiers stay local.\nL3 re-weights "
+               "all of them every 5 s from the scraped proxy metrics.\n";
+  return 0;
+}

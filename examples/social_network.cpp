@@ -1,0 +1,39 @@
+// Example: the DeathStarBench social-network application (the suite's
+// larger call graph — 18 services, two-stage compose-post fan-out) on the
+// three-cluster mesh, comparing load-balancing algorithms.
+//
+// Demonstrates: building applications from the generic StagedBehavior /
+// MixBehavior blocks, and that L3 operates unchanged on an arbitrary
+// black-box application (§7: "can be used for arbitrary black-box
+// microservices without fine-tuning").
+#include "l3/common/table.h"
+#include "l3/dsb/runner.h"
+
+#include <iostream>
+
+int main() {
+  using namespace l3;
+
+  std::cout << "DeathStarBench social-network: 18 services x 3 clusters,\n"
+               "mix: 60% read-home-timeline, 25% read-user-timeline, 15%\n"
+               "compose-post (two parallel fan-out stages).\n\n";
+
+  dsb::DsbRunnerConfig config;
+  config.duration = 300.0;
+  config.rps = 150.0;
+
+  Table table({"algorithm", "P50 (ms)", "P99 (ms)", "requests"});
+  for (const auto kind :
+       {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
+        workload::PolicyKind::kL3}) {
+    const auto r = dsb::run_social_network(kind, config);
+    table.add_row({r.policy, fmt_ms(r.summary.latency.p50),
+                   fmt_ms(r.summary.latency.p99),
+                   std::to_string(r.requests)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe same controller, metrics pipeline and algorithms run "
+               "unmodified on a\ncompletely different application — L3 treats "
+               "services as black boxes.\n";
+  return 0;
+}

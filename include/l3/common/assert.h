@@ -1,0 +1,44 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6,
+// I.8): preconditions via L3_EXPECTS, postconditions via L3_ENSURES and
+// internal invariants via L3_ASSERT. Violations throw ContractViolation so
+// that tests can assert on them and long-running simulations fail loudly
+// instead of silently corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace l3 {
+
+/// Thrown when a contract annotated with L3_EXPECTS / L3_ENSURES / L3_ASSERT
+/// is violated. Carries the failing expression and source location.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : std::logic_error(std::string(kind) + " failed: `" + expr + "` at " +
+                         file + ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace l3
+
+#define L3_CONTRACT_CHECK(kind, cond)                                \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::l3::detail::contract_fail(kind, #cond, __FILE__, __LINE__);  \
+    }                                                                \
+  } while (false)
+
+/// Precondition: argument/state requirements on entry to a function.
+#define L3_EXPECTS(cond) L3_CONTRACT_CHECK("precondition", cond)
+/// Postcondition: guarantees on exit from a function.
+#define L3_ENSURES(cond) L3_CONTRACT_CHECK("postcondition", cond)
+/// Internal invariant that should hold mid-function.
+#define L3_ASSERT(cond) L3_CONTRACT_CHECK("assertion", cond)

@@ -1,0 +1,119 @@
+// Two latency-histogram implementations with distinct roles:
+//
+//  * `LogHistogram` — a high-resolution, HDR-style logarithmic histogram used
+//    by the benchmark harness to compute ground-truth percentiles of request
+//    latency (the role wrk2's HdrHistogram plays in the paper's setup).
+//
+//  * `FixedBucketHistogram` — a coarse, fixed-boundary cumulative histogram
+//    mirroring what Linkerd proxies export to Prometheus. The L3 controller
+//    only ever sees quantiles estimated from these buckets, reproducing the
+//    measurement granularity (and its artefacts) of the real system.
+#pragma once
+
+#include "l3/common/assert.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace l3 {
+
+/// High-resolution logarithmic histogram over positive values.
+///
+/// Buckets are geometrically spaced with ~1% relative width, covering
+/// [min_value, max_value]; values outside are clamped. Quantile queries
+/// return the geometric midpoint of the containing bucket, so the relative
+/// quantile error is bounded by half the bucket width (~0.5%).
+class LogHistogram {
+ public:
+  /// Constructs a histogram covering [min_value, max_value] (seconds by
+  /// convention) with the given relative precision per bucket.
+  explicit LogHistogram(double min_value = 1e-6, double max_value = 1e4,
+                        double precision = 0.01);
+
+  /// Records one observation (clamped into range).
+  void record(double value);
+
+  /// Records `n` observations of the same value.
+  void record_n(double value, std::uint64_t n);
+
+  /// Merges another histogram with identical geometry into this one.
+  void merge(const LogHistogram& other);
+
+  /// The q-quantile (0 < q <= 1) of the recorded values, or 0 if empty.
+  double quantile(double q) const;
+
+  /// Arithmetic mean of recorded values (bucket midpoints), or 0 if empty.
+  double mean() const;
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Removes all observations.
+  void reset();
+
+ private:
+  std::size_t index_of(double value) const;
+  double midpoint_of(std::size_t index) const;
+
+  double min_value_;
+  double log_min_;
+  double log_ratio_;  // log(1 + precision)
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Fixed-boundary histogram with Linkerd-style latency buckets.
+///
+/// Boundaries are upper bounds in seconds; an implicit +Inf bucket catches
+/// the rest. `counts()` are per-bucket (not cumulative); the metrics layer
+/// converts to Prometheus cumulative form when exporting.
+class FixedBucketHistogram {
+ public:
+  /// Linkerd's default latency bucket upper bounds, in seconds
+  /// (1 ms … 60 s, matching the proxy's `response_latency_ms` buckets).
+  static const std::vector<double>& default_latency_bounds();
+
+  /// Constructs with the given strictly increasing upper bounds (seconds).
+  explicit FixedBucketHistogram(std::vector<double> upper_bounds);
+
+  /// Constructs with the default Linkerd latency bounds.
+  FixedBucketHistogram() : FixedBucketHistogram(default_latency_bounds()) {}
+
+  /// Records one observation.
+  void record(double value);
+
+  /// Per-bucket counts; size() == bounds().size() + 1 (last is +Inf).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Bucket upper bounds in seconds (excluding the implicit +Inf).
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  std::uint64_t total_count() const { return total_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Prometheus `histogram_quantile()` over a cumulative-count vector.
+///
+/// `bounds` are the finite bucket upper bounds; `cumulative` must have
+/// bounds.size() + 1 entries (the last being the +Inf bucket's cumulative
+/// count, i.e. the total). Values need not be integers — in practice they
+/// are per-second rates. Linear interpolation within the located bucket,
+/// exactly as Prometheus computes it; returns the highest finite bound when
+/// the quantile falls in the +Inf bucket, and 0 when the total is 0.
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const double> cumulative, double q);
+
+}  // namespace l3

@@ -1,0 +1,56 @@
+// Minimal leveled logger. The simulator is single-threaded by design, so no
+// synchronisation is needed; output goes to stderr so bench tables on stdout
+// stay machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace l3 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line at `level` if it passes the filter.
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+/// Builds a message with ostream syntax and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace l3
+
+/// Usage: L3_LOG(kInfo, "core") << "weights updated: " << n;
+#define L3_LOG(level, component) \
+  ::l3::detail::LogLine(::l3::LogLevel::level, component)

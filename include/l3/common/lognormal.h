@@ -1,0 +1,39 @@
+// Log-normal parameter fitting. The paper observes (§3.1) that network/
+// service latency is well characterised by a log-normal distribution; the
+// trace generators therefore describe each cluster's latency at time t by a
+// target median and target P99, which this header converts into the (mu,
+// sigma) parameters of the underlying normal.
+#pragma once
+
+#include "l3/common/assert.h"
+
+#include <cmath>
+
+namespace l3 {
+
+/// Parameters of the normal underlying a log-normal distribution.
+struct LogNormalParams {
+  double mu = 0.0;     ///< mean of log(X)
+  double sigma = 1.0;  ///< stddev of log(X), > 0
+};
+
+/// z-score of the q-quantile of the standard normal (Acklam's rational
+/// approximation, |relative error| < 1.15e-9 — far below measurement noise).
+double normal_quantile(double q);
+
+/// Fits log-normal parameters so that the distribution has the given median
+/// and the given value at quantile `q` (e.g. the P99). Requires
+/// 0 < median < value_at_q and 0.5 < q < 1.
+LogNormalParams fit_lognormal(double median, double value_at_q, double q);
+
+/// The value of the `q`-quantile of a log-normal with the given parameters.
+inline double lognormal_quantile(const LogNormalParams& p, double q) {
+  return std::exp(p.mu + p.sigma * normal_quantile(q));
+}
+
+/// The mean of a log-normal with the given parameters.
+inline double lognormal_mean(const LogNormalParams& p) {
+  return std::exp(p.mu + 0.5 * p.sigma * p.sigma);
+}
+
+}  // namespace l3

@@ -1,0 +1,37 @@
+// Small statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace l3 {
+
+/// Exact q-quantile of a sample (nearest-rank with linear interpolation,
+/// matching numpy's default). `values` need not be sorted; an internal copy
+/// is sorted. Returns 0 for an empty sample.
+double percentile(std::span<const double> values, double q);
+
+/// Arithmetic mean, or 0 for an empty sample.
+double mean(std::span<const double> values);
+
+/// Population standard deviation, or 0 for fewer than 2 samples.
+double stddev(std::span<const double> values);
+
+/// A one-line latency summary as the paper reports: count plus the usual
+/// percentiles, all in the unit of the underlying samples (seconds).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
+/// Builds a LatencySummary from raw samples.
+LatencySummary summarize(std::span<const double> values);
+
+}  // namespace l3

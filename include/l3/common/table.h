@@ -1,0 +1,42 @@
+// ASCII table printer for the benchmark harness. Every bench binary prints
+// the rows/series of its paper figure through this, so output is uniform and
+// grep-able (`column: value` pairs plus an aligned table).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace l3 {
+
+/// Accumulates rows of string cells and prints them aligned.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string fmt_double(double value, int decimals = 1);
+
+/// Formats a latency given in seconds as milliseconds with one decimal,
+/// matching the units of the paper's figures.
+std::string fmt_ms(double seconds, int decimals = 1);
+
+/// Formats a ratio as a percentage with the given decimals.
+std::string fmt_percent(double ratio, int decimals = 1);
+
+}  // namespace l3

@@ -1,0 +1,45 @@
+// Simulated-time primitives. The whole library measures time in seconds as
+// `double`, which keeps the EWMA decay math of the paper (Eq. 1/2, which is
+// expressed in terms of a continuous Δt) exact and free of unit juggling.
+#pragma once
+
+namespace l3 {
+
+/// A point in simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// A span of simulated time, in seconds.
+using SimDuration = double;
+
+namespace time_literals {
+/// 1 millisecond expressed in seconds.
+inline constexpr SimDuration operator""_ms(long double v) {
+  return static_cast<SimDuration>(v) / 1000.0;
+}
+inline constexpr SimDuration operator""_ms(unsigned long long v) {
+  return static_cast<SimDuration>(v) / 1000.0;
+}
+/// 1 second.
+inline constexpr SimDuration operator""_s(long double v) {
+  return static_cast<SimDuration>(v);
+}
+inline constexpr SimDuration operator""_s(unsigned long long v) {
+  return static_cast<SimDuration>(v);
+}
+/// 1 minute expressed in seconds.
+inline constexpr SimDuration operator""_min(long double v) {
+  return static_cast<SimDuration>(v) * 60.0;
+}
+inline constexpr SimDuration operator""_min(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 60.0;
+}
+}  // namespace time_literals
+
+/// Converts seconds to milliseconds (for reporting, mirroring the paper's
+/// figures which are all in ms).
+inline constexpr double to_ms(SimDuration seconds) { return seconds * 1000.0; }
+
+/// Converts milliseconds to seconds.
+inline constexpr SimDuration from_ms(double ms) { return ms / 1000.0; }
+
+}  // namespace l3

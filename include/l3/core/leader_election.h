@@ -1,0 +1,78 @@
+// Lease-based leader election for running L3 in high-availability mode
+// (§4: multiple replicas, "only a single replica acts as the leader and
+// changes weights through a lease-based locking leader election mechanism").
+// Modelled after Kubernetes' coordination.k8s.io leases: candidates renew a
+// shared lease; when the holder stops renewing (crash), the lease expires
+// and another candidate acquires it.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+#include "l3/sim/simulator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace l3::core {
+
+/// Shared lease arbitrating leadership among controller replicas.
+class LeaderElection {
+ public:
+  /// Per-candidate callbacks fired on leadership transitions.
+  struct Callbacks {
+    std::function<void()> on_elected;
+    std::function<void()> on_deposed;
+  };
+
+  /// @param lease_duration  how long a held lease stays valid unrenewed.
+  /// @param renew_interval  how often candidates try to acquire/renew.
+  LeaderElection(sim::Simulator& sim, SimDuration lease_duration = 15.0,
+                 SimDuration renew_interval = 5.0);
+  ~LeaderElection() { stop(); }
+  LeaderElection(const LeaderElection&) = delete;
+  LeaderElection& operator=(const LeaderElection&) = delete;
+
+  /// Registers a candidate replica; returns its id.
+  std::size_t add_candidate(std::string name, Callbacks callbacks = {});
+
+  /// Starts the renewal loop.
+  void start();
+  void stop() { task_.cancel(); }
+
+  /// Marks a candidate alive/crashed. A crashed leader stops renewing; the
+  /// lease expires after lease_duration and a new leader takes over.
+  void set_alive(std::size_t candidate, bool alive);
+
+  /// Currently acknowledged leader, or npos while the lease is vacant.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t leader() const { return leader_; }
+
+  bool is_leader(std::size_t candidate) const { return leader_ == candidate; }
+
+  /// One election round (exposed for tests).
+  void election_round();
+
+  SimDuration lease_duration() const { return lease_duration_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  struct Candidate {
+    std::string name;
+    Callbacks callbacks;
+    bool alive = true;
+  };
+
+  void depose_current();
+
+  sim::Simulator& sim_;
+  SimDuration lease_duration_;
+  SimDuration renew_interval_;
+  std::vector<Candidate> candidates_;
+  std::size_t leader_ = npos;
+  SimTime lease_expiry_ = 0.0;
+  sim::PeriodicHandle task_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace l3::core

@@ -1,0 +1,115 @@
+// Generic microservice behaviors for application call graphs.
+//
+// Every DeathStarBench-style service does the same three things: burn some
+// execution time (two-component mixture: fast path around the median, slow
+// path around the P99, scaled by the cluster's current load factors), call
+// downstream dependencies, and report success. These classes capture that
+// shape declaratively:
+//
+//  * StagedBehavior — compute, then a sequence of STAGES; within a stage,
+//    calls run in parallel; across stages, sequentially. Each call is
+//    either mesh-routed (stateless services, subject to the TrafficSplit
+//    under test) or cluster-local (stateful tiers), and can be gated by a
+//    probability (cache-miss fall-through).
+//  * MixBehavior — a frontend: picks one operation per request from a
+//    weighted mix, each operation being its own stage list.
+//
+// Both hotel-reservation and social-network are built from these.
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/dsb/disturbance.h"
+#include "l3/mesh/deployment.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace l3::dsb {
+
+/// Execution-time parameters of one service (seconds; mixture model).
+struct ServiceProfile {
+  double median = 0.0015;
+  double p99 = 0.008;
+  /// Exponent on the cluster slowdown factors; databases are hit harder
+  /// (>1) per §1's slow-database observation.
+  double load_sensitivity = 1.0;
+};
+
+/// One downstream call within a stage.
+struct Call {
+  std::string service;
+  /// Cluster-local (stateful tier) instead of mesh-routed.
+  bool local = false;
+  /// Probability the call happens at all (1.0 = always; <1 models
+  /// cache-miss fall-through or optional paths).
+  double probability = 1.0;
+};
+
+/// Calls within a stage run in parallel; stages run sequentially.
+using Stage = std::vector<Call>;
+
+/// A weighted operation of a frontend service.
+struct Operation {
+  double weight = 1.0;
+  std::vector<Stage> stages;
+};
+
+/// Shared compute/success mechanics (see file comment).
+class DsbBehavior : public mesh::ServiceBehavior {
+ public:
+  /// Fraction of requests taking the slow path.
+  static constexpr double kTailWeight = 0.02;
+  /// Log-sigma of each mixture component.
+  static constexpr double kComponentSigma = 0.30;
+
+ protected:
+  DsbBehavior(const ServiceProfile& profile, const ClusterLoadModel& load,
+              double success_rate);
+
+  /// One execution-time draw under the cluster's current load factors.
+  SimDuration sample_exec(const mesh::BehaviorContext& ctx) const;
+
+  bool sample_success(const mesh::BehaviorContext& ctx) const;
+
+  /// Runs the stage list (parallel within, sequential across), then
+  /// `done(all_calls_succeeded)`.
+  static void run_stages(const mesh::BehaviorContext& ctx,
+                         std::shared_ptr<const std::vector<Stage>> stages,
+                         std::size_t index, bool ok_so_far,
+                         std::function<void(bool)> done);
+
+ private:
+  const ClusterLoadModel& load_;
+  double median_;
+  double tail_level_;
+  double sensitivity_;
+  double success_rate_;
+};
+
+/// Compute, then a fixed stage list (most services).
+class StagedBehavior final : public DsbBehavior {
+ public:
+  StagedBehavior(const ServiceProfile& profile, const ClusterLoadModel& load,
+                 double success_rate, std::vector<Stage> stages);
+
+  void invoke(const mesh::BehaviorContext& ctx, mesh::OutcomeFn done) override;
+
+ private:
+  std::shared_ptr<const std::vector<Stage>> stages_;
+};
+
+/// Compute, then one operation drawn from a weighted mix (frontends).
+class MixBehavior final : public DsbBehavior {
+ public:
+  MixBehavior(const ServiceProfile& profile, const ClusterLoadModel& load,
+              double success_rate, std::vector<Operation> operations);
+
+  void invoke(const mesh::BehaviorContext& ctx, mesh::OutcomeFn done) override;
+
+ private:
+  std::vector<double> cumulative_;  // normalised cumulative weights
+  std::vector<std::shared_ptr<const std::vector<Stage>>> stages_;
+};
+
+}  // namespace l3::dsb

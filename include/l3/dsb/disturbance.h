@@ -1,0 +1,90 @@
+// Per-cluster performance disturbance. Real clusters are heterogeneous and
+// noisy — CPU throttling, noisy neighbours, slow databases (§1: "the latency
+// penalty from a slow database can often be an order of magnitude higher
+// than the network delay"). The ClusterLoadModel holds time-varying slowdown
+// factors per cluster that service behaviors multiply into their execution
+// times; the PerformanceDisturber rotates degradation across clusters so the
+// load balancers have real performance differences to react to, as the
+// paper's EC2 environment did naturally.
+//
+// Degradation is split into a median factor and a tail factor: real
+// contention (GC pauses, lock convoys, slow queries) inflates the tail far
+// more than the median, which is exactly the regime that separates
+// tail-aware load balancing (L3) from mean-based ranking (C3).
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/mesh/types.h"
+#include "l3/sim/simulator.h"
+
+#include <vector>
+
+namespace l3::dsb {
+
+/// Current slowdown factors per cluster (1.0 = nominal).
+class ClusterLoadModel {
+ public:
+  struct Factors {
+    double median = 1.0;  ///< multiplier on fast-path execution time
+    double tail = 1.0;    ///< multiplier on slow-path (tail) execution time
+  };
+
+  explicit ClusterLoadModel(std::size_t clusters) : factors_(clusters) {}
+
+  const Factors& factors(mesh::ClusterId cluster) const {
+    L3_EXPECTS(cluster < factors_.size());
+    return factors_[cluster];
+  }
+
+  void set_factors(mesh::ClusterId cluster, Factors f) {
+    L3_EXPECTS(cluster < factors_.size());
+    L3_EXPECTS(f.median >= 1.0 && f.tail >= 1.0);
+    factors_[cluster] = f;
+  }
+
+  std::size_t cluster_count() const { return factors_.size(); }
+
+ private:
+  std::vector<Factors> factors_;
+};
+
+/// Rotating degradation: every `period`, the next cluster in turn runs
+/// degraded for `duration` (tail-heavy, median mildly affected).
+class PerformanceDisturber {
+ public:
+  struct Config {
+    SimDuration period = 90.0;    ///< time between disturbance starts
+    SimDuration duration = 40.0;  ///< how long a disturbance lasts
+    double med_mult_lo = 1.1;     ///< median slowdown range
+    double med_mult_hi = 1.5;
+    double tail_mult_lo = 3.0;    ///< tail slowdown range
+    double tail_mult_hi = 8.0;
+    double skip_prob = 0.2;       ///< chance a window stays calm
+  };
+
+  PerformanceDisturber(sim::Simulator& sim, ClusterLoadModel& model,
+                       Config config, SplitRng rng);
+  ~PerformanceDisturber() { stop(); }
+  PerformanceDisturber(const PerformanceDisturber&) = delete;
+  PerformanceDisturber& operator=(const PerformanceDisturber&) = delete;
+
+  void start();
+  void stop() { task_.cancel(); }
+
+  std::uint64_t disturbances_started() const { return started_; }
+
+ private:
+  void window();
+
+  sim::Simulator& sim_;
+  ClusterLoadModel& model_;
+  Config config_;
+  SplitRng rng_;
+  sim::PeriodicHandle task_;
+  std::size_t next_cluster_ = 0;
+  std::uint64_t started_ = 0;
+};
+
+}  // namespace l3::dsb

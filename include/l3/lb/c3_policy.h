@@ -1,0 +1,54 @@
+// C3 [Suresh et al., NSDI'15] adapted to service-mesh TrafficSplits exactly
+// the way the paper's §5.1 describes its comparison implementation:
+//
+//  * decisions are made on aggregated per-backend metrics (not per request),
+//  * the replica-ranking function is kept: with response time R̄, service
+//    rate µ̄ and queue estimate q̂ the score is Ψ = (R̄ − 1/µ̄) + q̂^b/µ̄ with
+//    the cubic exponent b = 3. Using the filtered latency L as both R̄ and
+//    1/µ̄ (the aggregated metrics cannot separate them) this reduces to
+//    Ψ = q̂³ · L with q̂ = 1 + in-flight (RAW in-flight, unlike L3's
+//    normalised R_i — C3 ranks by absolute queue depth),
+//  * NO success-rate optimisation (C3 targets data stores; §5.3.2 relies on
+//    this difference), and
+//  * NO congestion-inspired backpressure/backlog queue (dropped by the
+//    paper because service meshes lack server capacity self-awareness).
+//
+// Weights are the reciprocal of the score, floored for metric collection.
+#pragma once
+
+#include "l3/lb/policy.h"
+
+namespace l3::lb {
+
+/// Configuration of the adapted C3 policy.
+struct C3PolicyConfig {
+  /// b — the queue-size exponent of the ranking function (C3 paper: 3).
+  double queue_exponent = 3.0;
+  /// Scale of the reciprocal weight (relative weights only).
+  double scale = 100.0;
+  /// Guard for backends with no latency signal yet.
+  double min_latency = 0.001;
+  /// Minimum share of total weight per backend. The metric-collection floor
+  /// is an L3 design contribution (§3.1); C3 as adapted by the paper only
+  /// has the SMI integer floor (w >= 1), so the default is 0 — a starved
+  /// backend's metrics go stale and C3 reacts late when its favourite
+  /// degrades. Raise it to study a floored C3.
+  double min_share = 0.0;
+};
+
+/// Cubic replica-ranking load balancing, success-rate-agnostic.
+class C3Policy final : public LoadBalancingPolicy {
+ public:
+  explicit C3Policy(C3PolicyConfig config = {}) : config_(config) {}
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override;
+
+  std::string_view name() const override { return "C3"; }
+
+  const C3PolicyConfig& config() const { return config_; }
+
+ private:
+  C3PolicyConfig config_;
+};
+
+}  // namespace l3::lb

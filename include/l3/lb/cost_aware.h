@@ -1,0 +1,56 @@
+// Transfer-cost-aware weighting — the future-work extension §7 of the paper
+// sketches: cloud vendors charge for cross-zone/region traffic (§6
+// "Optimizing for network transfer cost"), so weights can be discounted by
+// the monetary cost of sending a request to a backend. Implemented as a
+// decorator over any inner policy.
+#pragma once
+
+#include "l3/lb/policy.h"
+
+#include <memory>
+#include <vector>
+
+namespace l3::lb {
+
+/// Per-(source, destination) transfer cost matrix, in arbitrary cost units
+/// per request (e.g. $ per GB times mean request size).
+class TransferCostMatrix {
+ public:
+  explicit TransferCostMatrix(std::size_t clusters)
+      : n_(clusters), costs_(clusters * clusters, 0.0) {}
+
+  void set(mesh::ClusterId from, mesh::ClusterId to, double cost);
+  double get(mesh::ClusterId from, mesh::ClusterId to) const;
+  std::size_t cluster_count() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> costs_;
+};
+
+/// Configuration of the cost-aware adjustment.
+struct CostAwareConfig {
+  /// Trade-off coefficient: weight is divided by (1 + lambda · cost).
+  /// 0 reduces to the inner policy exactly.
+  double lambda = 1.0;
+};
+
+/// Discounts an inner policy's weights by transfer cost.
+class CostAwareAdjuster final : public LoadBalancingPolicy {
+ public:
+  CostAwareAdjuster(std::unique_ptr<LoadBalancingPolicy> inner,
+                    TransferCostMatrix costs, CostAwareConfig config = {});
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override;
+
+  std::string_view name() const override { return "cost-aware"; }
+
+  const LoadBalancingPolicy& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<LoadBalancingPolicy> inner_;
+  TransferCostMatrix costs_;
+  CostAwareConfig config_;
+};
+
+}  // namespace l3::lb

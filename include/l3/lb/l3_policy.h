@@ -1,0 +1,37 @@
+// The L3 policy: Algorithm 1 (weight assigner) composed with Algorithm 2
+// (rate controller) and the weight-finalisation floors of §3.1.
+#pragma once
+
+#include "l3/lb/policy.h"
+#include "l3/lb/weighting.h"
+
+namespace l3::lb {
+
+/// Configuration of the complete L3 policy.
+struct L3PolicyConfig {
+  WeightingConfig weighting;
+  /// Disables Algorithm 2 (ablation: weight assigner only).
+  bool rate_control_enabled = true;
+  /// Metric-collection floor: minimum share of total weight per backend
+  /// (§3.1). Kept below the P99 tail mass so probe traffic to a degraded
+  /// backend shows up in P99.x metrics but not in the headline P99.
+  double min_share = 0.002;
+};
+
+/// Latency-aware multi-cluster load balancing per the paper's §3.
+class L3Policy final : public LoadBalancingPolicy {
+ public:
+  explicit L3Policy(L3PolicyConfig config = {}) : config_(config) {}
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override;
+
+  std::string_view name() const override { return "L3"; }
+
+  const L3PolicyConfig& config() const { return config_; }
+  L3PolicyConfig& config() { return config_; }
+
+ private:
+  L3PolicyConfig config_;
+};
+
+}  // namespace l3::lb

@@ -1,0 +1,36 @@
+// Locality-first load balancing with failover — the strategy Istio's
+// locality load balancing, Linkerd's failover extension and GCP Traffic
+// Director implement (§6 "Optimizing for availability"): keep all traffic in
+// the local cluster and move it elsewhere only when the local backend looks
+// unhealthy. Included as an additional baseline beyond the paper's two.
+#pragma once
+
+#include "l3/lb/policy.h"
+
+namespace l3::lb {
+
+/// Configuration of the locality-failover baseline.
+struct LocalityFailoverConfig {
+  /// Success rate below which the local backend is considered failed.
+  double failover_success_threshold = 0.8;
+  /// Weight given to the preferred backend(s).
+  std::uint64_t active_weight = 1000;
+  /// Weight given to standby backends (1 keeps their metrics alive).
+  std::uint64_t standby_weight = 1;
+};
+
+/// All traffic local; spill to remote clusters only on local failure.
+class LocalityFailoverPolicy final : public LoadBalancingPolicy {
+ public:
+  explicit LocalityFailoverPolicy(LocalityFailoverConfig config = {})
+      : config_(config) {}
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override;
+
+  std::string_view name() const override { return "locality-failover"; }
+
+ private:
+  LocalityFailoverConfig config_;
+};
+
+}  // namespace l3::lb

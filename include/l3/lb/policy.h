@@ -1,0 +1,65 @@
+// The load-balancing policy interface plus the trivial baselines. A policy
+// is a pure function from the controller's filtered signals to TrafficSplit
+// weights, invoked once per control-loop tick (§4: every 5 s).
+#pragma once
+
+#include "l3/lb/signals.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace l3::lb {
+
+/// Computes TrafficSplit weights from filtered backend signals.
+class LoadBalancingPolicy {
+ public:
+  virtual ~LoadBalancingPolicy() = default;
+
+  /// Weights in backend order; all entries >= 1 unless a backend is meant
+  /// to receive no traffic at all.
+  virtual std::vector<std::uint64_t> compute(const PolicyInput& input) = 0;
+
+  /// Short policy name for reports ("round-robin", "C3", "L3", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Linkerd's default across TrafficSplit backends: equal weights — each
+/// backend receives the same share regardless of performance.
+class RoundRobinPolicy final : public LoadBalancingPolicy {
+ public:
+  explicit RoundRobinPolicy(std::uint64_t weight = 1000) : weight_(weight) {}
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override {
+    return std::vector<std::uint64_t>(input.backends.size(), weight_);
+  }
+
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t weight_;
+};
+
+/// Fixed operator-chosen weights (SMI's plain TrafficSplit usage).
+class StaticWeightsPolicy final : public LoadBalancingPolicy {
+ public:
+  explicit StaticWeightsPolicy(std::vector<std::uint64_t> weights)
+      : weights_(std::move(weights)) {}
+
+  std::vector<std::uint64_t> compute(const PolicyInput& input) override {
+    // Tolerate topology growth by padding with the last weight.
+    std::vector<std::uint64_t> out = weights_;
+    while (out.size() < input.backends.size()) {
+      out.push_back(out.empty() ? 1 : out.back());
+    }
+    out.resize(input.backends.size());
+    return out;
+  }
+
+  std::string_view name() const override { return "static"; }
+
+ private:
+  std::vector<std::uint64_t> weights_;
+};
+
+}  // namespace l3::lb

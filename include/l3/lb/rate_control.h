@@ -1,0 +1,37 @@
+// Algorithm 2 of the paper — the L3 rate controller.
+//
+// Reacts to the relative change c between the EWMA of total RPS and the
+// latest total-RPS sample:
+//   c > 0 (traffic rising): every weight is pulled toward the average
+//       weight w_µ (Eq. 5), flattening the distribution so no single fast
+//       backend gets overwhelmed before autoscaling catches up:
+//         w(c) = w_µ − w_µ/(1+c²)^{3/2} + w_b/(1+c²)^{3/2}
+//   c < 0 (traffic falling): capacity freed up, so traffic is shifted
+//       opportunistically toward the faster (above-average) backends:
+//         w_b ≤ w_µ:  w_b / (1+2c²)^{3/2}          (below-average shrink)
+//         w_b > w_µ:  2w_b − w_µ − (w_b−w_µ)/(1+3c²)^{3/2}   (grow)
+//   c = 0: weights pass through unchanged.
+// A final floor keeps every weight ≥ 1 for metric collection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace l3::lb {
+
+/// Relative change from the EWMA to the latest sample:
+/// (last − ewma) / ewma, or 0 when the EWMA is not yet meaningful.
+double relative_change(double rps_ewma, double rps_last);
+
+/// Applies Algorithm 2 to one weight, given the average weight and the
+/// relative change. Exposed for the Fig. 4 curve bench and direct tests.
+double rate_control_weight(double w_b, double w_mu, double c);
+
+/// Applies Algorithm 2 to a full weight set.
+/// @param weights    weights from the weight assigner (Algorithm 1)
+/// @param rps_ewma   EWMA of total RPS across all backends
+/// @param rps_last   latest raw total-RPS sample
+std::vector<double> rate_control(std::span<const double> weights,
+                                 double rps_ewma, double rps_last);
+
+}  // namespace l3::lb

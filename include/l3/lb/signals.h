@@ -1,0 +1,43 @@
+// Inputs to load-balancing policies: the filtered per-backend signals the
+// controller's metric pipeline produces each control-loop tick, plus the
+// aggregate traffic signals the rate controller (Algorithm 2) consumes.
+#pragma once
+
+#include "l3/mesh/types.h"
+
+#include <span>
+
+namespace l3::lb {
+
+/// Filtered (EWMA / PeakEWMA) signals for one backend, in backend order of
+/// the TrafficSplit. Symbols follow Table 1 of the paper.
+struct BackendSignals {
+  /// L_s — filtered 99th-percentile latency of successful requests (s).
+  double latency_p99 = 0.0;
+  /// Filtered MEAN latency of successful requests (s) — the signal
+  /// mean-based policies (C3's R̄) rank on; L3 ignores it.
+  double latency_mean = 0.0;
+  /// R_s — filtered success rate in [0, 1].
+  double success_rate = 1.0;
+  /// R_rps — filtered requests per second towards this backend.
+  double rps = 0.0;
+  /// Filtered raw in-flight request count (NOT yet normalised; Algorithm 1
+  /// divides by R_rps itself to obtain R_i).
+  double inflight = 0.0;
+};
+
+/// Everything a policy sees when computing weights for one TrafficSplit.
+struct PolicyInput {
+  /// The cluster whose outbound traffic is being split.
+  mesh::ClusterId source = 0;
+  /// Backend identities, aligned with `signals`.
+  std::span<const mesh::BackendRef> backends;
+  /// Filtered per-backend signals, aligned with `backends`.
+  std::span<const BackendSignals> signals;
+  /// RPS_EWMA — filtered total RPS across all backends (Algorithm 2 input).
+  double total_rps_ewma = 0.0;
+  /// RPS_last — the latest raw total-RPS sample (Algorithm 2 input).
+  double total_rps_last = 0.0;
+};
+
+}  // namespace l3::lb

@@ -1,0 +1,58 @@
+// Algorithm 1 of the paper — the L3 weight assigner.
+//
+// Per backend b (symbols per Table 1):
+//   L_s   := EWMA of the backend's P99 latency of successful requests
+//   R_s   := EWMA of the backend's success rate
+//   R_rps := EWMA of the backend's requests per second
+//   R_i   := EWMA(in-flight) / R_rps      (normalised in-flight; 0 if no RPS)
+//   L_est := L_s                          if R_s = 0      (guard, line 11)
+//          | L_s + P · (1/R_s − 1)        otherwise       (Eq. 3, Spotify ELS)
+//   w_b   := S / ((R_i + 1)² · L_est)                      (Eq. 4, scaled)
+//   w_b   := max(w_b, 1)                                   (floor, line 17)
+//
+// P is the constant penalty factor — the client-perceived round-trip cost of
+// one failed request (§5.2.1 selects P = 0.6 s). S is a pure display scale
+// (weights are relative; S = 100 puts a healthy 100 ms backend near 1000,
+// the magnitude used in Fig. 4).
+#pragma once
+
+#include "l3/lb/signals.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace l3::lb {
+
+/// Tunables of Algorithm 1.
+struct WeightingConfig {
+  /// P — latency penalty for failed requests, in seconds (§5.2.1: 0.6 s).
+  double penalty = 0.6;
+  /// S — scale of the reciprocal weight function (relative weights only).
+  double scale = 100.0;
+  /// Lower bound applied per backend (Algorithm 1 line 17).
+  double min_weight = 1.0;
+  /// Exponent on (R_i + 1); the paper squares (§3.1) — exposed for the
+  /// ablation study.
+  double inflight_exponent = 2.0;
+  /// Guard for backends with no latency signal yet (L_s == 0).
+  double min_latency = 0.001;
+};
+
+/// Estimated latency L_est (Eq. 3): the success latency inflated by the
+/// expected number of retries 1/R_s, each costing the penalty P.
+double estimated_latency(double latency_success, double success_rate,
+                         double penalty);
+
+/// Runs Algorithm 1 over all backends, producing unrounded weights.
+std::vector<double> assign_weights(std::span<const BackendSignals> signals,
+                                   const WeightingConfig& config = {});
+
+/// Converts real-valued weights to the non-negative integers a TrafficSplit
+/// carries, enforcing (a) w >= 1 and (b) the metric-collection floor of
+/// §3.1: every backend keeps at least `min_share` of the total weight so it
+/// keeps receiving enough traffic for its metrics to stay observable.
+std::vector<std::uint64_t> finalize_weights(std::span<const double> weights,
+                                            double min_share = 0.002);
+
+}  // namespace l3::lb

@@ -1,0 +1,75 @@
+// Horizontal autoscaling of deployments — the orchestrator mechanism §3.2's
+// rate controller is designed to cooperate with: when a traffic surge is
+// spread across backends by Algorithm 2, the autoscaler has time to "scale
+// up the faster backends in response", after which traffic can concentrate
+// again. Modelled after the Kubernetes HPA: a periodic loop compares each
+// deployment's utilisation (load / total concurrency) against thresholds
+// and adds/removes replicas, with a scale-up provisioning delay (pod start
+// time) and a stabilisation cooldown.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+#include "l3/mesh/deployment.h"
+#include "l3/sim/simulator.h"
+
+#include <cstdint>
+#include <deque>
+
+namespace l3::mesh {
+
+/// Periodic HPA-style replica scaler.
+class Autoscaler {
+ public:
+  struct Config {
+    SimDuration interval = 15.0;        ///< evaluation period
+    double scale_up_utilisation = 0.8;  ///< load/capacity above → add replica
+    double scale_down_utilisation = 0.3;///< below → remove an idle replica
+    std::size_t min_replicas = 1;
+    std::size_t max_replicas = 32;
+    /// Time from the scale-up decision to the replica serving traffic
+    /// (image pull + container start + readiness).
+    SimDuration provisioning_delay = 20.0;
+    /// Minimum time between scaling actions on one deployment.
+    SimDuration cooldown = 30.0;
+  };
+
+  Autoscaler(sim::Simulator& sim, Config config) : sim_(sim), config_(config) {
+    L3_EXPECTS(config.interval > 0.0);
+    L3_EXPECTS(config.min_replicas >= 1);
+    L3_EXPECTS(config.max_replicas >= config.min_replicas);
+    L3_EXPECTS(config.scale_up_utilisation > config.scale_down_utilisation);
+  }
+  ~Autoscaler() { stop(); }
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// Registers a deployment for scaling. Must outlive the autoscaler.
+  void watch(ServiceDeployment& deployment);
+
+  void start();
+  void stop() { task_.cancel(); }
+
+  /// One evaluation round (exposed for tests).
+  void evaluate();
+
+  std::uint64_t scale_ups() const { return scale_ups_; }
+  std::uint64_t scale_downs() const { return scale_downs_; }
+
+ private:
+  struct Watched {
+    ServiceDeployment* deployment;
+    SimTime last_action = -1e18;
+    std::size_t pending_up = 0;  ///< replicas still provisioning
+  };
+
+  sim::Simulator& sim_;
+  Config config_;
+  // deque: stable element addresses (provisioning callbacks hold them).
+  std::deque<Watched> watched_;
+  sim::PeriodicHandle task_;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+};
+
+}  // namespace l3::mesh

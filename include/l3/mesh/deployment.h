@@ -1,0 +1,129 @@
+// A service deployment: N replicas of one service inside one cluster — the
+// unit a TrafficSplit backend points at. Incoming requests are spread over
+// replicas least-loaded-first (the in-cluster balancing Kubernetes/Linkerd
+// provides); the application logic itself is pluggable via ServiceBehavior
+// so the same substrate hosts both trace-replay API workloads (§5.1 "TIER
+// Mobility") and the DeathStarBench call graph.
+#pragma once
+
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/mesh/replica.h"
+#include "l3/mesh/types.h"
+#include "l3/sim/simulator.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace l3::mesh {
+
+class Mesh;  // behaviors may issue downstream calls through the mesh
+
+/// Everything a behavior may touch while handling one request.
+struct BehaviorContext {
+  sim::Simulator& sim;   ///< to schedule execution-time delays
+  Mesh& mesh;            ///< to call downstream services
+  ClusterId cluster;     ///< the cluster this replica runs in
+  SplitRng& rng;         ///< deployment-local random stream
+  int depth;             ///< call depth (loop guard for downstream calls)
+};
+
+/// Server-side application logic of a deployment. `invoke` is asynchronous:
+/// implementations schedule whatever execution delays / downstream calls
+/// they need and fire `done` exactly once.
+class ServiceBehavior {
+ public:
+  virtual ~ServiceBehavior() = default;
+  virtual void invoke(const BehaviorContext& ctx, OutcomeFn done) = 0;
+};
+
+/// Behavior whose handling time is a fixed-parameter log-normal draw —
+/// handy for examples and tests.
+class FixedLatencyBehavior final : public ServiceBehavior {
+ public:
+  /// @param median   median handling time (seconds)
+  /// @param p99      99th-percentile handling time (seconds, > median)
+  /// @param success  probability a request succeeds
+  FixedLatencyBehavior(SimDuration median, SimDuration p99,
+                       double success = 1.0);
+
+  void invoke(const BehaviorContext& ctx, OutcomeFn done) override;
+
+ private:
+  double mu_;
+  double sigma_;
+  double success_;
+};
+
+/// Configuration of one deployment.
+struct DeploymentConfig {
+  std::size_t replicas = 3;          ///< paper §5.1: three replicas/cluster
+  std::size_t concurrency = 100;     ///< slots per replica
+  std::size_t queue_capacity = 512;  ///< waiting requests per replica
+};
+
+/// N replicas of a service in one cluster.
+class ServiceDeployment {
+ public:
+  ServiceDeployment(std::string service, ClusterId cluster,
+                    DeploymentConfig config,
+                    std::unique_ptr<ServiceBehavior> behavior,
+                    sim::Simulator& sim, Mesh& mesh, SplitRng rng);
+
+  ServiceDeployment(const ServiceDeployment&) = delete;
+  ServiceDeployment& operator=(const ServiceDeployment&) = delete;
+
+  /// Handles one request: picks the least-loaded replica, runs the behavior
+  /// and reports the Outcome (a queue-overflow rejection reports
+  /// `success=false, rejected=true` immediately).
+  void handle(int depth, OutcomeFn done);
+
+  const std::string& service() const { return service_; }
+  ClusterId cluster() const { return cluster_; }
+
+  /// Marks the whole deployment down/up (outage injection). While down,
+  /// requests are rejected immediately.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Total load across replicas (active + queued).
+  std::size_t load() const;
+
+  /// Aggregate lifetime counters.
+  std::uint64_t completed() const;
+  std::uint64_t rejected() const { return rejected_; }
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  const Replica& replica(std::size_t i) const { return *replicas_[i]; }
+
+  /// Adds one replica with the deployment's configured concurrency/queue
+  /// (autoscaling support, §3.2).
+  void add_replica();
+
+  /// Removes one idle replica (load == 0). Returns false when only one
+  /// replica remains or none is idle — draining is not modelled, so a busy
+  /// replica is never torn down.
+  bool remove_idle_replica();
+
+  /// Combined concurrency across replicas (capacity proxy for scaling).
+  std::size_t total_concurrency() const;
+
+  ServiceBehavior& behavior() { return *behavior_; }
+
+ private:
+  std::string service_;
+  ClusterId cluster_;
+  DeploymentConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<ServiceBehavior> behavior_;
+  sim::Simulator& sim_;
+  Mesh& mesh_;
+  SplitRng rng_;
+  bool down_ = false;
+  std::uint64_t rejected_ = 0;
+  std::size_t rr_cursor_ = 0;  // tie-break rotation among equally loaded
+};
+
+}  // namespace l3::mesh

@@ -1,0 +1,46 @@
+// Periodic health checking, the orchestrator-level mechanism §3.1 defers to
+// for replicas that become unable to serve traffic at all: the checker
+// probes each watched deployment on an interval and maintains the (possibly
+// stale) availability view that proxies consult when picking backends.
+// Detection latency — an outage is only noticed at the next probe — is the
+// realistic failover lag L3 improves on (§6 "Optimizing for availability").
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/mesh/deployment.h"
+#include "l3/sim/simulator.h"
+
+#include <map>
+
+namespace l3::mesh {
+
+/// Probes deployments periodically and exposes the last observed state.
+class HealthChecker {
+ public:
+  explicit HealthChecker(sim::Simulator& sim) : sim_(sim) {}
+  ~HealthChecker() { stop(); }
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  /// Starts watching a deployment (initially assumed healthy).
+  void watch(const ServiceDeployment& deployment);
+
+  /// Starts periodic probing.
+  void start(SimDuration interval = 10.0);
+
+  void stop() { task_.cancel(); }
+
+  /// Probes every watched deployment immediately.
+  void probe_once();
+
+  /// The checker's current (possibly stale) view of a deployment.
+  /// Unwatched deployments are reported healthy.
+  bool is_available(const ServiceDeployment& deployment) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::map<const ServiceDeployment*, bool> view_;
+  sim::PeriodicHandle task_;
+};
+
+}  // namespace l3::mesh

@@ -1,0 +1,132 @@
+// The Mesh facade: clusters + WAN + deployments + per-source-cluster proxies
+// and TrafficSplits + control plane + health checking + one metrics Registry
+// per cluster. This is the multi-cluster Linkerd-on-Kubernetes equivalent
+// everything else plugs into (Figure 3/5 of the paper).
+#pragma once
+
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/mesh/deployment.h"
+#include "l3/mesh/health.h"
+#include "l3/mesh/proxy.h"
+#include "l3/mesh/traffic_split.h"
+#include "l3/mesh/types.h"
+#include "l3/mesh/wan.h"
+#include "l3/metrics/registry.h"
+#include "l3/sim/simulator.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l3::mesh {
+
+/// Mesh-wide configuration.
+struct MeshConfig {
+  /// One-way in-cluster network delay (pod→pod through the sidecars).
+  SimDuration local_delay = 0.0005;
+  double local_jitter_frac = 0.2;
+  /// Control-plane weight-propagation delay (0 = instant).
+  SimDuration propagation_delay = 0.0;
+  /// Client-side request timeout for all proxies; 0 disables.
+  SimDuration request_timeout = 30.0;
+  /// Health-probe interval (0 disables health checking).
+  SimDuration health_probe_interval = 10.0;
+  /// Initial TrafficSplit weight per backend (equal split, i.e. the
+  /// round-robin default until a policy writes weights).
+  std::uint64_t initial_weight = 1000;
+  /// Routing mode for every proxy (weighted TrafficSplit vs per-request
+  /// PeakEWMA-P2C).
+  RoutingMode routing = RoutingMode::kWeighted;
+  /// Envoy-style outlier detection applied by every proxy (§5.1).
+  OutlierDetectionConfig outlier_detection;
+};
+
+/// A multi-cluster service mesh instance bound to one simulator.
+class Mesh {
+ public:
+  Mesh(sim::Simulator& sim, SplitRng rng, MeshConfig config = {});
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  /// Adds a cluster; returns its id. Clusters must be added before
+  /// deployments that reference them.
+  ClusterId add_cluster(std::string name, std::string region = "");
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<std::string>& cluster_names() const { return names_; }
+
+  WanModel& wan() { return wan_; }
+  const WanModel& wan() const { return wan_; }
+
+  // --- deployments --------------------------------------------------------
+
+  /// Deploys `service` into `cluster`. All deployments of a service must
+  /// exist before the first proxy/call for that service is created.
+  ServiceDeployment& deploy(const std::string& service, ClusterId cluster,
+                            DeploymentConfig config,
+                            std::unique_ptr<ServiceBehavior> behavior);
+
+  /// nullptr when the service is not deployed in that cluster.
+  ServiceDeployment* find_deployment(const std::string& service,
+                                     ClusterId cluster);
+
+  /// All deployments of a service, ordered by cluster id.
+  std::vector<ServiceDeployment*> deployments_of(const std::string& service);
+
+  // --- routing ------------------------------------------------------------
+
+  /// The proxy for (source cluster, service); created (with an equal-weight
+  /// TrafficSplit over every deployment of `service`) on first use.
+  Proxy& proxy(ClusterId source, const std::string& service);
+
+  /// Sends one request from `source` to `service` through the mesh.
+  void call(ClusterId source, const std::string& service, int depth,
+            ResponseFn done) {
+    proxy(source, service).send(depth, std::move(done));
+  }
+
+  /// nullptr until the corresponding proxy has been created.
+  TrafficSplit* find_split(ClusterId source, const std::string& service);
+
+  /// Every TrafficSplit whose source is `source` (the set one per-cluster
+  /// L3 controller instance manages), in creation order.
+  std::vector<TrafficSplit*> splits_of_source(ClusterId source);
+
+  // --- control & observability ---------------------------------------------
+
+  ControlPlane& control_plane() { return control_plane_; }
+  HealthChecker& health() { return health_; }
+
+  /// The metrics registry of one cluster (scrape target).
+  metrics::Registry& registry(ClusterId cluster);
+
+  sim::Simulator& simulator() { return sim_; }
+  const MeshConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  SplitRng rng_;
+  MeshConfig config_;
+  WanModel wan_;
+  ControlPlane control_plane_;
+  HealthChecker health_;
+  std::vector<Cluster> clusters_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<metrics::Registry>> registries_;
+  // key: service name → per-cluster deployments
+  std::map<std::string, std::map<ClusterId, std::unique_ptr<ServiceDeployment>>>
+      deployments_;
+  // key: (source, service)
+  std::map<std::pair<ClusterId, std::string>, std::unique_ptr<TrafficSplit>>
+      splits_;
+  std::map<std::pair<ClusterId, std::string>, std::unique_ptr<Proxy>> proxies_;
+  std::vector<std::pair<ClusterId, TrafficSplit*>> split_order_;
+};
+
+}  // namespace l3::mesh

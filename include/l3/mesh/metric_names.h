@@ -1,0 +1,56 @@
+// Canonical metric names and label schema exported by proxies — the wire
+// contract between the data plane (mesh::Proxy) and the control plane
+// (core::L3Controller), mirroring Linkerd's proxy metrics (§4).
+//
+// Every per-backend series carries the labels
+//   split = <service name of the TrafficSplit>
+//   src   = <source cluster name>
+//   dst   = <backend cluster name>
+#pragma once
+
+#include "l3/metrics/registry.h"
+
+#include <string>
+
+namespace l3::mesh::metric_names {
+
+/// Counter: requests sent towards a backend.
+inline constexpr const char* kRequestTotal = "request_total";
+/// Counter: successful responses received from a backend.
+inline constexpr const char* kSuccessTotal = "response_success_total";
+/// Counter: failed responses (HTTP 5xx equivalent, rejections, timeouts).
+inline constexpr const char* kFailureTotal = "response_failure_total";
+/// Histogram: latency of successful responses (seconds). L3 deliberately
+/// keeps success and failure latency apart (§3.1).
+inline constexpr const char* kLatencySuccess = "response_latency_success";
+/// Histogram: latency of failed responses (seconds).
+inline constexpr const char* kLatencyFailure = "response_latency_failure";
+/// Counter: sum of successful-response latencies (Prometheus `_sum`), so
+/// mean latency = rate(sum) / rate(success) — the signal mean-based
+/// policies like C3 rank on.
+inline constexpr const char* kLatencySuccessSum =
+    "response_latency_success_sum";
+/// Counter: sum of failed-response latencies (dynamic-penalty input, §7).
+inline constexpr const char* kLatencyFailureSum =
+    "response_latency_failure_sum";
+/// Gauge: requests currently in flight towards a backend.
+inline constexpr const char* kInflight = "inflight_requests";
+
+/// Label set for one backend of one TrafficSplit.
+inline metrics::Labels backend_labels(const std::string& service,
+                                      const std::string& src_cluster,
+                                      const std::string& dst_cluster) {
+  return metrics::Labels{
+      {"split", service}, {"src", src_cluster}, {"dst", dst_cluster}};
+}
+
+/// Full TSDB series key for a backend metric.
+inline std::string backend_series(const char* metric,
+                                  const std::string& service,
+                                  const std::string& src_cluster,
+                                  const std::string& dst_cluster) {
+  return metrics::series_key(metric,
+                             backend_labels(service, src_cluster, dst_cluster));
+}
+
+}  // namespace l3::mesh::metric_names

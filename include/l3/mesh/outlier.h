@@ -1,0 +1,68 @@
+// Outlier detection with circuit breaking — the failover mechanism §5.1 of
+// the paper recommends for topologies with large inter-cluster delays
+// ("a circuit-breaker-based failover mechanism triggered by outlier
+// detection could be more suitable"), as implemented by Envoy/Istio: each
+// proxy tracks per-backend failure ratios over a rolling window and ejects
+// a backend from its rotation for a fixed duration when the ratio crosses a
+// threshold, bounded so the proxy never ejects everything.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace l3::mesh {
+
+/// Outlier-detection parameters (Envoy-style defaults).
+struct OutlierDetectionConfig {
+  bool enabled = false;
+  /// Failure ratio within a window that triggers ejection.
+  double failure_threshold = 0.5;
+  /// Minimum requests in the window before a verdict is possible.
+  std::uint32_t min_requests = 10;
+  /// Rolling window length.
+  SimDuration window = 10.0;
+  /// How long an ejected backend stays out of rotation.
+  SimDuration ejection_duration = 30.0;
+  /// Upper bound on the fraction of backends ejected simultaneously.
+  double max_ejected_fraction = 0.67;
+};
+
+/// Per-proxy outlier tracker over a fixed backend set.
+class OutlierDetector {
+ public:
+  OutlierDetector(std::size_t backend_count, OutlierDetectionConfig config);
+
+  /// Records one response outcome for a backend.
+  void record(std::size_t backend, bool success, SimTime now);
+
+  /// Whether the backend is currently ejected.
+  bool is_ejected(std::size_t backend, SimTime now) const;
+
+  /// Number of backends currently ejected.
+  std::size_t ejected_count(SimTime now) const;
+
+  /// Lifetime ejection count (observability/tests).
+  std::uint64_t ejections() const { return ejections_; }
+
+  const OutlierDetectionConfig& config() const { return config_; }
+
+ private:
+  struct BackendState {
+    SimTime window_start = 0.0;
+    std::uint32_t successes = 0;
+    std::uint32_t failures = 0;
+    SimTime ejected_until = -1.0;
+  };
+
+  void roll_window(BackendState& state, SimTime now) const;
+  void maybe_eject(std::size_t backend, SimTime now);
+
+  OutlierDetectionConfig config_;
+  std::vector<BackendState> backends_;
+  std::uint64_t ejections_ = 0;
+};
+
+}  // namespace l3::mesh

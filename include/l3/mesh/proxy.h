@@ -1,0 +1,140 @@
+// The client-side sidecar proxy for one (source cluster, target service)
+// pair. It owns the request hot path: backend selection, WAN transit both
+// ways, client-side timeout, and the per-backend Prometheus metrics
+// (counters, success/failure latency histograms, in-flight gauge) that are
+// the only signal L3 ever sees.
+//
+// Two routing modes are supported:
+//  * kWeighted (default) — weighted sampling per the TrafficSplit, the SMI
+//    mechanism the paper's L3 drives;
+//  * kPeakEwmaP2C — Linkerd's in-proxy balancer (§6 "Beyond Round Robin"):
+//    power-of-two-choices over a client-side PeakEWMA latency score
+//    weighted by outstanding requests, deciding per request with no
+//    control-plane loop. Provided for the per-request-vs-TrafficSplit
+//    comparison bench.
+//
+// Optional Envoy-style outlier detection (§5.1) ejects failing backends
+// from the rotation for a fixed duration.
+#pragma once
+
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/mesh/deployment.h"
+#include "l3/mesh/health.h"
+#include "l3/mesh/outlier.h"
+#include "l3/mesh/traffic_split.h"
+#include "l3/mesh/types.h"
+#include "l3/mesh/wan.h"
+#include "l3/metrics/ewma.h"
+#include "l3/metrics/registry.h"
+#include "l3/sim/simulator.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace l3::mesh {
+
+/// How the proxy picks a backend for each request.
+enum class RoutingMode {
+  kWeighted,     ///< TrafficSplit weights (SMI semantics)
+  kPeakEwmaP2C,  ///< per-request power-of-two-choices on PeakEWMA latency
+};
+
+/// Proxy configuration.
+struct ProxyConfig {
+  /// Client-side request timeout; 0 disables. A timed-out request is
+  /// recorded as a failure with latency == timeout (the client's view).
+  SimDuration timeout = 30.0;
+  RoutingMode routing = RoutingMode::kWeighted;
+  /// Initial value / half-life of the per-backend client-side PeakEWMA
+  /// used by kPeakEwmaP2C.
+  SimDuration p2c_default_latency = 0.005;
+  SimDuration p2c_half_life = 5.0;
+  OutlierDetectionConfig outlier;
+};
+
+/// Sidecar proxy: routes calls from one cluster to one service's backends.
+class Proxy {
+ public:
+  /// All referenced objects must outlive the proxy; `deployments` must be
+  /// aligned index-for-index with `split.backends()`.
+  Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
+        TrafficSplit& split, std::vector<ServiceDeployment*> deployments,
+        metrics::Registry& registry, const HealthChecker* health,
+        SplitRng rng, ProxyConfig config,
+        const std::vector<std::string>& cluster_names);
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Sends one request through the mesh; `done` fires exactly once with the
+  /// response (success, failure or timeout).
+  void send(int depth, ResponseFn done);
+
+  const TrafficSplit& split() const { return split_; }
+  ClusterId source() const { return source_; }
+
+  /// Requests currently in flight through this proxy (all backends).
+  std::uint64_t inflight() const { return inflight_total_; }
+
+  /// Lifetime request count (for tests/examples).
+  std::uint64_t sent() const { return sent_; }
+
+  /// Outlier-detection state (for tests/observability).
+  const OutlierDetector& outlier_detector() const { return outlier_; }
+
+  RoutingMode routing_mode() const { return config_.routing; }
+
+ private:
+  struct BackendSlot {
+    ServiceDeployment* deployment;
+    metrics::Counter* requests;
+    metrics::Counter* success;
+    metrics::Counter* failure;
+    metrics::HistogramSeries* latency_success;
+    metrics::HistogramSeries* latency_failure;
+    metrics::Counter* latency_success_sum;
+    metrics::Counter* latency_failure_sum;
+    metrics::Gauge* inflight;
+    /// Client-side latency filter + outstanding count for kPeakEwmaP2C.
+    std::unique_ptr<metrics::PeakEwma> p2c_latency;
+    std::uint32_t outstanding = 0;
+  };
+
+  struct CallState;
+
+  /// Picks a backend according to the routing mode, skipping unhealthy and
+  /// ejected backends when possible.
+  std::size_t pick();
+  std::size_t pick_weighted(const std::vector<bool>& available);
+  std::size_t pick_p2c(const std::vector<bool>& available);
+
+  /// Availability mask (health view ∧ not ejected); all-true fallback when
+  /// nothing is available.
+  std::vector<bool> availability() const;
+
+  /// P2C cost: PeakEWMA latency × (outstanding + 1) — Linkerd's score.
+  double p2c_cost(const BackendSlot& slot) const;
+
+  void on_response(const std::shared_ptr<CallState>& state,
+                   const Outcome& outcome);
+  void on_timeout(const std::shared_ptr<CallState>& state);
+  void finish(const std::shared_ptr<CallState>& state, bool success,
+              SimDuration latency, bool timed_out);
+
+  sim::Simulator& sim_;
+  const WanModel& wan_;
+  ClusterId source_;
+  TrafficSplit& split_;
+  std::vector<BackendSlot> backends_;
+  const HealthChecker* health_;
+  SplitRng rng_;
+  ProxyConfig config_;
+  OutlierDetector outlier_;
+  std::uint64_t inflight_total_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace l3::mesh

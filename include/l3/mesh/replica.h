@@ -1,0 +1,65 @@
+// A single replica (pod) of a service: a bounded pool of concurrency slots
+// fronted by a FIFO queue. A request occupies a slot for its whole residence
+// (execution plus any downstream waits), so sustained load beyond capacity
+// builds queueing delay — this is what produces the saturation knee the
+// paper observes near 1000 RPS (§5.3.1) and gives the rate controller
+// (Algorithm 2) an overload to protect against.
+#pragma once
+
+#include "l3/common/assert.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace l3::mesh {
+
+/// Work submitted to a replica. The job receives a `release` callback and
+/// MUST invoke it exactly once when the request has finished (successfully
+/// or not) so the slot is returned.
+using ReplicaJob = std::function<void(std::function<void()> release)>;
+
+/// One service replica with `concurrency` slots and a FIFO queue of at most
+/// `queue_capacity` waiting requests.
+class Replica {
+ public:
+  Replica(std::size_t concurrency, std::size_t queue_capacity)
+      : concurrency_(concurrency), queue_capacity_(queue_capacity) {
+    L3_EXPECTS(concurrency >= 1);
+  }
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Submits a job. Runs it immediately if a slot is free, queues it if the
+  /// queue has room, otherwise rejects (returns false; job not run).
+  bool submit(ReplicaJob job);
+
+  /// Requests currently holding a slot.
+  std::size_t active() const { return active_; }
+
+  /// Requests waiting in the queue.
+  std::size_t queued() const { return queue_.size(); }
+
+  /// Total load (active + queued) — the replica-selection signal.
+  std::size_t load() const { return active_ + queue_.size(); }
+
+  std::size_t concurrency() const { return concurrency_; }
+
+  /// Lifetime counters for observability and tests.
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void run(ReplicaJob job);
+
+  std::size_t concurrency_;
+  std::size_t queue_capacity_;
+  std::size_t active_ = 0;
+  std::deque<ReplicaJob> queue_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace l3::mesh

@@ -1,0 +1,60 @@
+// Core vocabulary types of the mesh substrate: clusters, backend references,
+// and the request/response/outcome records that flow between proxies,
+// deployments and behaviors.
+#pragma once
+
+#include "l3/common/time.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace l3::mesh {
+
+/// Dense cluster identifier (index into Mesh's cluster table).
+using ClusterId = std::uint32_t;
+
+/// A Kubernetes-cluster-equivalent: a named failure/latency domain.
+struct Cluster {
+  ClusterId id = 0;
+  std::string name;    ///< e.g. "cluster-1"
+  std::string region;  ///< e.g. "eu-central-1"
+};
+
+/// Identifies one TrafficSplit backend: a service's deployment in one
+/// cluster (the granularity at which the paper's L3 assigns weights).
+struct BackendRef {
+  std::string service;
+  ClusterId cluster = 0;
+
+  friend bool operator==(const BackendRef&, const BackendRef&) = default;
+};
+
+/// Result of server-side request handling, produced by a ServiceBehavior or
+/// by the deployment itself (queue rejection).
+struct Outcome {
+  bool success = true;
+  /// True when the request never reached a replica (queue overflow /
+  /// deployment down); such failures are fast, unlike slow upstream errors.
+  bool rejected = false;
+};
+
+/// What the caller of Mesh::call() receives.
+struct Response {
+  bool success = true;
+  /// End-to-end latency as seen by the calling proxy (seconds), including
+  /// WAN transit, queueing and service execution.
+  SimDuration latency = 0.0;
+  /// Which backend cluster served (or was chosen to serve) the request.
+  ClusterId backend_cluster = 0;
+  /// True when the response is a client-side timeout, not a server reply.
+  bool timed_out = false;
+};
+
+/// Completion callback for asynchronous calls through the mesh.
+using ResponseFn = std::function<void(const Response&)>;
+
+/// Completion callback for server-side behaviors.
+using OutcomeFn = std::function<void(const Outcome&)>;
+
+}  // namespace l3::mesh

@@ -1,0 +1,76 @@
+// Wide-area network model between clusters. Captures the three latency
+// phenomena §1 of the paper names: (1) WAN links with time-varying latency,
+// (2) routing-path changes every couple of seconds ("route flaps") and
+// (3) transient disturbances (delay spikes) that can be injected per link.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/mesh/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace l3::mesh {
+
+/// One-way network delay model over a fully connected cluster graph.
+class WanModel {
+ public:
+  /// Per-link static configuration.
+  struct Link {
+    SimDuration base = 0.0;        ///< one-way propagation delay (seconds)
+    double jitter_frac = 0.10;     ///< relative half-normal jitter amplitude
+    SimDuration flap_amp = 0.0;    ///< route-flap amplitude (extra delay)
+    SimDuration flap_period = 4.0; ///< route re-convergence period (§1:
+                                   ///< "every couple of seconds")
+  };
+
+  /// A transient injected delay window on one directed link.
+  struct Disturbance {
+    ClusterId from = 0;
+    ClusterId to = 0;
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    SimDuration extra = 0.0;
+  };
+
+  WanModel() = default;
+
+  /// Resizes the delay matrix for `n` clusters. Existing entries persist.
+  void resize(std::size_t n);
+
+  /// Sets the directed link from→to.
+  void set_link(ClusterId from, ClusterId to, Link link);
+
+  /// Sets both directions from↔to.
+  void set_symmetric(ClusterId a, ClusterId b, Link link) {
+    set_link(a, b, link);
+    set_link(b, a, link);
+  }
+
+  /// Convenience: same intra-cluster delay on every diagonal entry.
+  void set_local_delay(SimDuration base, double jitter_frac = 0.10);
+
+  const Link& link(ClusterId from, ClusterId to) const;
+
+  /// Adds a transient extra-delay window on a directed link.
+  void add_disturbance(Disturbance d);
+
+  /// Samples the one-way delay from→to at time `now`.
+  SimDuration sample(ClusterId from, ClusterId to, SimTime now,
+                     SplitRng& rng) const;
+
+  std::size_t cluster_count() const { return n_; }
+
+ private:
+  /// Deterministic route-flap offset: a value in [0, 1] that re-rolls every
+  /// flap_period, keyed on (link, epoch) — stateless and reproducible.
+  static double flap_unit(ClusterId from, ClusterId to, std::uint64_t epoch);
+
+  std::size_t n_ = 0;
+  std::vector<Link> links_;  // row-major n_ x n_
+  std::vector<Disturbance> disturbances_;
+};
+
+}  // namespace l3::mesh

@@ -1,0 +1,23 @@
+// Prometheus text exposition format for a Registry — what a real scrape
+// endpoint would serve, and the paper's observability story (§4: internal
+// state "exposed through Prometheus or OpenTelemetry metrics ... enabling
+// human operators ... to infer the internal state at any point in time").
+#pragma once
+
+#include "l3/metrics/registry.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace l3::metrics {
+
+/// Renders every series of `registry` in Prometheus text format (0.0.4):
+/// counters and gauges as `name{labels} value`, histograms as cumulative
+/// `_bucket{le=...}` series plus `_count`. Series appear in deterministic
+/// (sorted-key) order.
+void write_exposition(const Registry& registry, std::ostream& os);
+
+/// Convenience: exposition as a string.
+std::string exposition_text(const Registry& registry);
+
+}  // namespace l3::metrics

@@ -1,0 +1,122 @@
+// Prometheus-style metric registry, mirroring the metric surface a Linkerd
+// proxy exports (§4 "Metric collection"): monotone counters, gauges, and
+// cumulative fixed-bucket latency histograms, identified by a metric name
+// plus labels. Proxies hold direct handles to their series so the request
+// hot path is a pointer bump; the Scraper walks the registry periodically.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/histogram.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l3::metrics {
+
+/// Sorted label set; part of a series identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series key: `name{k1=v1,k2=v2}` with labels sorted by key.
+std::string series_key(const std::string& name, Labels labels);
+
+/// Monotonically increasing counter (Prometheus counter semantics).
+class Counter {
+ public:
+  /// Adds `delta` (>= 0).
+  void add(double delta) {
+    L3_EXPECTS(delta >= 0.0);
+    value_ += delta;
+  }
+  void increment() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Instantaneous gauge (e.g. in-flight requests).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Cumulative-bucket histogram series (Prometheus histogram semantics).
+/// `cumulative_counts()` has bounds().size() + 1 entries, the last being the
+/// total (+Inf bucket).
+class HistogramSeries {
+ public:
+  explicit HistogramSeries(std::vector<double> bounds)
+      : histo_(std::move(bounds)) {}
+  HistogramSeries() = default;
+
+  void record(double value) { histo_.record(value); }
+
+  const std::vector<double>& bounds() const { return histo_.bounds(); }
+
+  /// Cumulative counts per Prometheus convention.
+  std::vector<double> cumulative_counts() const {
+    std::vector<double> cum(histo_.counts().size());
+    double running = 0.0;
+    for (std::size_t i = 0; i < cum.size(); ++i) {
+      running += static_cast<double>(histo_.counts()[i]);
+      cum[i] = running;
+    }
+    return cum;
+  }
+
+  std::uint64_t total_count() const { return histo_.total_count(); }
+
+ private:
+  FixedBucketHistogram histo_;
+};
+
+/// Owns all metric series of one scrape target (e.g. all proxies of one
+/// cluster, or the whole mesh in small setups).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns (creating on first use) the counter for name+labels. The
+  /// reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name, Labels labels);
+
+  /// Returns (creating on first use) the gauge for name+labels.
+  Gauge& gauge(const std::string& name, Labels labels);
+
+  /// Returns (creating on first use) the histogram for name+labels, with
+  /// Linkerd default latency bounds unless `bounds` is supplied on creation.
+  HistogramSeries& histogram(const std::string& name, Labels labels,
+                             const std::vector<double>* bounds = nullptr);
+
+  /// Visits every series; used by the Scraper.
+  template <typename CounterFn, typename GaugeFn, typename HistoFn>
+  void for_each(CounterFn on_counter, GaugeFn on_gauge,
+                HistoFn on_histogram) const {
+    for (const auto& [key, c] : counters_) on_counter(key, c->value());
+    for (const auto& [key, g] : gauges_) on_gauge(key, g->value());
+    for (const auto& [key, h] : histograms_) on_histogram(key, *h);
+  }
+
+  std::size_t series_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // unique_ptr for pointer stability across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramSeries>> histograms_;
+};
+
+}  // namespace l3::metrics

@@ -1,0 +1,62 @@
+// The Prometheus scrape loop: copies every series of the registered targets
+// into the TimeSeriesDb on a fixed interval (5 s by default, as in §4).
+// Targets can be disabled at runtime to inject scrape gaps — the ">10 s
+// without data" path that makes L3 converge its EWMAs back to defaults.
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/metrics/registry.h"
+#include "l3/metrics/tsdb.h"
+#include "l3/sim/simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace l3::metrics {
+
+/// Periodically snapshots registries into a TimeSeriesDb.
+class Scraper {
+ public:
+  /// @param sim   event loop driving the scrape schedule.
+  /// @param tsdb  destination store (must outlive the scraper).
+  Scraper(sim::Simulator& sim, TimeSeriesDb& tsdb) : sim_(sim), tsdb_(tsdb) {}
+  ~Scraper() { stop(); }
+  Scraper(const Scraper&) = delete;
+  Scraper& operator=(const Scraper&) = delete;
+
+  /// Registers a scrape target. The registry must outlive the scraper.
+  void add_target(std::string name, const Registry& registry);
+
+  /// Enables/disables scraping of a target (failure injection). Returns
+  /// false if no such target exists.
+  bool set_target_enabled(const std::string& name, bool enabled);
+
+  /// Starts the periodic scrape, first firing after one interval.
+  void start(SimDuration interval = 5.0);
+
+  /// Stops the periodic scrape.
+  void stop() { task_.cancel(); }
+
+  /// Performs a single scrape of all enabled targets right now (also used
+  /// to seed the TSDB before the first interval elapses).
+  void scrape_once();
+
+  SimDuration interval() const { return interval_; }
+  std::size_t scrape_count() const { return scrapes_; }
+
+ private:
+  struct Target {
+    std::string name;
+    const Registry* registry;
+    bool enabled = true;
+  };
+
+  sim::Simulator& sim_;
+  TimeSeriesDb& tsdb_;
+  std::vector<Target> targets_;
+  sim::PeriodicHandle task_;
+  SimDuration interval_ = 5.0;
+  std::size_t scrapes_ = 0;
+};
+
+}  // namespace l3::metrics

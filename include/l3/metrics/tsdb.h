@@ -1,0 +1,82 @@
+// A miniature Prometheus: timestamped sample storage plus the query
+// functions L3 uses — `rate()`/`increase()` over a trailing window, gauge
+// averaging, and `histogram_quantile()` over bucket-rate vectors. The L3
+// controller reads ONLY from here (never from live registries), reproducing
+// the 5 s scrape / 10 s window staleness the paper discusses in §4.
+#pragma once
+
+#include "l3/common/time.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace l3::metrics {
+
+/// Time-series database with per-series retention trimming.
+class TimeSeriesDb {
+ public:
+  /// @param retention  samples older than now − retention are dropped on
+  ///                   append (default generous enough for 10 s windows
+  ///                   while bounding memory over 20-minute runs).
+  explicit TimeSeriesDb(SimDuration retention = 120.0)
+      : retention_(retention) {}
+
+  /// Appends a scalar (counter or gauge) sample.
+  void append(const std::string& key, SimTime t, double value);
+
+  /// Appends a histogram sample: the cumulative bucket counts at time t.
+  /// `bounds` is stored on first append and must match thereafter.
+  void append_histogram(const std::string& key, SimTime t,
+                        const std::vector<double>& bounds,
+                        std::vector<double> cumulative_counts);
+
+  /// Per-second rate of increase of a counter over [now − window, now].
+  /// Needs at least two samples in the window (the paper's reason for the
+  /// 10 s window at a 5 s scrape interval); std::nullopt otherwise.
+  std::optional<double> rate(const std::string& key, SimDuration window,
+                             SimTime now) const;
+
+  /// Absolute increase of a counter over the window (rate × elapsed).
+  std::optional<double> increase(const std::string& key, SimDuration window,
+                                 SimTime now) const;
+
+  /// Mean of gauge samples in the window; std::nullopt if none.
+  std::optional<double> avg(const std::string& key, SimDuration window,
+                            SimTime now) const;
+
+  /// Most recent sample value within the window; std::nullopt if none.
+  std::optional<double> last(const std::string& key, SimDuration window,
+                             SimTime now) const;
+
+  /// Prometheus-style `histogram_quantile(q, rate(buckets[window]))`.
+  /// std::nullopt when fewer than two samples exist or no requests were
+  /// observed in the window.
+  std::optional<double> quantile(const std::string& key, double q,
+                                 SimDuration window, SimTime now) const;
+
+  /// Number of scalar series stored.
+  std::size_t series_count() const { return scalars_.size(); }
+
+ private:
+  struct ScalarSample {
+    SimTime t;
+    double v;
+  };
+  struct HistoSample {
+    SimTime t;
+    std::vector<double> cumulative;
+  };
+  struct HistoSeries {
+    std::vector<double> bounds;
+    std::deque<HistoSample> samples;
+  };
+
+  std::map<std::string, std::deque<ScalarSample>> scalars_;
+  std::map<std::string, HistoSeries> histograms_;
+  SimDuration retention_;
+};
+
+}  // namespace l3::metrics

@@ -1,0 +1,110 @@
+// Discrete-event simulation core. This substrate replaces the paper's EC2 /
+// Kubernetes testbed: every other subsystem (mesh, metrics scraping, the L3
+// control loops, workload generators) is driven by events scheduled here.
+//
+// The simulator is deliberately single-threaded and deterministic: events at
+// equal timestamps fire in scheduling order, so a given (topology, scenario,
+// seed) triple always reproduces the identical request trace.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace l3::sim {
+
+/// Cancellation handle for a periodic task. Destroying the handle does NOT
+/// cancel the task (handles are observers); call `cancel()` explicitly.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  /// Stops future firings. Safe to call repeatedly or on a default handle.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  bool active() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Simulator;
+  explicit PeriodicHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event loop: a virtual clock plus a time-ordered queue of callbacks.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` (>= 0) seconds.
+  void schedule_after(SimDuration delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` every `interval` seconds, first firing at
+  /// `now + initial_delay`. Returns a handle to cancel the task.
+  PeriodicHandle schedule_every(SimDuration interval, EventFn fn,
+                                SimDuration initial_delay = 0.0);
+
+  /// Runs events until the queue is empty or the clock would pass `end`.
+  /// The clock is left at `end` (or at the last event if the queue drained).
+  /// Returns the number of events processed.
+  std::size_t run_until(SimTime end);
+
+  /// Convenience: run_until(now() + duration).
+  std::size_t run_for(SimDuration duration) { return run_until(now_ + duration); }
+
+  /// Processes a single event, if any; returns whether one was processed.
+  bool step();
+
+  /// Requests the current run_until call to return after the in-flight
+  /// event finishes.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO for equal timestamps
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_periodic(SimDuration interval, EventFn fn,
+                         std::shared_ptr<bool> cancelled, SimTime first);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace l3::sim

@@ -1,0 +1,66 @@
+// Scenario traces: the per-second description of a workload's behaviour the
+// way the paper's TIER Mobility captures describe theirs — for each cluster
+// a latency distribution (median + P99 of service-execution time, network
+// spans excluded per §5.1) and a success rate, plus a global request volume
+// (RPS). Traces drive both the API workloads (artificial response delays,
+// the RabbitMQ-coordinated role) and the load generator (request volume).
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace l3::workload {
+
+/// One second of one cluster's behaviour.
+struct TracePoint {
+  double median = 0.050;      ///< median service-execution latency (s)
+  double p99 = 0.200;         ///< 99th-percentile latency (s), > median
+  double success_rate = 1.0;  ///< fraction of requests that succeed
+};
+
+/// A complete multi-cluster scenario over a fixed duration.
+class ScenarioTrace {
+ public:
+  /// @param dt  time step of the series (1 s, the granularity the paper's
+  ///            coordinator retrieves metrics at).
+  ScenarioTrace(std::string name, std::size_t clusters, SimDuration duration,
+                SimDuration dt = 1.0);
+
+  const std::string& name() const { return name_; }
+  std::size_t cluster_count() const { return clusters_; }
+  SimDuration duration() const { return duration_; }
+  SimDuration dt() const { return dt_; }
+  std::size_t steps() const { return steps_; }
+
+  /// Mutable access for generators.
+  TracePoint& at(std::size_t cluster, std::size_t step);
+  const TracePoint& at(std::size_t cluster, std::size_t step) const;
+
+  /// The trace point governing cluster behaviour at scenario time t
+  /// (clamped to [0, duration)).
+  const TracePoint& point(std::size_t cluster, SimTime t) const;
+
+  /// Global request volume series.
+  void set_rps(std::size_t step, double rps);
+  double rps_at(SimTime t) const;
+
+  /// Mean RPS over the whole trace.
+  double mean_rps() const;
+
+ private:
+  std::size_t index(SimTime t) const;
+
+  std::string name_;
+  std::size_t clusters_;
+  SimDuration duration_;
+  SimDuration dt_;
+  std::size_t steps_;
+  std::vector<std::vector<TracePoint>> points_;  // [cluster][step]
+  std::vector<double> rps_;                      // [step]
+};
+
+}  // namespace l3::workload

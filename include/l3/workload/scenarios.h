@@ -1,0 +1,105 @@
+// The scenario library: synthetic reconstructions of the paper's seven
+// evaluation workloads. The TIER Mobility production traces are proprietary,
+// so each scenario is generated from the quantitative features the paper
+// publishes (Figures 1, 2, 6, 7a and the §2/§5 prose):
+//
+//   scenario-1  median 50–100 ms with spikes to ~350 ms on cluster-2;
+//               P99 fluctuating 100–950 ms; stable ~300 RPS.
+//   scenario-2  median 3–9 ms; P99 10–100 ms with intermittent spikes to
+//               ~2400 ms; RPS fluctuating 45–200.
+//   scenario-3  stable median, irregular P99 peaks up to ~2000 ms.
+//   scenario-4  stable median, the highest P99 fluctuation (peaks ~5000 ms).
+//   scenario-5  very stable median (σ ≈ 6.3 ms), P99 ~100–300 ms.
+//   failure-1   scenario-1 latencies + injected failures: average success
+//               rate 91.4 %, intermittent per-cluster drops to ~30 %.
+//   failure-2   scenario-2 latencies + injected failures: average success
+//               rate 98.5 %, mostly ~99 % with short ≤5 % drops; the best
+//               backend averages ~99.8 % (the §5.2.1 ceiling).
+//
+// All scenarios are deterministic functions of (shape, seed).
+#pragma once
+
+#include "l3/common/rng.h"
+#include "l3/workload/scenario.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace l3::workload {
+
+/// Parameter set of the generic scenario generator. All latencies are in
+/// seconds, probabilities are per second per cluster.
+struct ScenarioShape {
+  std::string name = "scenario";
+  SimDuration duration = 600.0;  ///< 10-minute captures, like the paper's
+  std::size_t clusters = 3;
+
+  // Request volume: bounded random walk.
+  double rps_base = 100.0;
+  double rps_lo = 50.0;
+  double rps_hi = 200.0;
+  double rps_sigma = 0.0;  ///< walk step stddev per second (0 = constant)
+
+  // Median service latency: bounded random walk per cluster.
+  double med_lo = 0.040;
+  double med_hi = 0.110;
+  double med_sigma = 0.003;
+
+  // Tail ratio (P99 / median): bounded random walk per cluster.
+  double ratio_lo = 2.0;
+  double ratio_hi = 8.0;
+  double ratio_sigma = 0.3;
+
+  // Transient P99 spikes (multiplier on the tail ratio, linear decay).
+  double spike_prob = 0.0;
+  double spike_mult_lo = 2.0;
+  double spike_mult_hi = 4.0;
+  SimDuration spike_duration = 8.0;
+
+  // Rotating slow windows: every `slow_period` seconds the next cluster in
+  // turn runs degraded for `slow_duration` seconds — the exploitable
+  // heterogeneity ("the closest replica may often not be the best", §1).
+  SimDuration slow_period = 0.0;  ///< 0 disables
+  SimDuration slow_duration = 30.0;
+  double slow_med_mult = 1.5;
+  double slow_ratio_mult = 2.5;
+
+  // Success rate: bounded random walk plus transient drops.
+  double succ_lo = 1.0;
+  double succ_hi = 1.0;
+  double succ_sigma = 0.0;
+  double drop_prob = 0.0;  ///< per second per cluster
+  double drop_lo = 0.3;    ///< success rate during a drop (lower bound)
+  double drop_hi = 0.7;
+  SimDuration drop_dur_lo = 10.0;
+  SimDuration drop_dur_hi = 30.0;
+
+  /// Hard cap on any cluster's instantaneous P99 (seconds) — overlapping
+  /// slow windows and spikes multiply, and real systems saturate; the cap
+  /// anchors each scenario's published peak (e.g. ~2.4 s for scenario-2,
+  /// ~5 s for scenario-4).
+  double max_p99 = 1e9;
+
+  // Static per-cluster multipliers/offsets (size == clusters or empty).
+  std::vector<double> cluster_med_mult;    ///< default: all 1.0
+  std::vector<double> cluster_succ_bonus;  ///< additive on success rate
+};
+
+/// Runs the generator; deterministic in (shape, seed).
+ScenarioTrace generate_scenario(const ScenarioShape& shape,
+                                std::uint64_t seed);
+
+// --- the paper's seven scenarios -----------------------------------------
+
+ScenarioTrace make_scenario1(std::uint64_t seed = 1);
+ScenarioTrace make_scenario2(std::uint64_t seed = 2);
+ScenarioTrace make_scenario3(std::uint64_t seed = 3);
+ScenarioTrace make_scenario4(std::uint64_t seed = 4);
+ScenarioTrace make_scenario5(std::uint64_t seed = 5);
+ScenarioTrace make_failure1(std::uint64_t seed = 6);
+ScenarioTrace make_failure2(std::uint64_t seed = 7);
+
+/// All five latency scenarios in paper order (for Fig. 10 sweeps).
+std::vector<ScenarioTrace> all_latency_scenarios(std::uint64_t seed_base = 1);
+
+}  // namespace l3::workload

@@ -1,0 +1,55 @@
+// The trace-replay API workload: a ServiceBehavior that delays each response
+// by a latency drawn from the scenario's per-cluster log-normal distribution
+// at the current scenario time and fails requests per the scenario's success
+// rate — the role the RabbitMQ-instructed HTTP/2 REST API workloads play in
+// the paper's benchmark setup (§5.1).
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/mesh/deployment.h"
+#include "l3/workload/scenario.h"
+
+#include <memory>
+
+namespace l3::workload {
+
+/// Replays one cluster's column of a scenario trace.
+class TraceReplayBehavior final : public mesh::ServiceBehavior {
+ public:
+  /// @param trace         shared scenario (outlives via shared_ptr)
+  /// @param trace_cluster which cluster's series to replay
+  /// @param start_offset  sim time at which scenario time 0 begins (time
+  ///                      before that — the warm-up — replays step 0)
+  /// @param failure_latency_factor  failed responses return after
+  ///                      factor × the sampled execution time (failures are
+  ///                      typically faster than successes)
+  TraceReplayBehavior(std::shared_ptr<const ScenarioTrace> trace,
+                      std::size_t trace_cluster, SimTime start_offset = 0.0,
+                      double failure_latency_factor = 0.5);
+
+  void invoke(const mesh::BehaviorContext& ctx, mesh::OutcomeFn done) override;
+
+  /// Samples one execution latency for the given trace point — a
+  /// two-component mixture matching real microservice latency: with
+  /// probability (1 − kTailWeight) a fast path around the median, with
+  /// probability kTailWeight a slow path around the P99 (GC pauses, cache
+  /// misses, slow database queries). The mixture realises the trace's
+  /// median and P99 while keeping the MEAN nearly insensitive to tail
+  /// movement — the property that separates tail-aware L3 from mean-based
+  /// rankers.
+  static SimDuration sample_latency(const TracePoint& point, SplitRng& rng);
+
+  /// Fraction of requests taking the slow path. 2 % puts the 99th
+  /// percentile in the middle of the slow component.
+  static constexpr double kTailWeight = 0.02;
+  /// Log-sigma of each mixture component (≈ ×2 spread at 99 %).
+  static constexpr double kComponentSigma = 0.30;
+
+ private:
+  std::shared_ptr<const ScenarioTrace> trace_;
+  std::size_t trace_cluster_;
+  SimTime start_offset_;
+  double failure_latency_factor_;
+};
+
+}  // namespace l3::workload

@@ -1,0 +1,20 @@
+#include "l3/common/logging.h"
+
+#include <iostream>
+
+namespace l3 {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << component
+            << ": " << msg << '\n';
+}
+
+}  // namespace l3

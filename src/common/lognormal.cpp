@@ -1,0 +1,55 @@
+#include "l3/common/lognormal.h"
+
+#include <cmath>
+
+namespace l3 {
+
+double normal_quantile(double q) {
+  L3_EXPECTS(q > 0.0 && q < 1.0);
+  // Peter Acklam's inverse normal CDF approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (q < p_low) {
+    const double r = std::sqrt(-2.0 * std::log(q));
+    return (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+            c[5]) /
+           ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+  }
+  if (q <= p_high) {
+    const double r = q - 0.5;
+    const double s = r * r;
+    return (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s +
+            a[5]) *
+           r /
+           (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s + 1.0);
+  }
+  const double r = std::sqrt(-2.0 * std::log(1.0 - q));
+  return -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+           c[5]) /
+         ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+}
+
+LogNormalParams fit_lognormal(double median, double value_at_q, double q) {
+  L3_EXPECTS(median > 0.0);
+  L3_EXPECTS(value_at_q > median);
+  L3_EXPECTS(q > 0.5 && q < 1.0);
+  LogNormalParams p;
+  p.mu = std::log(median);
+  p.sigma = (std::log(value_at_q) - p.mu) / normal_quantile(q);
+  L3_ENSURES(p.sigma > 0.0);
+  return p;
+}
+
+}  // namespace l3

@@ -1,0 +1,269 @@
+#include "l3/core/controller.h"
+
+#include "l3/common/assert.h"
+#include "l3/mesh/metric_names.h"
+
+#include <utility>
+
+namespace l3::core {
+
+namespace mn = mesh::metric_names;
+
+/// Per-backend filter bank (one row of Table 1's EWMAs).
+struct L3Controller::BackendFilters {
+  BackendFilters(const ControllerConfig& cfg, SimTime t)
+      : latency(cfg.latency_filter, cfg.default_latency, cfg.latency_half_life,
+                t),
+        success(cfg.default_success_rate, cfg.success_half_life, t),
+        rps(cfg.default_rps, cfg.rps_half_life, t),
+        inflight(cfg.default_inflight, cfg.inflight_half_life, t),
+        mean_latency(cfg.default_latency, cfg.latency_half_life, t),
+        failure_latency(cfg.default_latency, cfg.penalty_half_life, t) {}
+
+  metrics::LatencyFilter latency;
+  metrics::Ewma success;
+  metrics::Ewma rps;
+  metrics::Ewma inflight;
+  /// Filtered MEAN success latency (C3's R̄ signal).
+  metrics::Ewma mean_latency;
+  /// Filtered latency of FAILED requests — input to dynamic penalty (§7).
+  metrics::Ewma failure_latency;
+  SimTime last_data = 0.0;
+};
+
+struct L3Controller::ManagedSplit {
+  mesh::TrafficSplit* split = nullptr;
+  std::vector<BackendFilters> filters;
+  /// Series keys per backend, precomputed: [backend][metric].
+  struct Keys {
+    std::string requests;
+    std::string success;
+    std::string failure;
+    std::string latency_success;
+    std::string latency_failure;
+    std::string latency_success_sum;
+    std::string inflight;
+  };
+  std::vector<Keys> keys;
+  metrics::Ewma total_rps{0.0, 10.0};  // re-initialised in manage()
+  double last_rps_sample = 0.0;
+  std::vector<std::uint64_t> last_weights;
+};
+
+L3Controller::L3Controller(mesh::Mesh& mesh, metrics::TimeSeriesDb& tsdb,
+                           mesh::ClusterId source,
+                           std::unique_ptr<lb::LoadBalancingPolicy> policy,
+                           ControllerConfig config)
+    : mesh_(mesh),
+      tsdb_(tsdb),
+      source_(source),
+      policy_(std::move(policy)),
+      config_(config) {
+  L3_EXPECTS(policy_ != nullptr);
+  L3_EXPECTS(config.control_interval > 0.0);
+  L3_EXPECTS(config.query_window > 0.0);
+  L3_EXPECTS(config.quantile > 0.0 && config.quantile < 1.0);
+  L3_EXPECTS(source < mesh.clusters().size());
+}
+
+L3Controller::~L3Controller() { stop(); }
+
+void L3Controller::manage(mesh::TrafficSplit& split) {
+  L3_EXPECTS(split.source() == source_);
+  const SimTime now = mesh_.simulator().now();
+  auto managed = std::make_unique<ManagedSplit>();
+  managed->split = &split;
+  managed->total_rps = metrics::Ewma(config_.default_rps,
+                                     config_.rps_half_life, now);
+  const std::string& src_name = mesh_.cluster_names()[source_];
+  for (const auto& backend : split.backends()) {
+    managed->filters.emplace_back(config_, now);
+    const std::string& dst_name = mesh_.cluster_names()[backend.ref.cluster];
+    ManagedSplit::Keys keys;
+    keys.requests =
+        mn::backend_series(mn::kRequestTotal, split.service(), src_name,
+                           dst_name);
+    keys.success = mn::backend_series(mn::kSuccessTotal, split.service(),
+                                      src_name, dst_name);
+    keys.failure = mn::backend_series(mn::kFailureTotal, split.service(),
+                                      src_name, dst_name);
+    keys.latency_success = mn::backend_series(
+        mn::kLatencySuccess, split.service(), src_name, dst_name);
+    keys.latency_failure = mn::backend_series(
+        mn::kLatencyFailure, split.service(), src_name, dst_name);
+    keys.latency_success_sum = mn::backend_series(
+        mn::kLatencySuccessSum, split.service(), src_name, dst_name);
+    keys.inflight = mn::backend_series(mn::kInflight, split.service(),
+                                       src_name, dst_name);
+    managed->keys.push_back(std::move(keys));
+  }
+  managed->last_weights = split.weights();
+  managed_.push_back(std::move(managed));
+}
+
+void L3Controller::manage_all() {
+  for (mesh::TrafficSplit* split : mesh_.splits_of_source(source_)) {
+    bool already = false;
+    for (const auto& m : managed_) {
+      if (m->split == split) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) manage(*split);
+  }
+}
+
+void L3Controller::start() {
+  stop();
+  task_ = mesh_.simulator().schedule_every(
+      config_.control_interval, [this] { tick(); }, config_.control_interval);
+}
+
+void L3Controller::stop() { task_.cancel(); }
+
+void L3Controller::tick() {
+  ++ticks_;
+  for (auto& managed : managed_) {
+    tick_split(*managed);
+  }
+}
+
+void L3Controller::tick_split(ManagedSplit& managed) {
+  const SimTime now = mesh_.simulator().now();
+  const SimDuration window = config_.query_window;
+
+  std::vector<lb::BackendSignals> signals(managed.filters.size());
+  double total_rps_sample = 0.0;
+  bool any_rps = false;
+  double failure_latency_acc = 0.0;
+  int failure_latency_n = 0;
+
+  for (std::size_t i = 0; i < managed.filters.size(); ++i) {
+    BackendFilters& f = managed.filters[i];
+    const auto& keys = managed.keys[i];
+
+    const auto rps = tsdb_.rate(keys.requests, window, now);
+    const auto succ_rate = tsdb_.rate(keys.success, window, now);
+    const auto fail_rate = tsdb_.rate(keys.failure, window, now);
+    const auto p99 =
+        tsdb_.quantile(keys.latency_success, config_.quantile, window, now);
+    const auto inflight = tsdb_.avg(keys.inflight, window, now);
+    const auto latency_sum_rate = tsdb_.rate(keys.latency_success_sum, window, now);
+    const auto fail_p50 =
+        tsdb_.quantile(keys.latency_failure, 0.50, window, now);
+
+    const bool have_data = rps.has_value() && *rps > 0.0;
+    if (have_data) {
+      f.last_data = now;
+      f.rps.observe(*rps, now);
+      total_rps_sample += *rps;
+      any_rps = true;
+      if (succ_rate && fail_rate) {
+        const double total = *succ_rate + *fail_rate;
+        if (total > 0.0) f.success.observe(*succ_rate / total, now);
+      } else if (succ_rate) {
+        f.success.observe(1.0, now);
+      }
+      if (p99) f.latency.observe(*p99, now);
+      if (succ_rate && latency_sum_rate && *succ_rate > 0.0) {
+        // mean = rate(latency_sum) / rate(success), Prometheus-style.
+        f.mean_latency.observe(*latency_sum_rate / *succ_rate, now);
+      }
+      if (inflight) f.inflight.observe(std::max(0.0, *inflight), now);
+      if (fail_p50) {
+        f.failure_latency.observe(*fail_p50, now);
+        failure_latency_acc += f.failure_latency.value();
+        ++failure_latency_n;
+      }
+    } else if (now - f.last_data > config_.staleness) {
+      // §4: no metrics for >10 s → converge toward the defaults in small
+      // increments until samples return or the initial state is reached.
+      f.latency.converge_to_default(now);
+      f.mean_latency.converge_to_default(now);
+      f.success.converge_to_default(now);
+      f.rps.converge_to_default(now);
+      f.inflight.converge_to_default(now);
+    }
+
+    signals[i].latency_p99 = f.latency.value();
+    signals[i].latency_mean = f.mean_latency.value();
+    signals[i].success_rate = f.success.value();
+    signals[i].rps = f.rps.value();
+    signals[i].inflight = f.inflight.value();
+  }
+
+  if (any_rps) {
+    managed.total_rps.observe(total_rps_sample, now);
+    managed.last_rps_sample = total_rps_sample;
+  }
+
+  if (config_.dynamic_penalty && penalty_hook_ && failure_latency_n > 0) {
+    penalty_hook_(failure_latency_acc / failure_latency_n);
+  }
+
+  lb::PolicyInput input;
+  input.source = source_;
+  std::vector<mesh::BackendRef> refs;
+  refs.reserve(managed.split->backend_count());
+  for (const auto& b : managed.split->backends()) refs.push_back(b.ref);
+  input.backends = refs;
+  input.signals = signals;
+  input.total_rps_ewma = managed.total_rps.value();
+  input.total_rps_last = managed.last_rps_sample;
+
+  std::vector<std::uint64_t> weights = policy_->compute(input);
+  L3_ASSERT(weights.size() == managed.split->backend_count());
+  managed.last_weights = weights;
+
+  if (active_) {
+    mesh_.control_plane().apply(*managed.split, weights);
+  }
+
+  if (config_.export_introspection) {
+    auto& registry = mesh_.registry(source_);
+    const std::string& src_name = mesh_.cluster_names()[source_];
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const std::string& dst_name = mesh_.cluster_names()[refs[i].cluster];
+      auto labels = mn::backend_labels(managed.split->service(), src_name,
+                                       dst_name);
+      registry.gauge("l3_backend_weight", labels)
+          .set(static_cast<double>(weights[i]));
+      registry.gauge("l3_backend_latency_p99_ewma", labels)
+          .set(signals[i].latency_p99);
+      registry.gauge("l3_backend_success_rate_ewma", labels)
+          .set(signals[i].success_rate);
+      registry.gauge("l3_backend_rps_ewma", labels).set(signals[i].rps);
+      registry.gauge("l3_backend_inflight_ewma", labels)
+          .set(signals[i].inflight);
+    }
+  }
+}
+
+std::vector<SplitStateView> L3Controller::snapshot() const {
+  std::vector<SplitStateView> out;
+  out.reserve(managed_.size());
+  for (const auto& managed : managed_) {
+    SplitStateView view;
+    view.service = managed->split->service();
+    view.total_rps_ewma = managed->total_rps.value();
+    view.total_rps_last = managed->last_rps_sample;
+    const auto backends = managed->split->backends();
+    for (std::size_t i = 0; i < managed->filters.size(); ++i) {
+      const BackendFilters& f = managed->filters[i];
+      BackendStateView b;
+      b.dst_cluster = mesh_.cluster_names()[backends[i].ref.cluster];
+      b.latency_p99 = f.latency.value();
+      b.success_rate = f.success.value();
+      b.rps = f.rps.value();
+      b.inflight = f.inflight.value();
+      b.weight = i < managed->last_weights.size() ? managed->last_weights[i]
+                                                  : backends[i].weight;
+      view.backends.push_back(std::move(b));
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+}  // namespace l3::core

@@ -1,0 +1,67 @@
+#include "l3/core/leader_election.h"
+
+namespace l3::core {
+
+LeaderElection::LeaderElection(sim::Simulator& sim, SimDuration lease_duration,
+                               SimDuration renew_interval)
+    : sim_(sim),
+      lease_duration_(lease_duration),
+      renew_interval_(renew_interval) {
+  L3_EXPECTS(lease_duration > 0.0);
+  L3_EXPECTS(renew_interval > 0.0);
+  L3_EXPECTS(renew_interval <= lease_duration);
+}
+
+std::size_t LeaderElection::add_candidate(std::string name,
+                                          Callbacks callbacks) {
+  candidates_.push_back(Candidate{std::move(name), std::move(callbacks), true});
+  return candidates_.size() - 1;
+}
+
+void LeaderElection::start() {
+  stop();
+  task_ = sim_.schedule_every(renew_interval_, [this] { election_round(); });
+}
+
+void LeaderElection::set_alive(std::size_t candidate, bool alive) {
+  L3_EXPECTS(candidate < candidates_.size());
+  candidates_[candidate].alive = alive;
+}
+
+void LeaderElection::depose_current() {
+  if (leader_ == npos) return;
+  const std::size_t old = leader_;
+  leader_ = npos;
+  if (candidates_[old].callbacks.on_deposed) {
+    candidates_[old].callbacks.on_deposed();
+  }
+}
+
+void LeaderElection::election_round() {
+  const SimTime now = sim_.now();
+
+  // Current leader renews its lease if still alive.
+  if (leader_ != npos) {
+    if (candidates_[leader_].alive) {
+      lease_expiry_ = now + lease_duration_;
+      return;
+    }
+    // Dead leader: the lease must expire before anyone else may acquire.
+    if (now < lease_expiry_) return;
+    depose_current();
+  }
+
+  // Vacant (or just expired) lease: first alive candidate acquires it.
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (!candidates_[i].alive) continue;
+    leader_ = i;
+    lease_expiry_ = now + lease_duration_;
+    ++transitions_;
+    if (candidates_[i].callbacks.on_elected) {
+      candidates_[i].callbacks.on_elected();
+    }
+    return;
+  }
+}
+
+}  // namespace l3::core

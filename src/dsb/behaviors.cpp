@@ -1,0 +1,160 @@
+#include "l3/dsb/behaviors.h"
+
+#include "l3/common/assert.h"
+#include "l3/mesh/mesh.h"
+
+#include <cmath>
+#include <utility>
+
+namespace l3::dsb {
+namespace {
+
+/// Issues one call (mesh or local); `cb(ok)` fires exactly once.
+void issue_call(const mesh::BehaviorContext& ctx, const Call& call,
+                std::function<void(bool)> cb) {
+  if (call.probability < 1.0 && !ctx.rng.bernoulli(call.probability)) {
+    cb(true);  // gated off: counts as trivially successful
+    return;
+  }
+  if (!call.local) {
+    ctx.mesh.call(ctx.cluster, call.service, ctx.depth,
+                  [cb = std::move(cb)](const mesh::Response& response) {
+                    cb(response.success);
+                  });
+    return;
+  }
+  // Cluster-local dependency: a local network hop to the co-located
+  // deployment, no TrafficSplit involved.
+  mesh::ServiceDeployment* deployment =
+      ctx.mesh.find_deployment(call.service, ctx.cluster);
+  L3_ASSERT(deployment != nullptr);
+  const SimDuration out =
+      ctx.mesh.wan().sample(ctx.cluster, ctx.cluster, ctx.sim.now(), ctx.rng);
+  ctx.sim.schedule_after(out, [ctx, deployment, cb = std::move(cb)] {
+    deployment->handle(ctx.depth + 1, [ctx, cb](const mesh::Outcome& outcome) {
+      const SimDuration back = ctx.mesh.wan().sample(ctx.cluster, ctx.cluster,
+                                                     ctx.sim.now(), ctx.rng);
+      ctx.sim.schedule_after(back, [cb, ok = outcome.success] { cb(ok); });
+    });
+  });
+}
+
+}  // namespace
+
+DsbBehavior::DsbBehavior(const ServiceProfile& profile,
+                         const ClusterLoadModel& load, double success_rate)
+    : load_(load),
+      median_(profile.median),
+      tail_level_(std::max(profile.p99, profile.median)),
+      sensitivity_(profile.load_sensitivity),
+      success_rate_(success_rate) {
+  L3_EXPECTS(profile.median > 0.0);
+  L3_EXPECTS(success_rate >= 0.0 && success_rate <= 1.0);
+}
+
+SimDuration DsbBehavior::sample_exec(const mesh::BehaviorContext& ctx) const {
+  const auto& factors = load_.factors(ctx.cluster);
+  if (ctx.rng.bernoulli(kTailWeight)) {
+    return tail_level_ * std::pow(factors.tail, sensitivity_) *
+           ctx.rng.lognormal(0.0, kComponentSigma);
+  }
+  return median_ * std::pow(factors.median, sensitivity_) *
+         ctx.rng.lognormal(0.0, kComponentSigma);
+}
+
+bool DsbBehavior::sample_success(const mesh::BehaviorContext& ctx) const {
+  return ctx.rng.bernoulli(success_rate_);
+}
+
+void DsbBehavior::run_stages(const mesh::BehaviorContext& ctx,
+                             std::shared_ptr<const std::vector<Stage>> stages,
+                             std::size_t index, bool ok_so_far,
+                             std::function<void(bool)> done) {
+  if (index >= stages->size()) {
+    done(ok_so_far);
+    return;
+  }
+  const Stage& stage = (*stages)[index];
+  if (stage.empty()) {
+    run_stages(ctx, std::move(stages), index + 1, ok_so_far, std::move(done));
+    return;
+  }
+  struct Join {
+    std::size_t remaining;
+    bool ok;
+    mesh::BehaviorContext ctx;
+    std::shared_ptr<const std::vector<Stage>> stages;
+    std::size_t index;
+    std::function<void(bool)> done;
+  };
+  auto join = std::make_shared<Join>(Join{stage.size(), ok_so_far, ctx,
+                                          std::move(stages), index,
+                                          std::move(done)});
+  for (const Call& call : stage) {
+    issue_call(ctx, call, [join](bool ok) {
+      if (!ok) join->ok = false;
+      if (--join->remaining == 0) {
+        run_stages(join->ctx, std::move(join->stages), join->index + 1,
+                   join->ok, std::move(join->done));
+      }
+    });
+  }
+}
+
+StagedBehavior::StagedBehavior(const ServiceProfile& profile,
+                               const ClusterLoadModel& load,
+                               double success_rate, std::vector<Stage> stages)
+    : DsbBehavior(profile, load, success_rate),
+      stages_(std::make_shared<const std::vector<Stage>>(std::move(stages))) {}
+
+void StagedBehavior::invoke(const mesh::BehaviorContext& ctx,
+                            mesh::OutcomeFn done) {
+  const bool ok = sample_success(ctx);
+  ctx.sim.schedule_after(
+      sample_exec(ctx), [ctx, ok, stages = stages_, done = std::move(done)] {
+        run_stages(ctx, stages, 0, ok, [done](bool all_ok) {
+          done(mesh::Outcome{all_ok});
+        });
+      });
+}
+
+MixBehavior::MixBehavior(const ServiceProfile& profile,
+                         const ClusterLoadModel& load, double success_rate,
+                         std::vector<Operation> operations)
+    : DsbBehavior(profile, load, success_rate) {
+  L3_EXPECTS(!operations.empty());
+  double total = 0.0;
+  for (const auto& op : operations) {
+    L3_EXPECTS(op.weight > 0.0);
+    total += op.weight;
+  }
+  double running = 0.0;
+  for (auto& op : operations) {
+    running += op.weight / total;
+    cumulative_.push_back(running);
+    stages_.push_back(
+        std::make_shared<const std::vector<Stage>>(std::move(op.stages)));
+  }
+}
+
+void MixBehavior::invoke(const mesh::BehaviorContext& ctx,
+                         mesh::OutcomeFn done) {
+  const double draw = ctx.rng.uniform();
+  std::size_t op = stages_.size() - 1;
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (draw < cumulative_[i]) {
+      op = i;
+      break;
+    }
+  }
+  const bool ok = sample_success(ctx);
+  ctx.sim.schedule_after(
+      sample_exec(ctx),
+      [ctx, ok, stages = stages_[op], done = std::move(done)] {
+        run_stages(ctx, stages, 0, ok, [done](bool all_ok) {
+          done(mesh::Outcome{all_ok});
+        });
+      });
+}
+
+}  // namespace l3::dsb

@@ -1,0 +1,36 @@
+#include "l3/dsb/disturbance.h"
+
+namespace l3::dsb {
+
+PerformanceDisturber::PerformanceDisturber(sim::Simulator& sim,
+                                           ClusterLoadModel& model,
+                                           Config config, SplitRng rng)
+    : sim_(sim), model_(model), config_(config), rng_(rng) {
+  L3_EXPECTS(config.period > 0.0);
+  L3_EXPECTS(config.duration > 0.0 && config.duration <= config.period);
+  L3_EXPECTS(config.med_mult_hi >= config.med_mult_lo);
+  L3_EXPECTS(config.med_mult_lo >= 1.0);
+  L3_EXPECTS(config.tail_mult_hi >= config.tail_mult_lo);
+  L3_EXPECTS(config.tail_mult_lo >= 1.0);
+}
+
+void PerformanceDisturber::start() {
+  stop();
+  task_ = sim_.schedule_every(config_.period, [this] { window(); });
+}
+
+void PerformanceDisturber::window() {
+  const std::size_t cluster = next_cluster_;
+  next_cluster_ = (next_cluster_ + 1) % model_.cluster_count();
+  if (rng_.bernoulli(config_.skip_prob)) return;
+  ClusterLoadModel::Factors f;
+  f.median = rng_.uniform(config_.med_mult_lo, config_.med_mult_hi);
+  f.tail = rng_.uniform(config_.tail_mult_lo, config_.tail_mult_hi);
+  model_.set_factors(static_cast<mesh::ClusterId>(cluster), f);
+  ++started_;
+  sim_.schedule_after(config_.duration, [this, cluster] {
+    model_.set_factors(static_cast<mesh::ClusterId>(cluster), {});
+  });
+}
+
+}  // namespace l3::dsb

@@ -1,0 +1,29 @@
+#include "l3/lb/c3_policy.h"
+
+#include "l3/common/assert.h"
+#include "l3/lb/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::lb {
+
+std::vector<std::uint64_t> C3Policy::compute(const PolicyInput& input) {
+  L3_EXPECTS(config_.queue_exponent >= 1.0);
+  std::vector<double> weights;
+  weights.reserve(input.signals.size());
+  for (const BackendSignals& s : input.signals) {
+    // C3 ranks on the EWMA of MEAN response time (its R̄); tail-percentile
+    // awareness is L3's contribution. Fall back to P99 while no mean
+    // samples exist.
+    const double latency = std::max(
+        s.latency_mean > 0.0 ? s.latency_mean : s.latency_p99,
+        config_.min_latency);
+    const double q_hat = 1.0 + std::max(0.0, s.inflight);
+    const double score = std::pow(q_hat, config_.queue_exponent) * latency;
+    weights.push_back(config_.scale / score);
+  }
+  return finalize_weights(weights, config_.min_share);
+}
+
+}  // namespace l3::lb

@@ -1,0 +1,44 @@
+#include "l3/lb/cost_aware.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::lb {
+
+void TransferCostMatrix::set(mesh::ClusterId from, mesh::ClusterId to,
+                             double cost) {
+  L3_EXPECTS(from < n_ && to < n_);
+  L3_EXPECTS(cost >= 0.0);
+  costs_[from * n_ + to] = cost;
+}
+
+double TransferCostMatrix::get(mesh::ClusterId from, mesh::ClusterId to) const {
+  L3_EXPECTS(from < n_ && to < n_);
+  return costs_[from * n_ + to];
+}
+
+CostAwareAdjuster::CostAwareAdjuster(
+    std::unique_ptr<LoadBalancingPolicy> inner, TransferCostMatrix costs,
+    CostAwareConfig config)
+    : inner_(std::move(inner)), costs_(std::move(costs)), config_(config) {
+  L3_EXPECTS(inner_ != nullptr);
+  L3_EXPECTS(config.lambda >= 0.0);
+}
+
+std::vector<std::uint64_t> CostAwareAdjuster::compute(
+    const PolicyInput& input) {
+  std::vector<std::uint64_t> weights = inner_->compute(input);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double cost =
+        costs_.get(input.source, input.backends[i].cluster);
+    const double adjusted = static_cast<double>(weights[i]) /
+                            (1.0 + config_.lambda * cost);
+    weights[i] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(adjusted)));
+  }
+  return weights;
+}
+
+}  // namespace l3::lb

@@ -1,0 +1,15 @@
+#include "l3/lb/l3_policy.h"
+
+#include "l3/lb/rate_control.h"
+
+namespace l3::lb {
+
+std::vector<std::uint64_t> L3Policy::compute(const PolicyInput& input) {
+  std::vector<double> weights = assign_weights(input.signals, config_.weighting);
+  if (config_.rate_control_enabled) {
+    weights = rate_control(weights, input.total_rps_ewma, input.total_rps_last);
+  }
+  return finalize_weights(weights, config_.min_share);
+}
+
+}  // namespace l3::lb

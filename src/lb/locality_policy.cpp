@@ -1,0 +1,40 @@
+#include "l3/lb/locality_policy.h"
+
+namespace l3::lb {
+
+std::vector<std::uint64_t> LocalityFailoverPolicy::compute(
+    const PolicyInput& input) {
+  std::vector<std::uint64_t> weights(input.backends.size(),
+                                     config_.standby_weight);
+  // Find the local backend and check its health.
+  std::size_t local = input.backends.size();
+  for (std::size_t i = 0; i < input.backends.size(); ++i) {
+    if (input.backends[i].cluster == input.source) {
+      local = i;
+      break;
+    }
+  }
+  const bool local_healthy =
+      local < input.backends.size() &&
+      input.signals[local].success_rate >= config_.failover_success_threshold;
+  if (local_healthy) {
+    weights[local] = config_.active_weight;
+    return weights;
+  }
+  // Failover: spread across the healthy remote backends (equal weights);
+  // if none is healthy, spread across everything.
+  bool any = false;
+  for (std::size_t i = 0; i < input.backends.size(); ++i) {
+    if (i == local) continue;
+    if (input.signals[i].success_rate >= config_.failover_success_threshold) {
+      weights[i] = config_.active_weight;
+      any = true;
+    }
+  }
+  if (!any) {
+    for (auto& w : weights) w = config_.active_weight;
+  }
+  return weights;
+}
+
+}  // namespace l3::lb

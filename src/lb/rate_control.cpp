@@ -1,0 +1,47 @@
+#include "l3/lb/rate_control.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::lb {
+
+double relative_change(double rps_ewma, double rps_last) {
+  if (rps_ewma <= 0.0) return 0.0;
+  return (rps_last - rps_ewma) / rps_ewma;
+}
+
+double rate_control_weight(double w_b, double w_mu, double c) {
+  L3_EXPECTS(std::isfinite(w_b) && std::isfinite(w_mu) && std::isfinite(c));
+  double w = w_b;
+  if (c > 0.0) {
+    // Eq. 5: converge toward w_µ as c grows.
+    const double damp = std::pow(1.0 + c * c, 1.5);
+    w = w_mu - w_mu / damp + w_b / damp;
+  } else if (c < 0.0) {
+    if (w_b <= w_mu) {
+      w = w_b / std::pow(1.0 + 2.0 * c * c, 1.5);
+    } else {
+      w = 2.0 * w_b - w_mu - (w_b - w_mu) / std::pow(1.0 + 3.0 * c * c, 1.5);
+    }
+  }
+  return std::max(w, 1.0);  // Algorithm 2 lines 13–15
+}
+
+std::vector<double> rate_control(std::span<const double> weights,
+                                 double rps_ewma, double rps_last) {
+  const double c = relative_change(rps_ewma, rps_last);
+  double w_mu = 0.0;
+  for (double w : weights) w_mu += w;
+  if (!weights.empty()) w_mu /= static_cast<double>(weights.size());
+
+  std::vector<double> out;
+  out.reserve(weights.size());
+  for (double w_b : weights) {
+    out.push_back(rate_control_weight(w_b, w_mu, c));
+  }
+  return out;
+}
+
+}  // namespace l3::lb

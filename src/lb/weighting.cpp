@@ -1,0 +1,67 @@
+#include "l3/lb/weighting.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::lb {
+
+double estimated_latency(double latency_success, double success_rate,
+                         double penalty) {
+  L3_EXPECTS(success_rate >= 0.0 && success_rate <= 1.0);
+  L3_EXPECTS(penalty >= 0.0);
+  if (success_rate == 0.0) {
+    // Algorithm 1 line 11: prevent division by zero; the backend is failing
+    // everything, so the success latency alone already makes it last choice
+    // (combined with the min-weight floor it still gets probe traffic).
+    return latency_success;
+  }
+  // Eq. 3: 1/R_s is the expected number of tries until a success
+  // (geometric distribution); each extra try costs the client P.
+  return latency_success + penalty * (1.0 / success_rate - 1.0);
+}
+
+std::vector<double> assign_weights(std::span<const BackendSignals> signals,
+                                   const WeightingConfig& config) {
+  L3_EXPECTS(config.penalty >= 0.0);
+  L3_EXPECTS(config.scale > 0.0);
+  L3_EXPECTS(config.min_weight >= 0.0);
+  L3_EXPECTS(config.min_latency > 0.0);
+  std::vector<double> weights;
+  weights.reserve(signals.size());
+  for (const BackendSignals& s : signals) {
+    // R_i — normalised in-flight requests (Algorithm 1 lines 6–9).
+    const double r_i = s.rps > 0.0 ? std::max(0.0, s.inflight) / s.rps : 0.0;
+    const double l_s = std::max(s.latency_p99, config.min_latency);
+    const double l_est =
+        std::max(estimated_latency(l_s, s.success_rate, config.penalty),
+                 config.min_latency);
+    // Eq. 4 with configurable exponent (paper: 2).
+    double w = config.scale /
+               (std::pow(r_i + 1.0, config.inflight_exponent) * l_est);
+    w = std::max(w, config.min_weight);  // Algorithm 1 lines 16–18
+    weights.push_back(w);
+  }
+  return weights;
+}
+
+std::vector<std::uint64_t> finalize_weights(std::span<const double> weights,
+                                            double min_share) {
+  L3_EXPECTS(min_share >= 0.0 && min_share < 1.0);
+  double total = 0.0;
+  for (double w : weights) {
+    L3_EXPECTS(std::isfinite(w) && w >= 0.0);
+    total += w;
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(weights.size());
+  const double floor_value = std::max(1.0, total * min_share);
+  for (double w : weights) {
+    out.push_back(static_cast<std::uint64_t>(
+        std::llround(std::max(w, floor_value))));
+  }
+  return out;
+}
+
+}  // namespace l3::lb

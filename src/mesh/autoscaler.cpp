@@ -1,0 +1,48 @@
+#include "l3/mesh/autoscaler.h"
+
+namespace l3::mesh {
+
+void Autoscaler::watch(ServiceDeployment& deployment) {
+  watched_.push_back(Watched{&deployment});
+}
+
+void Autoscaler::start() {
+  stop();
+  task_ = sim_.schedule_every(config_.interval, [this] { evaluate(); },
+                              config_.interval);
+}
+
+void Autoscaler::evaluate() {
+  const SimTime now = sim_.now();
+  for (auto& w : watched_) {
+    if (now - w.last_action < config_.cooldown) continue;
+    ServiceDeployment& d = *w.deployment;
+    const double capacity =
+        static_cast<double>(d.total_concurrency()) +
+        static_cast<double>(w.pending_up) *
+            static_cast<double>(d.total_concurrency()) /
+            static_cast<double>(d.replica_count());
+    if (capacity <= 0.0) continue;
+    const double utilisation = static_cast<double>(d.load()) / capacity;
+
+    if (utilisation > config_.scale_up_utilisation &&
+        d.replica_count() + w.pending_up < config_.max_replicas) {
+      w.last_action = now;
+      w.pending_up += 1;
+      ++scale_ups_;
+      sim_.schedule_after(config_.provisioning_delay, [this, &w] {
+        w.deployment->add_replica();
+        if (w.pending_up > 0) w.pending_up -= 1;
+      });
+    } else if (utilisation < config_.scale_down_utilisation &&
+               d.replica_count() > config_.min_replicas &&
+               w.pending_up == 0) {
+      if (d.remove_idle_replica()) {
+        w.last_action = now;
+        ++scale_downs_;
+      }
+    }
+  }
+}
+
+}  // namespace l3::mesh

@@ -1,0 +1,121 @@
+#include "l3/mesh/deployment.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/lognormal.h"
+
+#include <limits>
+#include <utility>
+
+namespace l3::mesh {
+
+FixedLatencyBehavior::FixedLatencyBehavior(SimDuration median, SimDuration p99,
+                                           double success)
+    : success_(success) {
+  L3_EXPECTS(median > 0.0 && p99 > median);
+  L3_EXPECTS(success >= 0.0 && success <= 1.0);
+  const LogNormalParams p = fit_lognormal(median, p99, 0.99);
+  mu_ = p.mu;
+  sigma_ = p.sigma;
+}
+
+void FixedLatencyBehavior::invoke(const BehaviorContext& ctx, OutcomeFn done) {
+  const SimDuration exec = ctx.rng.lognormal(mu_, sigma_);
+  const bool ok = ctx.rng.bernoulli(success_);
+  ctx.sim.schedule_after(exec,
+                         [done = std::move(done), ok] { done(Outcome{ok}); });
+}
+
+ServiceDeployment::ServiceDeployment(std::string service, ClusterId cluster,
+                                     DeploymentConfig config,
+                                     std::unique_ptr<ServiceBehavior> behavior,
+                                     sim::Simulator& sim, Mesh& mesh,
+                                     SplitRng rng)
+    : service_(std::move(service)),
+      cluster_(cluster),
+      config_(config),
+      behavior_(std::move(behavior)),
+      sim_(sim),
+      mesh_(mesh),
+      rng_(rng) {
+  L3_EXPECTS(config.replicas >= 1);
+  L3_EXPECTS(behavior_ != nullptr);
+  replicas_.reserve(config.replicas);
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    replicas_.push_back(
+        std::make_unique<Replica>(config.concurrency, config.queue_capacity));
+  }
+}
+
+void ServiceDeployment::handle(int depth, OutcomeFn done) {
+  L3_EXPECTS(done != nullptr);
+  if (down_) {
+    ++rejected_;
+    done(Outcome{.success = false, .rejected = true});
+    return;
+  }
+  // Least-loaded replica, rotating tie-break so equal replicas share evenly.
+  std::size_t best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const std::size_t idx = (rr_cursor_ + i) % replicas_.size();
+    const std::size_t load = replicas_[idx]->load();
+    if (load < best_load) {
+      best_load = load;
+      best = idx;
+    }
+  }
+  rr_cursor_ = (best + 1) % replicas_.size();
+
+  // `done` is captured by copy: if the replica rejects the job the original
+  // must still be callable on the rejection path below.
+  const bool accepted = replicas_[best]->submit(
+      [this, depth, done](std::function<void()> release) {
+        const BehaviorContext ctx{sim_, mesh_, cluster_, rng_, depth};
+        behavior_->invoke(ctx, [done, release = std::move(release)](
+                                   const Outcome& outcome) {
+          release();
+          done(outcome);
+        });
+      });
+  if (!accepted) {
+    ++rejected_;
+    done(Outcome{.success = false, .rejected = true});
+  }
+}
+
+void ServiceDeployment::add_replica() {
+  replicas_.push_back(
+      std::make_unique<Replica>(config_.concurrency, config_.queue_capacity));
+}
+
+bool ServiceDeployment::remove_idle_replica() {
+  if (replicas_.size() <= 1) return false;
+  for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    if ((*it)->load() == 0) {
+      replicas_.erase(it);
+      if (rr_cursor_ >= replicas_.size()) rr_cursor_ = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ServiceDeployment::total_concurrency() const {
+  std::size_t total = 0;
+  for (const auto& r : replicas_) total += r->concurrency();
+  return total;
+}
+
+std::size_t ServiceDeployment::load() const {
+  std::size_t total = 0;
+  for (const auto& r : replicas_) total += r->load();
+  return total;
+}
+
+std::uint64_t ServiceDeployment::completed() const {
+  std::uint64_t total = 0;
+  for (const auto& r : replicas_) total += r->completed();
+  return total;
+}
+
+}  // namespace l3::mesh

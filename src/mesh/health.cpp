@@ -1,0 +1,28 @@
+#include "l3/mesh/health.h"
+
+#include "l3/common/assert.h"
+
+namespace l3::mesh {
+
+void HealthChecker::watch(const ServiceDeployment& deployment) {
+  view_.emplace(&deployment, true);
+}
+
+void HealthChecker::start(SimDuration interval) {
+  L3_EXPECTS(interval > 0.0);
+  stop();
+  task_ = sim_.schedule_every(interval, [this] { probe_once(); }, interval);
+}
+
+void HealthChecker::probe_once() {
+  for (auto& [deployment, healthy] : view_) {
+    healthy = !deployment->is_down();
+  }
+}
+
+bool HealthChecker::is_available(const ServiceDeployment& deployment) const {
+  const auto it = view_.find(&deployment);
+  return it == view_.end() ? true : it->second;
+}
+
+}  // namespace l3::mesh

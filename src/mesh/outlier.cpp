@@ -1,0 +1,72 @@
+#include "l3/mesh/outlier.h"
+
+#include <cmath>
+
+namespace l3::mesh {
+
+OutlierDetector::OutlierDetector(std::size_t backend_count,
+                                 OutlierDetectionConfig config)
+    : config_(config), backends_(backend_count) {
+  L3_EXPECTS(backend_count >= 1);
+  L3_EXPECTS(config.failure_threshold > 0.0 && config.failure_threshold <= 1.0);
+  L3_EXPECTS(config.window > 0.0);
+  L3_EXPECTS(config.ejection_duration > 0.0);
+  L3_EXPECTS(config.max_ejected_fraction >= 0.0 &&
+             config.max_ejected_fraction < 1.0 + 1e-9);
+}
+
+void OutlierDetector::roll_window(BackendState& state, SimTime now) const {
+  if (now - state.window_start >= config_.window) {
+    state.window_start = now;
+    state.successes = 0;
+    state.failures = 0;
+  }
+}
+
+void OutlierDetector::record(std::size_t backend, bool success, SimTime now) {
+  L3_EXPECTS(backend < backends_.size());
+  if (!config_.enabled) return;
+  BackendState& state = backends_[backend];
+  roll_window(state, now);
+  if (success) {
+    state.successes += 1;
+  } else {
+    state.failures += 1;
+    maybe_eject(backend, now);
+  }
+}
+
+void OutlierDetector::maybe_eject(std::size_t backend, SimTime now) {
+  BackendState& state = backends_[backend];
+  if (state.ejected_until > now) return;  // already out
+  const std::uint32_t total = state.successes + state.failures;
+  if (total < config_.min_requests) return;
+  const double ratio =
+      static_cast<double>(state.failures) / static_cast<double>(total);
+  if (ratio < config_.failure_threshold) return;
+  // Respect the ejection budget: never isolate more than the configured
+  // fraction of the backend set.
+  const auto budget = static_cast<std::size_t>(std::floor(
+      config_.max_ejected_fraction * static_cast<double>(backends_.size())));
+  if (ejected_count(now) >= budget) return;
+  state.ejected_until = now + config_.ejection_duration;
+  state.window_start = now;
+  state.successes = 0;
+  state.failures = 0;
+  ++ejections_;
+}
+
+bool OutlierDetector::is_ejected(std::size_t backend, SimTime now) const {
+  L3_EXPECTS(backend < backends_.size());
+  return config_.enabled && backends_[backend].ejected_until > now;
+}
+
+std::size_t OutlierDetector::ejected_count(SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& state : backends_) {
+    if (state.ejected_until > now) ++count;
+  }
+  return count;
+}
+
+}  // namespace l3::mesh

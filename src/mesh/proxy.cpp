@@ -1,0 +1,218 @@
+#include "l3/mesh/proxy.h"
+
+#include "l3/common/assert.h"
+#include "l3/mesh/metric_names.h"
+
+#include <limits>
+#include <utility>
+
+namespace l3::mesh {
+
+struct Proxy::CallState {
+  SimTime start = 0.0;
+  std::size_t backend = 0;
+  ResponseFn done;
+  bool finished = false;
+};
+
+Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
+             TrafficSplit& split, std::vector<ServiceDeployment*> deployments,
+             metrics::Registry& registry, const HealthChecker* health,
+             SplitRng rng, ProxyConfig config,
+             const std::vector<std::string>& cluster_names)
+    : sim_(sim),
+      wan_(wan),
+      source_(source),
+      split_(split),
+      health_(health),
+      rng_(rng),
+      config_(config),
+      outlier_(deployments.size(), config.outlier) {
+  L3_EXPECTS(deployments.size() == split.backend_count());
+  L3_EXPECTS(source < cluster_names.size());
+  backends_.reserve(deployments.size());
+  const std::string& src_name = cluster_names[source];
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    ServiceDeployment* d = deployments[i];
+    L3_EXPECTS(d != nullptr);
+    L3_EXPECTS(d->cluster() < cluster_names.size());
+    const std::string& dst_name = cluster_names[d->cluster()];
+    const auto labels =
+        metric_names::backend_labels(split.service(), src_name, dst_name);
+    BackendSlot slot{
+        d,
+        &registry.counter(metric_names::kRequestTotal, labels),
+        &registry.counter(metric_names::kSuccessTotal, labels),
+        &registry.counter(metric_names::kFailureTotal, labels),
+        &registry.histogram(metric_names::kLatencySuccess, labels),
+        &registry.histogram(metric_names::kLatencyFailure, labels),
+        &registry.counter(metric_names::kLatencySuccessSum, labels),
+        &registry.counter(metric_names::kLatencyFailureSum, labels),
+        &registry.gauge(metric_names::kInflight, labels),
+        std::make_unique<metrics::PeakEwma>(config.p2c_default_latency,
+                                            config.p2c_half_life, sim.now()),
+        0,
+    };
+    backends_.push_back(std::move(slot));
+  }
+}
+
+std::vector<bool> Proxy::availability() const {
+  const SimTime now = sim_.now();
+  std::vector<bool> available(backends_.size());
+  bool any = false;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const bool healthy =
+        health_ == nullptr || health_->is_available(*backends_[i].deployment);
+    available[i] = healthy && !outlier_.is_ejected(i, now);
+    any = any || available[i];
+  }
+  if (!any) {
+    // Nothing available: fall back to trying everything so requests fail at
+    // the backend rather than vanish.
+    std::fill(available.begin(), available.end(), true);
+  }
+  return available;
+}
+
+std::size_t Proxy::pick_weighted(const std::vector<bool>& available) {
+  const auto backends = split_.backends();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (available[i]) total += backends[i].weight;
+  }
+  if (total == 0) {
+    // All available weights are zero: ignore weights among the available
+    // set (uniform pick).
+    std::size_t count = 0;
+    for (bool a : available) count += a ? 1 : 0;
+    auto nth = static_cast<std::size_t>(rng_.uniform() *
+                                        static_cast<double>(count));
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      if (!available[i]) continue;
+      if (nth == 0) return i;
+      --nth;
+    }
+    return backends.size() - 1;
+  }
+  std::uint64_t r =
+      static_cast<std::uint64_t>(rng_.uniform() * static_cast<double>(total));
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (!available[i]) continue;
+    if (r < backends[i].weight) return i;
+    r -= backends[i].weight;
+  }
+  return backends.size() - 1;
+}
+
+double Proxy::p2c_cost(const BackendSlot& slot) const {
+  return slot.p2c_latency->value() *
+         static_cast<double>(slot.outstanding + 1);
+}
+
+std::size_t Proxy::pick_p2c(const std::vector<bool>& available) {
+  // Collect the candidate set, then power-of-two-choices by cost.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (available[i]) candidates.push_back(i);
+  }
+  L3_ASSERT(!candidates.empty());
+  if (candidates.size() == 1) return candidates.front();
+  const auto a = candidates[static_cast<std::size_t>(
+      rng_.uniform() * static_cast<double>(candidates.size()))];
+  std::size_t b = a;
+  while (b == a) {
+    b = candidates[static_cast<std::size_t>(
+        rng_.uniform() * static_cast<double>(candidates.size()))];
+  }
+  return p2c_cost(backends_[a]) <= p2c_cost(backends_[b]) ? a : b;
+}
+
+std::size_t Proxy::pick() {
+  const auto available = availability();
+  return config_.routing == RoutingMode::kPeakEwmaP2C
+             ? pick_p2c(available)
+             : pick_weighted(available);
+}
+
+void Proxy::send(int depth, ResponseFn done) {
+  L3_EXPECTS(done != nullptr);
+  constexpr int kMaxDepth = 32;  // guards against call-graph cycles
+  if (depth > kMaxDepth) {
+    done(Response{.success = false, .latency = 0.0, .backend_cluster = source_,
+                  .timed_out = false});
+    return;
+  }
+  const std::size_t idx = pick();
+  BackendSlot& slot = backends_[idx];
+  ++sent_;
+  slot.requests->increment();
+  slot.inflight->add(1.0);
+  slot.outstanding += 1;
+  ++inflight_total_;
+
+  auto state = std::make_shared<CallState>();
+  state->start = sim_.now();
+  state->backend = idx;
+  state->done = std::move(done);
+
+  if (config_.timeout > 0.0) {
+    sim_.schedule_after(config_.timeout,
+                        [this, state] { on_timeout(state); });
+  }
+
+  const SimDuration outbound =
+      wan_.sample(source_, slot.deployment->cluster(), sim_.now(), rng_);
+  sim_.schedule_after(outbound, [this, state, depth] {
+    BackendSlot& s = backends_[state->backend];
+    s.deployment->handle(depth + 1, [this, state](const Outcome& outcome) {
+      const SimDuration inbound = wan_.sample(
+          backends_[state->backend].deployment->cluster(), source_,
+          sim_.now(), rng_);
+      sim_.schedule_after(inbound,
+                          [this, state, outcome] { on_response(state, outcome); });
+    });
+  });
+}
+
+void Proxy::on_response(const std::shared_ptr<CallState>& state,
+                        const Outcome& outcome) {
+  if (state->finished) return;  // a timeout already answered the caller
+  finish(state, outcome.success, sim_.now() - state->start, false);
+}
+
+void Proxy::on_timeout(const std::shared_ptr<CallState>& state) {
+  if (state->finished) return;
+  finish(state, false, config_.timeout, true);
+}
+
+void Proxy::finish(const std::shared_ptr<CallState>& state, bool success,
+                   SimDuration latency, bool timed_out) {
+  state->finished = true;
+  BackendSlot& slot = backends_[state->backend];
+  slot.inflight->add(-1.0);
+  L3_ASSERT(slot.outstanding > 0);
+  slot.outstanding -= 1;
+  L3_ASSERT(inflight_total_ > 0);
+  --inflight_total_;
+  if (success) {
+    slot.success->increment();
+    slot.latency_success->record(latency);
+    slot.latency_success_sum->add(latency);
+  } else {
+    slot.failure->increment();
+    slot.latency_failure->record(latency);
+    slot.latency_failure_sum->add(latency);
+  }
+  slot.p2c_latency->observe(latency, sim_.now());
+  outlier_.record(state->backend, success, sim_.now());
+  Response response;
+  response.success = success;
+  response.latency = latency;
+  response.backend_cluster = slot.deployment->cluster();
+  response.timed_out = timed_out;
+  state->done(response);
+}
+
+}  // namespace l3::mesh

@@ -1,0 +1,41 @@
+#include "l3/mesh/replica.h"
+
+#include <memory>
+#include <utility>
+
+namespace l3::mesh {
+
+bool Replica::submit(ReplicaJob job) {
+  L3_EXPECTS(job != nullptr);
+  if (active_ < concurrency_) {
+    run(std::move(job));
+    return true;
+  }
+  if (queue_.size() < queue_capacity_) {
+    queue_.push_back(std::move(job));
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+void Replica::run(ReplicaJob job) {
+  ++active_;
+  // The release callback must fire exactly once; a shared flag guards
+  // against buggy behaviors double-releasing.
+  auto released = std::make_shared<bool>(false);
+  job([this, released] {
+    L3_EXPECTS(!*released);
+    *released = true;
+    L3_ASSERT(active_ > 0);
+    --active_;
+    ++completed_;
+    if (!queue_.empty() && active_ < concurrency_) {
+      ReplicaJob next = std::move(queue_.front());
+      queue_.pop_front();
+      run(std::move(next));
+    }
+  });
+}
+
+}  // namespace l3::mesh

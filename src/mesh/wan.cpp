@@ -1,0 +1,76 @@
+#include "l3/mesh/wan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::mesh {
+
+void WanModel::resize(std::size_t n) {
+  std::vector<Link> next(n * n);
+  for (std::size_t i = 0; i < std::min(n_, n); ++i) {
+    for (std::size_t j = 0; j < std::min(n_, n); ++j) {
+      next[i * n + j] = links_[i * n_ + j];
+    }
+  }
+  links_ = std::move(next);
+  n_ = n;
+}
+
+void WanModel::set_link(ClusterId from, ClusterId to, Link link) {
+  L3_EXPECTS(from < n_ && to < n_);
+  L3_EXPECTS(link.base >= 0.0 && link.jitter_frac >= 0.0);
+  L3_EXPECTS(link.flap_amp >= 0.0 && link.flap_period > 0.0);
+  links_[from * n_ + to] = link;
+}
+
+void WanModel::set_local_delay(SimDuration base, double jitter_frac) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    Link l;
+    l.base = base;
+    l.jitter_frac = jitter_frac;
+    links_[i * n_ + i] = l;
+  }
+}
+
+const WanModel::Link& WanModel::link(ClusterId from, ClusterId to) const {
+  L3_EXPECTS(from < n_ && to < n_);
+  return links_[from * n_ + to];
+}
+
+void WanModel::add_disturbance(Disturbance d) {
+  L3_EXPECTS(d.from < n_ && d.to < n_);
+  L3_EXPECTS(d.end > d.start && d.extra >= 0.0);
+  disturbances_.push_back(d);
+}
+
+double WanModel::flap_unit(ClusterId from, ClusterId to, std::uint64_t epoch) {
+  // splitmix64-style hash of (from, to, epoch) → uniform in [0, 1].
+  std::uint64_t x = (static_cast<std::uint64_t>(from) << 40) ^
+                    (static_cast<std::uint64_t>(to) << 20) ^ epoch;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+SimDuration WanModel::sample(ClusterId from, ClusterId to, SimTime now,
+                             SplitRng& rng) const {
+  const Link& l = link(from, to);
+  double delay = l.base;
+  if (l.jitter_frac > 0.0 && l.base > 0.0) {
+    delay += l.base * l.jitter_frac * std::abs(rng.normal(0.0, 1.0));
+  }
+  if (l.flap_amp > 0.0) {
+    const auto epoch = static_cast<std::uint64_t>(now / l.flap_period);
+    delay += l.flap_amp * flap_unit(from, to, epoch);
+  }
+  for (const auto& d : disturbances_) {
+    if (d.from == from && d.to == to && now >= d.start && now < d.end) {
+      delay += d.extra;
+    }
+  }
+  return delay;
+}
+
+}  // namespace l3::mesh

@@ -1,0 +1,77 @@
+#include "l3/metrics/exposition.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace l3::metrics {
+namespace {
+
+/// Splits a stored series key `name{a=1,b=2}` into name and label body.
+std::pair<std::string, std::string> split_key(const std::string& key) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  std::string labels = key.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {key.substr(0, brace), labels};
+}
+
+/// Re-renders stored labels (`a=1,b=2`) with Prometheus quoting, optionally
+/// appending one extra label.
+std::string render_labels(const std::string& body, const std::string& extra) {
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&](const std::string& kv) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) return;
+    out << (first ? "" : ",") << kv.substr(0, eq) << "=\""
+        << kv.substr(eq + 1) << "\"";
+    first = false;
+  };
+  std::string field;
+  std::istringstream ss(body);
+  while (std::getline(ss, field, ',')) {
+    if (!field.empty()) emit(field);
+  }
+  if (!extra.empty()) {
+    out << (first ? "" : ",") << extra;
+    first = false;
+  }
+  return first ? "" : "{" + out.str() + "}";
+}
+
+}  // namespace
+
+void write_exposition(const Registry& registry, std::ostream& os) {
+  registry.for_each(
+      [&](const std::string& key, double value) {
+        const auto [name, labels] = split_key(key);
+        os << name << render_labels(labels, "") << ' ' << value << '\n';
+      },
+      [&](const std::string& key, double value) {
+        const auto [name, labels] = split_key(key);
+        os << name << render_labels(labels, "") << ' ' << value << '\n';
+      },
+      [&](const std::string& key, const HistogramSeries& histogram) {
+        const auto [name, labels] = split_key(key);
+        const auto cumulative = histogram.cumulative_counts();
+        const auto& bounds = histogram.bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          std::ostringstream le;
+          le << "le=\"" << bounds[i] << "\"";
+          os << name << "_bucket" << render_labels(labels, le.str()) << ' '
+             << cumulative[i] << '\n';
+        }
+        os << name << "_bucket" << render_labels(labels, "le=\"+Inf\"") << ' '
+           << cumulative.back() << '\n';
+        os << name << "_count" << render_labels(labels, "") << ' '
+           << histogram.total_count() << '\n';
+      });
+}
+
+std::string exposition_text(const Registry& registry) {
+  std::ostringstream os;
+  write_exposition(registry, os);
+  return os.str();
+}
+
+}  // namespace l3::metrics

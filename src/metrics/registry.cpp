@@ -1,0 +1,51 @@
+#include "l3/metrics/registry.h"
+
+#include <algorithm>
+
+namespace l3::metrics {
+
+std::string series_key(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  auto key = series_key(name, std::move(labels));
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  auto key = series_key(name, std::move(labels));
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramSeries& Registry::histogram(const std::string& name, Labels labels,
+                                     const std::vector<double>* bounds) {
+  auto key = series_key(name, std::move(labels));
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    auto series = std::make_unique<HistogramSeries>(
+        bounds ? *bounds : FixedBucketHistogram::default_latency_bounds());
+    it = histograms_.emplace(std::move(key), std::move(series)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace l3::metrics

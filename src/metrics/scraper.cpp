@@ -1,0 +1,46 @@
+#include "l3/metrics/scraper.h"
+
+#include "l3/common/assert.h"
+
+namespace l3::metrics {
+
+void Scraper::add_target(std::string name, const Registry& registry) {
+  targets_.push_back(Target{std::move(name), &registry, true});
+}
+
+bool Scraper::set_target_enabled(const std::string& name, bool enabled) {
+  for (auto& target : targets_) {
+    if (target.name == name) {
+      target.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scraper::start(SimDuration interval) {
+  L3_EXPECTS(interval > 0.0);
+  stop();
+  interval_ = interval;
+  task_ = sim_.schedule_every(interval, [this] { scrape_once(); }, interval);
+}
+
+void Scraper::scrape_once() {
+  const SimTime now = sim_.now();
+  for (const auto& target : targets_) {
+    if (!target.enabled) continue;
+    target.registry->for_each(
+        [&](const std::string& key, double value) {
+          tsdb_.append(key, now, value);
+        },
+        [&](const std::string& key, double value) {
+          tsdb_.append(key, now, value);
+        },
+        [&](const std::string& key, const HistogramSeries& h) {
+          tsdb_.append_histogram(key, now, h.bounds(), h.cumulative_counts());
+        });
+  }
+  ++scrapes_;
+}
+
+}  // namespace l3::metrics

@@ -1,0 +1,130 @@
+#include "l3/metrics/tsdb.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/histogram.h"
+
+#include <algorithm>
+
+namespace l3::metrics {
+namespace {
+
+/// First and last sample index within [now - window, now], or nullopt if
+/// fewer than `min_samples` fall inside.
+template <typename Deque>
+std::optional<std::pair<std::size_t, std::size_t>> window_span(
+    const Deque& samples, SimDuration window, SimTime now,
+    std::size_t min_samples) {
+  const SimTime start = now - window;
+  std::size_t first = samples.size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].t >= start && samples[i].t <= now) {
+      first = i;
+      break;
+    }
+  }
+  if (first == samples.size()) return std::nullopt;
+  std::size_t last = first;
+  for (std::size_t i = samples.size(); i-- > first;) {
+    if (samples[i].t <= now) {
+      last = i;
+      break;
+    }
+  }
+  if (last - first + 1 < min_samples) return std::nullopt;
+  return std::make_pair(first, last);
+}
+
+}  // namespace
+
+void TimeSeriesDb::append(const std::string& key, SimTime t, double value) {
+  auto& series = scalars_[key];
+  L3_EXPECTS(series.empty() || t >= series.back().t);
+  series.push_back({t, value});
+  while (!series.empty() && series.front().t < t - retention_) {
+    series.pop_front();
+  }
+}
+
+void TimeSeriesDb::append_histogram(const std::string& key, SimTime t,
+                                    const std::vector<double>& bounds,
+                                    std::vector<double> cumulative_counts) {
+  auto& series = histograms_[key];
+  if (series.bounds.empty()) {
+    series.bounds = bounds;
+  } else {
+    L3_EXPECTS(series.bounds == bounds);
+  }
+  L3_EXPECTS(cumulative_counts.size() == bounds.size() + 1);
+  L3_EXPECTS(series.samples.empty() || t >= series.samples.back().t);
+  series.samples.push_back({t, std::move(cumulative_counts)});
+  while (!series.samples.empty() &&
+         series.samples.front().t < t - retention_) {
+    series.samples.pop_front();
+  }
+}
+
+std::optional<double> TimeSeriesDb::rate(const std::string& key,
+                                         SimDuration window,
+                                         SimTime now) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return std::nullopt;
+  const auto span = window_span(it->second, window, now, 2);
+  if (!span) return std::nullopt;
+  const auto& first = it->second[span->first];
+  const auto& last = it->second[span->second];
+  const double elapsed = last.t - first.t;
+  if (elapsed <= 0.0) return std::nullopt;
+  return (last.v - first.v) / elapsed;
+}
+
+std::optional<double> TimeSeriesDb::increase(const std::string& key,
+                                             SimDuration window,
+                                             SimTime now) const {
+  const auto r = rate(key, window, now);
+  if (!r) return std::nullopt;
+  return *r * window;
+}
+
+std::optional<double> TimeSeriesDb::avg(const std::string& key,
+                                        SimDuration window,
+                                        SimTime now) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return std::nullopt;
+  const auto span = window_span(it->second, window, now, 1);
+  if (!span) return std::nullopt;
+  double sum = 0.0;
+  for (std::size_t i = span->first; i <= span->second; ++i) {
+    sum += it->second[i].v;
+  }
+  return sum / static_cast<double>(span->second - span->first + 1);
+}
+
+std::optional<double> TimeSeriesDb::last(const std::string& key,
+                                         SimDuration window,
+                                         SimTime now) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return std::nullopt;
+  const auto span = window_span(it->second, window, now, 1);
+  if (!span) return std::nullopt;
+  return it->second[span->second].v;
+}
+
+std::optional<double> TimeSeriesDb::quantile(const std::string& key, double q,
+                                             SimDuration window,
+                                             SimTime now) const {
+  const auto it = histograms_.find(key);
+  if (it == histograms_.end()) return std::nullopt;
+  const auto& series = it->second;
+  const auto span = window_span(series.samples, window, now, 2);
+  if (!span) return std::nullopt;
+  const auto& first = series.samples[span->first];
+  const auto& last = series.samples[span->second];
+  std::vector<double> delta(last.cumulative.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = last.cumulative[i] - first.cumulative[i];
+  }
+  if (delta.back() <= 0.0) return std::nullopt;  // no requests in window
+  return histogram_quantile(series.bounds, delta, q);
+}
+
+}  // namespace l3::metrics

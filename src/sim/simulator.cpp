@@ -1,0 +1,65 @@
+#include "l3/sim/simulator.h"
+
+#include <utility>
+
+namespace l3::sim {
+
+void Simulator::schedule_at(SimTime t, EventFn fn) {
+  L3_EXPECTS(t >= now_);
+  L3_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+PeriodicHandle Simulator::schedule_every(SimDuration interval, EventFn fn,
+                                         SimDuration initial_delay) {
+  L3_EXPECTS(interval > 0.0);
+  L3_EXPECTS(initial_delay >= 0.0);
+  auto cancelled = std::make_shared<bool>(false);
+  schedule_periodic(interval, std::move(fn), cancelled, now_ + initial_delay);
+  return PeriodicHandle(cancelled);
+}
+
+void Simulator::schedule_periodic(SimDuration interval, EventFn fn,
+                                  std::shared_ptr<bool> cancelled,
+                                  SimTime first) {
+  schedule_at(first, [this, interval, fn = std::move(fn), cancelled,
+                      first]() mutable {
+    if (*cancelled) return;
+    fn();
+    if (*cancelled) return;
+    schedule_periodic(interval, std::move(fn), std::move(cancelled),
+                      first + interval);
+  });
+}
+
+std::size_t Simulator::run_until(SimTime end) {
+  L3_EXPECTS(end >= now_);
+  stop_requested_ = false;
+  std::size_t processed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.time > end) break;
+    // Move the event out before popping so re-entrant scheduling is safe.
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+    ++executed_;
+  }
+  if (now_ < end) now_ = end;
+  return processed;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const Event& top = queue_.top();
+  Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace l3::sim

@@ -1,0 +1,161 @@
+#include "l3/workload/client.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace l3::workload {
+
+OpenLoopClient::OpenLoopClient(mesh::Mesh& mesh, mesh::ClusterId source,
+                               std::string service, RpsFn rps, SplitRng rng,
+                               Config config)
+    : mesh_(mesh),
+      source_(source),
+      service_(std::move(service)),
+      rps_(std::move(rps)),
+      rng_(rng),
+      config_(config) {
+  L3_EXPECTS(rps_ != nullptr);
+}
+
+void OpenLoopClient::start(SimTime begin, SimTime end) {
+  L3_EXPECTS(end > begin);
+  L3_EXPECTS(begin >= mesh_.simulator().now());
+  end_ = end;
+  records_.reserve(static_cast<std::size_t>(
+      std::min(5e6, (end - begin) * std::max(1.0, rps_(begin)) * 1.5)));
+  mesh_.simulator().schedule_at(begin, [this] {
+    fire();
+    schedule_next();
+  });
+}
+
+void OpenLoopClient::schedule_next() {
+  auto& sim = mesh_.simulator();
+  const double rate = std::max(0.1, rps_(sim.now()));
+  const SimDuration gap =
+      config_.poisson ? rng_.exponential(rate) : 1.0 / rate;
+  const SimTime next = sim.now() + gap;
+  if (next >= end_) return;
+  sim.schedule_at(next, [this] {
+    fire();
+    schedule_next();
+  });
+}
+
+void OpenLoopClient::fire() {
+  ++sent_;
+  const SimTime sent_at = mesh_.simulator().now();
+  if (config_.mode == CallMode::kLocalDirect) {
+    fire_local_direct();
+    return;
+  }
+  send_attempt(sent_at, 1);
+}
+
+void OpenLoopClient::send_attempt(SimTime first_sent, int attempt) {
+  mesh_.call(source_, service_, /*depth=*/0,
+             [this, first_sent, attempt](const mesh::Response& response) {
+               if (!response.success && attempt <= config_.max_retries) {
+                 mesh_.simulator().schedule_after(
+                     config_.retry_backoff, [this, first_sent, attempt] {
+                       send_attempt(first_sent, attempt + 1);
+                     });
+                 return;
+               }
+               records_.push_back(RequestRecord{
+                   first_sent, mesh_.simulator().now() - first_sent,
+                   response.success, response.timed_out,
+                   response.backend_cluster, attempt});
+             });
+}
+
+void OpenLoopClient::fire_local_direct() {
+  // Straight to the local deployment: local network hop out and back, no
+  // TrafficSplit, no proxy metrics (the client is not part of the mesh's
+  // east-west traffic).
+  auto& sim = mesh_.simulator();
+  const SimTime sent_at = sim.now();
+  mesh::ServiceDeployment* deployment =
+      mesh_.find_deployment(service_, source_);
+  L3_EXPECTS(deployment != nullptr);
+  const SimDuration out = mesh_.wan().sample(source_, source_, sim.now(), rng_);
+  sim.schedule_after(out, [this, &sim, deployment, sent_at] {
+    deployment->handle(/*depth=*/1, [this, &sim, sent_at](
+                                        const mesh::Outcome& outcome) {
+      const SimDuration back =
+          mesh_.wan().sample(source_, source_, sim.now(), rng_);
+      sim.schedule_after(back, [this, &sim, sent_at, outcome] {
+        records_.push_back(RequestRecord{sent_at, sim.now() - sent_at,
+                                         outcome.success, false, source_});
+      });
+    });
+  });
+}
+
+std::vector<RequestRecord> OpenLoopClient::records_after(SimTime t) const {
+  std::vector<RequestRecord> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (r.sent >= t) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TimelineBucket> aggregate_timeline(
+    std::span<const RequestRecord> records, SimTime t0, SimTime t1,
+    SimDuration bucket) {
+  L3_EXPECTS(t1 > t0 && bucket > 0.0);
+  const auto n = static_cast<std::size_t>(std::ceil((t1 - t0) / bucket));
+  std::vector<std::vector<double>> latencies(n);
+  std::vector<std::size_t> successes(n, 0);
+  std::vector<std::size_t> counts(n, 0);
+  for (const auto& r : records) {
+    if (r.sent < t0 || r.sent >= t1) continue;
+    const auto i = static_cast<std::size_t>((r.sent - t0) / bucket);
+    if (i >= n) continue;
+    latencies[i].push_back(r.latency);
+    counts[i] += 1;
+    if (r.success) successes[i] += 1;
+  }
+  std::vector<TimelineBucket> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].start = t0 + static_cast<double>(i) * bucket;
+    out[i].count = counts[i];
+    out[i].rps = static_cast<double>(counts[i]) / bucket;
+    if (counts[i] > 0) {
+      out[i].p50 = percentile(latencies[i], 0.50);
+      out[i].p99 = percentile(latencies[i], 0.99);
+      out[i].success_rate =
+          static_cast<double>(successes[i]) / static_cast<double>(counts[i]);
+    }
+  }
+  return out;
+}
+
+ClientSummary summarize_records(std::span<const RequestRecord> records) {
+  ClientSummary s;
+  s.count = records.size();
+  if (records.empty()) return s;
+  std::vector<double> all;
+  std::vector<double> ok;
+  all.reserve(records.size());
+  ok.reserve(records.size());
+  std::size_t successes = 0;
+  for (const auto& r : records) {
+    all.push_back(r.latency);
+    if (r.success) {
+      ok.push_back(r.latency);
+      ++successes;
+    }
+  }
+  s.latency = summarize(all);
+  s.success_latency = summarize(ok);
+  s.success_rate =
+      static_cast<double>(successes) / static_cast<double>(records.size());
+  return s;
+}
+
+}  // namespace l3::workload

@@ -1,0 +1,56 @@
+#include "l3/workload/scenario.h"
+
+#include <algorithm>
+
+namespace l3::workload {
+
+ScenarioTrace::ScenarioTrace(std::string name, std::size_t clusters,
+                             SimDuration duration, SimDuration dt)
+    : name_(std::move(name)),
+      clusters_(clusters),
+      duration_(duration),
+      dt_(dt),
+      steps_(static_cast<std::size_t>(duration / dt)) {
+  L3_EXPECTS(clusters >= 1);
+  L3_EXPECTS(duration > 0.0 && dt > 0.0 && duration >= dt);
+  points_.assign(clusters_, std::vector<TracePoint>(steps_));
+  rps_.assign(steps_, 100.0);
+}
+
+TracePoint& ScenarioTrace::at(std::size_t cluster, std::size_t step) {
+  L3_EXPECTS(cluster < clusters_ && step < steps_);
+  return points_[cluster][step];
+}
+
+const TracePoint& ScenarioTrace::at(std::size_t cluster,
+                                    std::size_t step) const {
+  L3_EXPECTS(cluster < clusters_ && step < steps_);
+  return points_[cluster][step];
+}
+
+std::size_t ScenarioTrace::index(SimTime t) const {
+  if (t <= 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(t / dt_);
+  return std::min(idx, steps_ - 1);
+}
+
+const TracePoint& ScenarioTrace::point(std::size_t cluster, SimTime t) const {
+  L3_EXPECTS(cluster < clusters_);
+  return points_[cluster][index(t)];
+}
+
+void ScenarioTrace::set_rps(std::size_t step, double rps) {
+  L3_EXPECTS(step < steps_);
+  L3_EXPECTS(rps > 0.0);
+  rps_[step] = rps;
+}
+
+double ScenarioTrace::rps_at(SimTime t) const { return rps_[index(t)]; }
+
+double ScenarioTrace::mean_rps() const {
+  double sum = 0.0;
+  for (double r : rps_) sum += r;
+  return sum / static_cast<double>(rps_.size());
+}
+
+}  // namespace l3::workload

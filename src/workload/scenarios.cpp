@@ -1,0 +1,353 @@
+#include "l3/workload/scenarios.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l3::workload {
+namespace {
+
+/// Bounded random walk: reflects at the bounds.
+class Walk {
+ public:
+  Walk(double start, double lo, double hi, double sigma)
+      : value_(std::clamp(start, lo, hi)), lo_(lo), hi_(hi), sigma_(sigma) {
+    L3_EXPECTS(hi >= lo);
+  }
+
+  double advance(SplitRng& rng) {
+    if (sigma_ > 0.0) {
+      value_ += rng.normal(0.0, sigma_);
+      if (value_ < lo_) value_ = lo_ + (lo_ - value_);
+      if (value_ > hi_) value_ = hi_ - (value_ - hi_);
+      value_ = std::clamp(value_, lo_, hi_);
+    }
+    return value_;
+  }
+
+  double value() const { return value_; }
+
+ private:
+  double value_;
+  double lo_, hi_, sigma_;
+};
+
+/// Transient multiplicative disturbance with linear decay.
+struct Spike {
+  double remaining = 0.0;  // seconds left
+  double duration = 1.0;
+  double mult = 1.0;
+
+  double factor() const {
+    if (remaining <= 0.0) return 1.0;
+    // Linear decay from `mult` back to 1.
+    return 1.0 + (mult - 1.0) * (remaining / duration);
+  }
+
+  void step(SimDuration dt) { remaining = std::max(0.0, remaining - dt); }
+  bool active() const { return remaining > 0.0; }
+};
+
+}  // namespace
+
+ScenarioTrace generate_scenario(const ScenarioShape& shape,
+                                std::uint64_t seed) {
+  L3_EXPECTS(shape.clusters >= 1);
+  L3_EXPECTS(shape.cluster_med_mult.empty() ||
+             shape.cluster_med_mult.size() == shape.clusters);
+  L3_EXPECTS(shape.cluster_succ_bonus.empty() ||
+             shape.cluster_succ_bonus.size() == shape.clusters);
+  ScenarioTrace trace(shape.name, shape.clusters, shape.duration);
+  SplitRng root(seed);
+
+  // Request volume.
+  {
+    SplitRng rng = root.split("rps");
+    Walk rps(shape.rps_base, shape.rps_lo, shape.rps_hi, shape.rps_sigma);
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      trace.set_rps(s, std::max(1.0, rps.advance(rng)));
+    }
+  }
+
+  const SimDuration dt = trace.dt();
+  for (std::size_t c = 0; c < shape.clusters; ++c) {
+    SplitRng rng = root.split("cluster").split(c);
+    const double med_mult =
+        shape.cluster_med_mult.empty() ? 1.0 : shape.cluster_med_mult[c];
+    const double succ_bonus =
+        shape.cluster_succ_bonus.empty() ? 0.0 : shape.cluster_succ_bonus[c];
+
+    Walk median(rng.uniform(shape.med_lo, shape.med_hi), shape.med_lo,
+                shape.med_hi, shape.med_sigma);
+    Walk ratio(rng.uniform(shape.ratio_lo, shape.ratio_hi), shape.ratio_lo,
+               shape.ratio_hi, shape.ratio_sigma);
+    Walk success(shape.succ_hi, shape.succ_lo, shape.succ_hi,
+                 shape.succ_sigma);
+    Spike spike;
+    Spike drop;  // success-rate drop; `mult` reused as the drop target
+    double drop_target = 1.0;
+
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      const SimTime t = static_cast<double>(s) * dt;
+
+      // Rotating slow window.
+      double slow_med = 1.0;
+      double slow_ratio = 1.0;
+      if (shape.slow_period > 0.0) {
+        const auto epoch = static_cast<std::size_t>(t / shape.slow_period);
+        const SimTime within = t - static_cast<double>(epoch) *
+                                       shape.slow_period;
+        if (epoch % shape.clusters == c && within < shape.slow_duration) {
+          slow_med = shape.slow_med_mult;
+          slow_ratio = shape.slow_ratio_mult;
+        }
+      }
+
+      // Transient P99 spikes.
+      if (!spike.active() && rng.bernoulli(shape.spike_prob)) {
+        spike.duration = shape.spike_duration;
+        spike.remaining = shape.spike_duration;
+        spike.mult = rng.uniform(shape.spike_mult_lo, shape.spike_mult_hi);
+      }
+
+      // Transient success-rate drops.
+      if (!drop.active() && rng.bernoulli(shape.drop_prob)) {
+        drop.duration = rng.uniform(shape.drop_dur_lo, shape.drop_dur_hi);
+        drop.remaining = drop.duration;
+        drop_target = rng.uniform(shape.drop_lo, shape.drop_hi);
+      }
+
+      TracePoint& p = trace.at(c, s);
+      const double med = median.advance(rng) * med_mult * slow_med;
+      const double tail_ratio =
+          std::max(1.05, ratio.advance(rng) * slow_ratio * spike.factor());
+      p.median = med;
+      p.p99 = std::min(med * tail_ratio, std::max(shape.max_p99, med * 1.05));
+      double sr = std::clamp(success.advance(rng) + succ_bonus, 0.0, 1.0);
+      if (drop.active()) sr = std::min(sr, drop_target);
+      p.success_rate = sr;
+
+      spike.step(dt);
+      drop.step(dt);
+    }
+  }
+  return trace;
+}
+
+ScenarioTrace make_scenario1(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "scenario-1";
+  s.rps_base = 300.0;
+  s.rps_lo = 270.0;
+  s.rps_hi = 330.0;
+  s.rps_sigma = 3.0;
+  s.med_lo = 0.050;
+  s.med_hi = 0.115;
+  s.med_sigma = 0.002;
+  s.ratio_lo = 2.0;
+  s.ratio_hi = 7.0;
+  s.ratio_sigma = 0.20;
+  s.spike_prob = 0.006;
+  s.spike_mult_lo = 2.0;
+  s.spike_mult_hi = 4.0;
+  s.spike_duration = 25.0;
+  s.slow_period = 150.0;
+  s.slow_duration = 40.0;
+  s.slow_med_mult = 1.7;
+  s.slow_ratio_mult = 2.0;
+  // Fig 1a: cluster-2 is PERSISTENTLY the worst backend (its median often
+  // above the others' P99), cluster-1 the best — persistent asymmetry is
+  // what lets a latency-aware balancer escape the slow cluster's tail.
+  s.cluster_med_mult = {0.75, 2.3, 1.05};
+  s.max_p99 = 1.0;  // Fig 1a tops out near ~950 ms
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_scenario2(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "scenario-2";
+  s.rps_base = 120.0;
+  s.rps_lo = 45.0;
+  s.rps_hi = 200.0;
+  s.rps_sigma = 6.0;
+  s.med_lo = 0.003;
+  s.med_hi = 0.009;
+  s.med_sigma = 0.0004;
+  s.ratio_lo = 3.0;
+  s.ratio_hi = 11.0;
+  s.ratio_sigma = 0.25;
+  s.spike_prob = 0.012;
+  s.spike_mult_lo = 10.0;
+  s.spike_mult_hi = 28.0;  // up to ~2400 ms on a 9 ms median (Fig 1b)
+  s.spike_duration = 35.0;
+  // §5.3.1: in scenarios 1–2 "the median latency of one backend [is] more
+  // often worse than the 99th percentile latency of the other backends" —
+  // the rotating slow cluster runs an order of magnitude above its peers.
+  s.slow_period = 90.0;
+  s.slow_duration = 55.0;
+  s.slow_med_mult = 10.0;
+  s.slow_ratio_mult = 1.0;
+  s.max_p99 = 2.4;  // Fig 1b: spikes up to ~2400 ms
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_scenario3(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "scenario-3";
+  s.rps_base = 150.0;
+  s.rps_lo = 130.0;
+  s.rps_hi = 170.0;
+  s.rps_sigma = 2.0;
+  s.med_lo = 0.035;
+  s.med_hi = 0.065;
+  s.med_sigma = 0.001;
+  s.ratio_lo = 3.0;
+  s.ratio_hi = 10.0;
+  s.ratio_sigma = 0.25;
+  s.spike_prob = 0.008;
+  s.spike_mult_lo = 3.0;
+  s.spike_mult_hi = 8.0;  // irregular peaks to ~2000 ms (Fig 6a)
+  s.spike_duration = 30.0;
+  s.slow_period = 120.0;
+  s.slow_duration = 40.0;
+  s.slow_med_mult = 2.0;
+  s.slow_ratio_mult = 2.5;
+  s.max_p99 = 2.0;  // Fig 6a: peaks ~2000 ms
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_scenario4(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "scenario-4";
+  s.rps_base = 120.0;
+  s.rps_lo = 80.0;
+  s.rps_hi = 160.0;
+  s.rps_sigma = 4.0;
+  s.med_lo = 0.040;
+  s.med_hi = 0.070;
+  s.med_sigma = 0.001;
+  s.ratio_lo = 3.0;
+  s.ratio_hi = 10.0;
+  s.ratio_sigma = 0.40;  // highest tail fluctuation of the five (§5.2.2)
+  s.spike_prob = 0.010;
+  s.spike_mult_lo = 4.0;
+  s.spike_mult_hi = 12.0;  // peaks to ~5000 ms (Fig 6b)
+  s.spike_duration = 30.0;
+  s.slow_period = 100.0;
+  s.slow_duration = 35.0;
+  s.slow_med_mult = 1.5;
+  s.slow_ratio_mult = 2.0;
+  s.max_p99 = 5.0;  // Fig 6b: peaks ~5000 ms
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_scenario5(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "scenario-5";
+  s.rps_base = 200.0;
+  s.rps_lo = 185.0;
+  s.rps_hi = 215.0;
+  s.rps_sigma = 1.5;
+  s.med_lo = 0.040;
+  s.med_hi = 0.056;  // σ of the median ≈ 6.3 ms (§5.3.1)
+  s.med_sigma = 0.0015;
+  s.ratio_lo = 1.8;
+  s.ratio_hi = 3.2;
+  s.ratio_sigma = 0.08;
+  s.spike_prob = 0.003;
+  s.spike_mult_lo = 1.4;
+  s.spike_mult_hi = 2.2;  // P99 stays ~100–300 ms (Fig 6c)
+  s.spike_duration = 25.0;
+  s.slow_period = 140.0;
+  s.slow_duration = 45.0;
+  s.slow_med_mult = 1.45;
+  s.slow_ratio_mult = 2.4;
+  s.max_p99 = 0.35;  // Fig 6c: P99 stays ~100–300 ms
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_failure1(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "failure-1";
+  // Latency profile of scenario-1 (the paper converts existing scenarios).
+  s.rps_base = 300.0;
+  s.rps_lo = 270.0;
+  s.rps_hi = 330.0;
+  s.rps_sigma = 3.0;
+  s.med_lo = 0.050;
+  s.med_hi = 0.115;
+  s.med_sigma = 0.002;
+  s.ratio_lo = 2.0;
+  s.ratio_hi = 7.0;
+  s.ratio_sigma = 0.20;
+  s.spike_prob = 0.006;
+  s.spike_mult_lo = 2.0;
+  s.spike_mult_hi = 4.0;
+  s.spike_duration = 25.0;
+  s.slow_period = 150.0;
+  s.slow_duration = 40.0;
+  s.slow_med_mult = 1.7;
+  s.slow_ratio_mult = 2.0;
+  s.cluster_med_mult = {0.75, 2.3, 1.05};
+  s.max_p99 = 1.0;
+  // Heavy failure injection: average ≈ 91.4 %, drops down to ~30 % (§5.3.2).
+  s.succ_lo = 0.955;
+  s.succ_hi = 0.995;
+  s.succ_sigma = 0.003;
+  s.drop_prob = 0.005;
+  s.drop_lo = 0.30;
+  s.drop_hi = 0.70;
+  s.drop_dur_lo = 20.0;
+  s.drop_dur_hi = 45.0;
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_failure2(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "failure-2";
+  // Latency profile of scenario-2.
+  s.rps_base = 120.0;
+  s.rps_lo = 45.0;
+  s.rps_hi = 200.0;
+  s.rps_sigma = 6.0;
+  s.med_lo = 0.003;
+  s.med_hi = 0.009;
+  s.med_sigma = 0.0004;
+  s.ratio_lo = 3.0;
+  s.ratio_hi = 11.0;
+  s.ratio_sigma = 0.25;
+  s.spike_prob = 0.012;
+  s.spike_mult_lo = 10.0;
+  s.spike_mult_hi = 28.0;
+  s.spike_duration = 35.0;
+  s.slow_period = 90.0;
+  s.slow_duration = 55.0;
+  s.slow_med_mult = 10.0;
+  s.slow_ratio_mult = 1.0;
+  // Light failure injection: ~99 % with short ≤5 % dips; cluster-3 is the
+  // consistently best backend (≈99.8 %, the §5.2.1 success-rate ceiling).
+  s.succ_lo = 0.985;
+  s.succ_hi = 0.996;
+  s.succ_sigma = 0.001;
+  s.drop_prob = 0.004;
+  s.drop_lo = 0.90;
+  s.drop_hi = 0.95;
+  s.drop_dur_lo = 25.0;
+  s.drop_dur_hi = 50.0;
+  s.cluster_succ_bonus = {0.0, -0.004, 0.010};
+  s.max_p99 = 2.4;
+  return generate_scenario(s, seed);
+}
+
+std::vector<ScenarioTrace> all_latency_scenarios(std::uint64_t seed_base) {
+  std::vector<ScenarioTrace> out;
+  out.push_back(make_scenario1(seed_base + 0));
+  out.push_back(make_scenario2(seed_base + 1));
+  out.push_back(make_scenario3(seed_base + 2));
+  out.push_back(make_scenario4(seed_base + 3));
+  out.push_back(make_scenario5(seed_base + 4));
+  return out;
+}
+
+}  // namespace l3::workload

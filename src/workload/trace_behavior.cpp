@@ -1,0 +1,45 @@
+#include "l3/workload/trace_behavior.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/lognormal.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace l3::workload {
+
+TraceReplayBehavior::TraceReplayBehavior(
+    std::shared_ptr<const ScenarioTrace> trace, std::size_t trace_cluster,
+    SimTime start_offset, double failure_latency_factor)
+    : trace_(std::move(trace)),
+      trace_cluster_(trace_cluster),
+      start_offset_(start_offset),
+      failure_latency_factor_(failure_latency_factor) {
+  L3_EXPECTS(trace_ != nullptr);
+  L3_EXPECTS(trace_cluster < trace_->cluster_count());
+  L3_EXPECTS(failure_latency_factor > 0.0);
+}
+
+SimDuration TraceReplayBehavior::sample_latency(const TracePoint& point,
+                                                SplitRng& rng) {
+  const double tail_level = std::max(point.p99, point.median);
+  if (rng.bernoulli(kTailWeight)) {
+    return tail_level * rng.lognormal(0.0, kComponentSigma);
+  }
+  return point.median * rng.lognormal(0.0, kComponentSigma);
+}
+
+void TraceReplayBehavior::invoke(const mesh::BehaviorContext& ctx,
+                                 mesh::OutcomeFn done) {
+  const SimTime scenario_time =
+      std::max(0.0, ctx.sim.now() - start_offset_);
+  const TracePoint& point = trace_->point(trace_cluster_, scenario_time);
+
+  const SimDuration exec = sample_latency(point, ctx.rng);
+  const bool ok = ctx.rng.bernoulli(point.success_rate);
+  const SimDuration delay = ok ? exec : exec * failure_latency_factor_;
+  ctx.sim.schedule_after(delay,
+                         [done = std::move(done), ok] { done(mesh::Outcome{ok}); });
+}
+
+}  // namespace l3::workload

@@ -1,0 +1,107 @@
+#include "l3/workload/trace_io.h"
+
+#include "l3/common/assert.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace l3::workload {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, sep)) out.push_back(field);
+  return out;
+}
+
+double parse_double(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  L3_EXPECTS(pos == s.size());
+  return v;
+}
+
+}  // namespace
+
+void save_trace_csv(const ScenarioTrace& trace, std::ostream& os) {
+  os << "# scenario " << trace.name() << " clusters=" << trace.cluster_count()
+     << " duration=" << trace.duration() << " dt=" << trace.dt() << '\n';
+  os << "t,rps";
+  for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
+    os << ",c" << c << "_median,c" << c << "_p99,c" << c << "_success";
+  }
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t s = 0; s < trace.steps(); ++s) {
+    const double t = static_cast<double>(s) * trace.dt();
+    os << t << ',' << trace.rps_at(t);
+    for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
+      const TracePoint& p = trace.at(c, s);
+      os << ',' << p.median << ',' << p.p99 << ',' << p.success_rate;
+    }
+    os << '\n';
+  }
+}
+
+void save_trace_csv(const ScenarioTrace& trace, const std::string& path) {
+  std::ofstream file(path);
+  L3_EXPECTS(file.good());
+  save_trace_csv(trace, file);
+  L3_ENSURES(file.good());
+}
+
+ScenarioTrace load_trace_csv(std::istream& is) {
+  std::string header;
+  L3_EXPECTS(static_cast<bool>(std::getline(is, header)));
+  L3_EXPECTS(header.rfind("# scenario ", 0) == 0);
+
+  // Parse "# scenario <name> clusters=<C> duration=<D> dt=<dt>".
+  std::istringstream hs(header);
+  std::string hash, kw, name, clusters_kv, duration_kv, dt_kv;
+  hs >> hash >> kw >> name >> clusters_kv >> duration_kv >> dt_kv;
+  auto kv_value = [](const std::string& kv, const char* key) {
+    const std::string prefix = std::string(key) + "=";
+    L3_EXPECTS(kv.rfind(prefix, 0) == 0);
+    return kv.substr(prefix.size());
+  };
+  const auto clusters =
+      static_cast<std::size_t>(std::stoul(kv_value(clusters_kv, "clusters")));
+  const double duration = parse_double(kv_value(duration_kv, "duration"));
+  const double dt = parse_double(kv_value(dt_kv, "dt"));
+
+  ScenarioTrace trace(name, clusters, duration, dt);
+
+  std::string columns;
+  L3_EXPECTS(static_cast<bool>(std::getline(is, columns)));  // column header
+
+  std::string line;
+  std::size_t step = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    L3_EXPECTS(step < trace.steps());
+    const auto fields = split_line(line, ',');
+    L3_EXPECTS(fields.size() == 2 + 3 * clusters);
+    trace.set_rps(step, parse_double(fields[1]));
+    for (std::size_t c = 0; c < clusters; ++c) {
+      TracePoint& p = trace.at(c, step);
+      p.median = parse_double(fields[2 + 3 * c]);
+      p.p99 = parse_double(fields[3 + 3 * c]);
+      p.success_rate = parse_double(fields[4 + 3 * c]);
+    }
+    ++step;
+  }
+  L3_ENSURES(step == trace.steps());
+  return trace;
+}
+
+ScenarioTrace load_trace_csv(const std::string& path) {
+  std::ifstream file(path);
+  L3_EXPECTS(file.good());
+  return load_trace_csv(file);
+}
+
+}  // namespace l3::workload

@@ -1,0 +1,204 @@
+// Unit + property tests for both histogram implementations and the
+// Prometheus-style histogram_quantile.
+#include "l3/common/histogram.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+#include "l3/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace l3 {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, SingleValueQuantilesAreExact) {
+  LogHistogram h;
+  h.record(0.123);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.123);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.123);
+  EXPECT_DOUBLE_EQ(h.min(), 0.123);
+  EXPECT_DOUBLE_EQ(h.max(), 0.123);
+}
+
+TEST(LogHistogram, QuantileWithinRelativeErrorBound) {
+  LogHistogram h(1e-6, 1e4, 0.01);
+  SplitRng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.lognormal(-3.0, 1.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = percentile(values, q);
+    const double approx = h.quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.02) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MeanTracksExactMean) {
+  LogHistogram h;
+  SplitRng rng(2);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(0.01, 0.5);
+    sum += v;
+    h.record(v);
+  }
+  EXPECT_NEAR(h.mean(), sum / n, 1e-9);  // mean uses the exact sum
+}
+
+TEST(LogHistogram, ClampsOutOfRangeValues) {
+  LogHistogram h(1e-3, 10.0, 0.01);
+  h.record(1e-9);   // below range
+  h.record(1e6);    // above range
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(LogHistogram, MergeCombinesCounts) {
+  LogHistogram a, b;
+  a.record(0.1);
+  b.record(0.2);
+  b.record(0.3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 0.3);
+  EXPECT_DOUBLE_EQ(a.min(), 0.1);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.record(0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, RecordNWeightsValues) {
+  LogHistogram h;
+  h.record_n(0.1, 99);
+  h.record_n(10.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LT(h.quantile(0.5), 0.2);
+  EXPECT_GT(h.quantile(1.0), 5.0);
+}
+
+TEST(FixedBucketHistogram, DefaultBoundsAreLinkerdLike) {
+  const auto& bounds = FixedBucketHistogram::default_latency_bounds();
+  EXPECT_EQ(bounds.front(), 0.001);
+  EXPECT_EQ(bounds.back(), 60.0);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(FixedBucketHistogram, CountsLandInCorrectBuckets) {
+  FixedBucketHistogram h({0.010, 0.100, 1.0});
+  h.record(0.005);   // bucket 0 (<= 10ms)
+  h.record(0.010);   // bucket 0 (boundary inclusive per lower_bound)
+  h.record(0.050);   // bucket 1
+  h.record(0.500);   // bucket 2
+  h.record(5.0);     // +Inf bucket
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total_count(), 5u);
+}
+
+TEST(FixedBucketHistogram, ResetZeroes) {
+  FixedBucketHistogram h;
+  h.record(0.05);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(HistogramQuantile, InterpolatesLinearlyWithinBucket) {
+  // Buckets: (0, 100ms], (100ms, 200ms], +Inf. 100 observations uniformly
+  // in the second bucket → P50 should interpolate to ~150 ms.
+  const std::vector<double> bounds = {0.1, 0.2};
+  const std::vector<double> cumulative = {0.0, 100.0, 100.0};
+  EXPECT_NEAR(histogram_quantile(bounds, cumulative, 0.5), 0.15, 1e-12);
+  EXPECT_NEAR(histogram_quantile(bounds, cumulative, 0.25), 0.125, 1e-12);
+}
+
+TEST(HistogramQuantile, FirstBucketInterpolatesFromZero) {
+  const std::vector<double> bounds = {0.1, 0.2};
+  const std::vector<double> cumulative = {10.0, 10.0, 10.0};
+  EXPECT_NEAR(histogram_quantile(bounds, cumulative, 0.5), 0.05, 1e-12);
+}
+
+TEST(HistogramQuantile, InfBucketReturnsHighestFiniteBound) {
+  const std::vector<double> bounds = {0.1, 0.2};
+  const std::vector<double> cumulative = {0.0, 0.0, 50.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, cumulative, 0.99), 0.2);
+}
+
+TEST(HistogramQuantile, ZeroTotalReturnsZero) {
+  const std::vector<double> bounds = {0.1, 0.2};
+  const std::vector<double> cumulative = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, cumulative, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, MatchesExactQuantileOnDenseData) {
+  // End-to-end: record a log-normal through FixedBucketHistogram and check
+  // the estimated P99 is within a bucket of the exact value.
+  FixedBucketHistogram h;
+  SplitRng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(-2.5, 0.7);  // median ~82 ms
+    values.push_back(v);
+    h.record(v);
+  }
+  std::vector<double> cumulative(h.counts().size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    running += static_cast<double>(h.counts()[i]);
+    cumulative[i] = running;
+  }
+  const double exact = percentile(values, 0.99);
+  const double approx = histogram_quantile(h.bounds(), cumulative, 0.99);
+  // Bucket resolution around 400-500 ms is coarse (100 ms buckets).
+  EXPECT_NEAR(approx, exact, 0.1);
+}
+
+TEST(HistogramQuantile, RejectsBadArgs) {
+  const std::vector<double> bounds = {0.1};
+  const std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW(histogram_quantile(bounds, wrong_size, 0.5), ContractViolation);
+  const std::vector<double> ok = {1.0, 1.0};
+  EXPECT_THROW(histogram_quantile(bounds, ok, 0.0), ContractViolation);
+  EXPECT_THROW(histogram_quantile(bounds, ok, 1.5), ContractViolation);
+}
+
+/// Property sweep: quantile estimates are monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  LogHistogram h;
+  SplitRng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) h.record(rng.lognormal(-3.0, 1.2));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1, 7, 13, 99, 12345));
+
+}  // namespace
+}  // namespace l3

@@ -1,0 +1,84 @@
+// Tests for log-normal parameter fitting and the normal-quantile helper.
+#include "l3/common/lognormal.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace l3 {
+namespace {
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326348, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double q : {0.6, 0.75, 0.9, 0.99, 0.9999}) {
+    EXPECT_NEAR(normal_quantile(q), -normal_quantile(1.0 - q), 1e-7);
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), ContractViolation);
+  EXPECT_THROW(normal_quantile(1.0), ContractViolation);
+}
+
+TEST(FitLognormal, RecoversMedianAndQuantile) {
+  const LogNormalParams p = fit_lognormal(0.050, 0.400, 0.99);
+  EXPECT_NEAR(std::exp(p.mu), 0.050, 1e-12);
+  EXPECT_NEAR(lognormal_quantile(p, 0.99), 0.400, 1e-9);
+  EXPECT_NEAR(lognormal_quantile(p, 0.50), 0.050, 1e-9);
+}
+
+TEST(FitLognormal, SampledDistributionMatchesTargets) {
+  const LogNormalParams p = fit_lognormal(0.050, 0.300, 0.99);
+  SplitRng rng(5);
+  std::vector<double> samples;
+  const int n = 200000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(rng.lognormal(p.mu, p.sigma));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[n / 2], 0.050, 0.002);
+  EXPECT_NEAR(samples[static_cast<std::size_t>(n * 0.99)], 0.300, 0.02);
+}
+
+TEST(FitLognormal, MeanExceedsMedian) {
+  const LogNormalParams p = fit_lognormal(0.050, 0.500, 0.99);
+  EXPECT_GT(lognormal_mean(p), 0.050);  // right-skew
+}
+
+TEST(FitLognormal, RejectsInvalidInputs) {
+  EXPECT_THROW(fit_lognormal(0.0, 0.1, 0.99), ContractViolation);
+  EXPECT_THROW(fit_lognormal(0.1, 0.05, 0.99), ContractViolation);  // q < med
+  EXPECT_THROW(fit_lognormal(0.1, 0.2, 0.4), ContractViolation);    // q <= .5
+}
+
+/// Property sweep over (median, ratio): the fit always reproduces both
+/// anchors analytically.
+class FitSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FitSweep, RoundTrips) {
+  const auto [median, ratio] = GetParam();
+  const double p99 = median * ratio;
+  const LogNormalParams p = fit_lognormal(median, p99, 0.99);
+  EXPECT_NEAR(lognormal_quantile(p, 0.50) / median, 1.0, 1e-9);
+  EXPECT_NEAR(lognormal_quantile(p, 0.99) / p99, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FitSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.05, 0.5, 2.0),
+                       ::testing::Values(1.5, 3.0, 10.0, 50.0)));
+
+}  // namespace
+}  // namespace l3

@@ -1,0 +1,88 @@
+// Tests for percentile/mean/stddev helpers and the latency summary.
+#include "l3/common/stats.h"
+
+#include "l3/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace l3 {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{3.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 3.5);
+}
+
+TEST(Percentile, InterpolatesLikeNumpy) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);  // classic example
+}
+
+TEST(Stats, StddevDegenerateCases) {
+  EXPECT_EQ(stddev(std::vector<double>{}), 0.0);
+  EXPECT_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Summarize, OrdersPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  const LatencySummary s = summarize(v);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+  EXPECT_NEAR(s.p99, 990.0, 1.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const LatencySummary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_ms(0.1234, 1), "123.4");
+  EXPECT_EQ(fmt_percent(0.915, 1), "91.5");
+}
+
+}  // namespace
+}  // namespace l3

@@ -1,0 +1,119 @@
+// Tests for the lease-based leader election (§4 HA mode).
+#include "l3/core/leader_election.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace l3::core {
+namespace {
+
+TEST(LeaderElection, FirstCandidateWinsVacantLease) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  const auto a = election.add_candidate("a");
+  const auto b = election.add_candidate("b");
+  election.start();
+  sim.run_until(6.0);
+  EXPECT_TRUE(election.is_leader(a));
+  EXPECT_FALSE(election.is_leader(b));
+  EXPECT_EQ(election.transitions(), 1u);
+}
+
+TEST(LeaderElection, LeaderRenewsWhileAlive) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  const auto a = election.add_candidate("a");
+  election.add_candidate("b");
+  election.start();
+  sim.run_until(300.0);
+  EXPECT_TRUE(election.is_leader(a));
+  EXPECT_EQ(election.transitions(), 1u);  // never changed hands
+}
+
+TEST(LeaderElection, FailoverAfterLeaseExpiry) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  const auto a = election.add_candidate("a");
+  const auto b = election.add_candidate("b");
+  election.start();
+  sim.run_until(6.0);
+  ASSERT_TRUE(election.is_leader(a));
+
+  election.set_alive(a, false);  // crash the leader
+  // Lease is valid for up to 15 s after the last renewal; b must NOT be
+  // leader before it expires.
+  sim.run_until(12.0);
+  EXPECT_FALSE(election.is_leader(b));
+  sim.run_until(40.0);
+  EXPECT_TRUE(election.is_leader(b));
+  EXPECT_EQ(election.transitions(), 2u);
+}
+
+TEST(LeaderElection, RecoveredCandidateDoesNotPreempt) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  const auto a = election.add_candidate("a");
+  const auto b = election.add_candidate("b");
+  election.start();
+  sim.run_until(6.0);
+  election.set_alive(a, false);
+  sim.run_until(60.0);
+  ASSERT_TRUE(election.is_leader(b));
+  election.set_alive(a, true);  // a comes back
+  sim.run_until(200.0);
+  EXPECT_TRUE(election.is_leader(b));  // no preemption while b renews
+}
+
+TEST(LeaderElection, CallbacksFireOnTransitions) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  std::vector<std::string> events;
+  const auto a = election.add_candidate(
+      "a", {.on_elected = [&] { events.push_back("a+"); },
+            .on_deposed = [&] { events.push_back("a-"); }});
+  election.add_candidate(
+      "b", {.on_elected = [&] { events.push_back("b+"); },
+            .on_deposed = [&] { events.push_back("b-"); }});
+  election.start();
+  sim.run_until(6.0);
+  election.set_alive(a, false);
+  sim.run_until(60.0);
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events[0], "a+");
+  EXPECT_EQ(events[1], "a-");
+  EXPECT_EQ(events[2], "b+");
+}
+
+TEST(LeaderElection, NoCandidatesNoLeader) {
+  sim::Simulator sim;
+  LeaderElection election(sim);
+  election.start();
+  sim.run_until(60.0);
+  EXPECT_EQ(election.leader(), LeaderElection::npos);
+}
+
+TEST(LeaderElection, AllDeadThenOneRecovers) {
+  sim::Simulator sim;
+  LeaderElection election(sim, 15.0, 5.0);
+  const auto a = election.add_candidate("a");
+  const auto b = election.add_candidate("b");
+  election.start();
+  sim.run_until(6.0);
+  election.set_alive(a, false);
+  election.set_alive(b, false);
+  sim.run_until(60.0);
+  EXPECT_EQ(election.leader(), LeaderElection::npos);
+  election.set_alive(b, true);
+  sim.run_until(70.0);
+  EXPECT_TRUE(election.is_leader(b));
+}
+
+TEST(LeaderElection, RejectsBadConfig) {
+  sim::Simulator sim;
+  EXPECT_THROW(LeaderElection(sim, 5.0, 10.0), ContractViolation);
+  EXPECT_THROW(LeaderElection(sim, 0.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace l3::core

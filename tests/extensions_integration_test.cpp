@@ -1,0 +1,121 @@
+// End-to-end tests for the extension features running through the full
+// benchmark pipeline: cost-aware weighting, outlier-detection circuit
+// breaking, per-request P2C routing, and client retries.
+#include "l3/lb/cost_aware.h"
+#include "l3/lb/l3_policy.h"
+#include "l3/workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::workload {
+namespace {
+
+ScenarioTrace uniform_trace(double median, double success, double rps,
+                            SimDuration duration = 180.0) {
+  ScenarioTrace trace("ext", 3, duration);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      trace.at(c, s) = TracePoint{median, median * 4.0, success};
+    }
+  }
+  for (std::size_t s = 0; s < trace.steps(); ++s) trace.set_rps(s, rps);
+  return trace;
+}
+
+RunnerConfig fast_config() {
+  RunnerConfig config;
+  config.warmup = 40.0;
+  return config;
+}
+
+TEST(CostAwareIntegration, ShiftsTrafficLocalUnderEqualLatency) {
+  const auto trace = uniform_trace(0.040, 1.0, 120.0);
+  const auto plain = run_scenario(trace, PolicyKind::kL3, fast_config());
+
+  lb::TransferCostMatrix costs(3);
+  for (mesh::ClusterId from = 0; from < 3; ++from) {
+    for (mesh::ClusterId to = 0; to < 3; ++to) {
+      if (from != to) costs.set(from, to, 1.0);
+    }
+  }
+  auto policy = std::make_unique<lb::CostAwareAdjuster>(
+      std::make_unique<lb::L3Policy>(), costs, lb::CostAwareConfig{4.0});
+  const auto aware =
+      run_scenario_with(trace, std::move(policy), fast_config());
+
+  EXPECT_GT(aware.traffic_share[0], plain.traffic_share[0] + 0.15);
+  EXPECT_EQ(aware.policy, "cost-aware");
+}
+
+TEST(OutlierIntegration, CircuitBreakerLiftsSuccessRate) {
+  // One cluster fails half its requests; round-robin with outlier
+  // detection must eject it and recover most of the success rate.
+  ScenarioTrace trace("one-bad", 3, 180.0);
+  for (std::size_t s = 0; s < trace.steps(); ++s) {
+    trace.at(0, s) = TracePoint{0.040, 0.160, 1.0};
+    trace.at(1, s) = TracePoint{0.040, 0.160, 0.5};
+    trace.at(2, s) = TracePoint{0.040, 0.160, 1.0};
+    trace.set_rps(s, 120.0);
+  }
+  RunnerConfig plain = fast_config();
+  RunnerConfig with_outlier = fast_config();
+  with_outlier.outlier.enabled = true;
+  with_outlier.outlier.failure_threshold = 0.4;
+  with_outlier.outlier.min_requests = 20;
+
+  const auto rr = run_scenario(trace, PolicyKind::kRoundRobin, plain);
+  const auto breaker =
+      run_scenario(trace, PolicyKind::kRoundRobin, with_outlier);
+  EXPECT_NEAR(rr.summary.success_rate, 0.83, 0.03);  // 1/3 at 50 %
+  EXPECT_GT(breaker.summary.success_rate, rr.summary.success_rate + 0.08);
+  EXPECT_LT(breaker.traffic_share[1], 0.15);
+}
+
+TEST(P2CIntegration, PerRequestRoutingBeatsRoundRobinOnHeterogeneity) {
+  ScenarioTrace trace("hetero", 3, 180.0);
+  for (std::size_t s = 0; s < trace.steps(); ++s) {
+    trace.at(0, s) = TracePoint{0.030, 0.120, 1.0};
+    trace.at(1, s) = TracePoint{0.200, 0.800, 1.0};
+    trace.at(2, s) = TracePoint{0.030, 0.120, 1.0};
+    trace.set_rps(s, 120.0);
+  }
+  RunnerConfig p2c = fast_config();
+  p2c.routing = mesh::RoutingMode::kPeakEwmaP2C;
+  const auto rr = run_scenario(trace, PolicyKind::kRoundRobin, fast_config());
+  const auto per_request =
+      run_scenario(trace, PolicyKind::kRoundRobin, p2c);
+  EXPECT_LT(per_request.summary.latency.p99,
+            rr.summary.latency.p99 * 0.85);
+  EXPECT_LT(per_request.traffic_share[1], 0.25);
+}
+
+TEST(RetryIntegration, RunnerRetriesImproveSuccess) {
+  const auto trace = uniform_trace(0.030, 0.8, 100.0);
+  RunnerConfig with_retries = fast_config();
+  with_retries.client_retries = 3;
+  with_retries.retry_backoff = 0.02;
+  const auto base = run_scenario(trace, PolicyKind::kL3, fast_config());
+  const auto retried = run_scenario(trace, PolicyKind::kL3, with_retries);
+  EXPECT_NEAR(base.summary.success_rate, 0.8, 0.03);
+  EXPECT_GT(retried.summary.success_rate, 0.985);  // 1 − 0.2⁴
+  EXPECT_GT(retried.mean_attempts, 1.15);
+  EXPECT_GT(retried.summary.latency.mean, base.summary.latency.mean);
+}
+
+TEST(DynamicPenaltyIntegration, TracksFailureLatency) {
+  // Dynamic penalty (§7): the runner wires the controller's failed-request
+  // latency feedback into the policy; the run must complete with sane
+  // output and a penalty that moved away from its initial value.
+  const auto trace = uniform_trace(0.030, 0.85, 100.0);
+  RunnerConfig config = fast_config();
+  config.controller.dynamic_penalty = true;
+  config.l3.weighting.penalty = 0.6;
+  const auto r = run_scenario(trace, PolicyKind::kL3, config);
+  EXPECT_GT(r.requests, 10000u);
+  EXPECT_NEAR(r.summary.success_rate, 0.85, 0.03);
+}
+
+}  // namespace
+}  // namespace l3::workload

@@ -1,0 +1,104 @@
+// Tests for the adapted C3 policy (cubic replica ranking, mean-latency
+// based, no success-rate term — §5.1's adaptation).
+#include "l3/lb/c3_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace l3::lb {
+namespace {
+
+BackendSignals sig(double mean_latency, double inflight = 0.0,
+                   double success = 1.0) {
+  BackendSignals s;
+  s.latency_mean = mean_latency;
+  s.latency_p99 = mean_latency * 4.0;
+  s.success_rate = success;
+  s.rps = 100.0;
+  s.inflight = inflight;
+  return s;
+}
+
+PolicyInput make_input(const std::vector<BackendSignals>& signals,
+                       const std::vector<mesh::BackendRef>& backends) {
+  PolicyInput input;
+  input.source = 0;
+  input.backends = backends;
+  input.signals = signals;
+  input.total_rps_ewma = 100.0;
+  input.total_rps_last = 100.0;
+  return input;
+}
+
+class C3PolicyTest : public ::testing::Test {
+ protected:
+  std::vector<mesh::BackendRef> backends{{"svc", 0}, {"svc", 1}};
+};
+
+TEST_F(C3PolicyTest, PrefersLowerMeanLatency) {
+  C3Policy policy;
+  const std::vector<BackendSignals> signals{sig(0.050), sig(0.200)};
+  const auto w = policy.compute(make_input(signals, backends));
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(static_cast<double>(w[0]) / static_cast<double>(w[1]), 4.0,
+              0.15);
+}
+
+TEST_F(C3PolicyTest, CubicQueuePenalty) {
+  C3Policy policy;
+  // Same latency; backend 1 has 1 extra in-flight → q̂ = 2 → 8× penalty.
+  const std::vector<BackendSignals> signals{sig(0.100, 0.0),
+                                            sig(0.100, 1.0)};
+  const auto w = policy.compute(make_input(signals, backends));
+  EXPECT_NEAR(static_cast<double>(w[0]) / static_cast<double>(w[1]), 8.0,
+              0.5);
+}
+
+TEST_F(C3PolicyTest, IgnoresSuccessRate) {
+  // §5.1 / §5.3.2: C3 performs no success-rate optimisation.
+  C3Policy policy;
+  const std::vector<BackendSignals> a{sig(0.100, 0.0, 1.0),
+                                      sig(0.100, 0.0, 1.0)};
+  const std::vector<BackendSignals> b{sig(0.100, 0.0, 1.0),
+                                      sig(0.100, 0.0, 0.3)};
+  const auto wa = policy.compute(make_input(a, backends));
+  const auto wb = policy.compute(make_input(b, backends));
+  EXPECT_EQ(wa, wb);
+}
+
+TEST_F(C3PolicyTest, FallsBackToP99WithoutMeanSignal) {
+  C3Policy policy;
+  std::vector<BackendSignals> signals{sig(0.0), sig(0.0)};
+  signals[0].latency_mean = 0.0;
+  signals[1].latency_mean = 0.0;
+  signals[0].latency_p99 = 0.050;
+  signals[1].latency_p99 = 0.500;
+  const auto w = policy.compute(make_input(signals, backends));
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST_F(C3PolicyTest, NoMetricCollectionFloorByDefault) {
+  // The floor is an L3 contribution; the adapted C3 only has w >= 1.
+  C3Policy policy;
+  const std::vector<BackendSignals> signals{sig(0.001), sig(300.0)};
+  const auto w = policy.compute(make_input(signals, backends));
+  EXPECT_EQ(w[1], 1u);  // 100/300 rounds below 1 → SMI floor only
+}
+
+TEST_F(C3PolicyTest, ConfigurableExponent) {
+  C3PolicyConfig config;
+  config.queue_exponent = 1.0;
+  C3Policy policy(config);
+  const std::vector<BackendSignals> signals{sig(0.100, 0.0),
+                                            sig(0.100, 1.0)};
+  const auto w = policy.compute(make_input(signals, backends));
+  EXPECT_NEAR(static_cast<double>(w[0]) / static_cast<double>(w[1]), 2.0,
+              0.1);
+}
+
+TEST_F(C3PolicyTest, Name) {
+  C3Policy policy;
+  EXPECT_EQ(policy.name(), "C3");
+}
+
+}  // namespace
+}  // namespace l3::lb

@@ -1,0 +1,176 @@
+// Tests for the remaining policies: round-robin, static weights, the L3
+// composite, locality failover, and the cost-aware decorator.
+#include "l3/common/assert.h"
+#include "l3/lb/cost_aware.h"
+#include "l3/lb/l3_policy.h"
+#include "l3/lb/locality_policy.h"
+#include "l3/lb/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::lb {
+namespace {
+
+BackendSignals sig(double latency = 0.100, double success = 1.0) {
+  BackendSignals s;
+  s.latency_p99 = latency;
+  s.latency_mean = latency / 3.0;
+  s.success_rate = success;
+  s.rps = 100.0;
+  return s;
+}
+
+PolicyInput make_input(const std::vector<BackendSignals>& signals,
+                       const std::vector<mesh::BackendRef>& backends,
+                       mesh::ClusterId source = 0, double rps_ewma = 100.0,
+                       double rps_last = 100.0) {
+  PolicyInput input;
+  input.source = source;
+  input.backends = backends;
+  input.signals = signals;
+  input.total_rps_ewma = rps_ewma;
+  input.total_rps_last = rps_last;
+  return input;
+}
+
+const std::vector<mesh::BackendRef> kBackends{{"svc", 0}, {"svc", 1},
+                                              {"svc", 2}};
+
+TEST(RoundRobinPolicy, EqualWeightsAlways) {
+  RoundRobinPolicy policy;
+  const std::vector<BackendSignals> signals{sig(0.01), sig(5.0), sig(0.2)};
+  const auto w = policy.compute(make_input(signals, kBackends));
+  EXPECT_EQ(w, (std::vector<std::uint64_t>{1000, 1000, 1000}));
+  EXPECT_EQ(policy.name(), "round-robin");
+}
+
+TEST(StaticWeightsPolicy, ReturnsConfiguredWeights) {
+  StaticWeightsPolicy policy({10, 20, 30});
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  EXPECT_EQ(policy.compute(make_input(signals, kBackends)),
+            (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(StaticWeightsPolicy, PadsWhenTopologyGrows) {
+  StaticWeightsPolicy policy({10});
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  EXPECT_EQ(policy.compute(make_input(signals, kBackends)),
+            (std::vector<std::uint64_t>{10, 10, 10}));
+}
+
+TEST(L3Policy, PrefersFastHealthyBackends) {
+  L3Policy policy;
+  const std::vector<BackendSignals> signals{sig(0.050), sig(0.500),
+                                            sig(0.050, 0.5)};
+  const auto w = policy.compute(make_input(signals, kBackends));
+  EXPECT_GT(w[0], w[1]);  // faster beats slower
+  EXPECT_GT(w[0], w[2]);  // healthy beats failing at equal latency
+  EXPECT_EQ(policy.name(), "L3");
+}
+
+TEST(L3Policy, RateControlFlattensOnRpsSpike) {
+  L3PolicyConfig with_rc;
+  L3PolicyConfig without_rc;
+  without_rc.rate_control_enabled = false;
+  L3Policy a(with_rc), b(without_rc);
+  const std::vector<BackendSignals> signals{sig(0.020), sig(0.500), sig(0.300)};
+  // RPS doubled relative to its EWMA (c = 1).
+  const auto spiked = make_input(signals, kBackends, 0, 100.0, 200.0);
+  const auto wa = a.compute(spiked);
+  const auto wb = b.compute(spiked);
+  const double spread_a = static_cast<double>(wa[0]) - static_cast<double>(wa[1]);
+  const double spread_b = static_cast<double>(wb[0]) - static_cast<double>(wb[1]);
+  EXPECT_LT(spread_a, spread_b);  // Algorithm 2 flattened the distribution
+}
+
+TEST(L3Policy, MinShareFloorApplied) {
+  L3PolicyConfig config;
+  config.min_share = 0.01;
+  L3Policy policy(config);
+  const std::vector<BackendSignals> signals{sig(0.001), sig(0.001), sig(9.0)};
+  const auto w = policy.compute(make_input(signals, kBackends));
+  double total = 0.0;
+  for (auto x : w) total += static_cast<double>(x);
+  EXPECT_GE(static_cast<double>(w[2]), total * 0.009);
+}
+
+TEST(LocalityFailoverPolicy, AllLocalWhenHealthy) {
+  LocalityFailoverPolicy policy;
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  const auto w = policy.compute(make_input(signals, kBackends, /*source=*/1));
+  EXPECT_EQ(w[1], 1000u);
+  EXPECT_EQ(w[0], 1u);
+  EXPECT_EQ(w[2], 1u);
+}
+
+TEST(LocalityFailoverPolicy, FailsOverWhenLocalUnhealthy) {
+  LocalityFailoverPolicy policy;
+  const std::vector<BackendSignals> signals{sig(), sig(0.1, 0.5), sig()};
+  const auto w = policy.compute(make_input(signals, kBackends, /*source=*/1));
+  EXPECT_EQ(w[1], 1u);     // local demoted
+  EXPECT_EQ(w[0], 1000u);  // healthy remotes promoted
+  EXPECT_EQ(w[2], 1000u);
+}
+
+TEST(LocalityFailoverPolicy, AllUnhealthySpreadsEverywhere) {
+  LocalityFailoverPolicy policy;
+  const std::vector<BackendSignals> signals{sig(0.1, 0.2), sig(0.1, 0.2),
+                                            sig(0.1, 0.2)};
+  const auto w = policy.compute(make_input(signals, kBackends, 1));
+  EXPECT_EQ(w, (std::vector<std::uint64_t>{1000, 1000, 1000}));
+}
+
+TEST(LocalityFailoverPolicy, NoLocalBackendFailsOverToHealthy) {
+  LocalityFailoverPolicy policy;
+  const std::vector<mesh::BackendRef> remote_only{{"svc", 1}, {"svc", 2}};
+  const std::vector<BackendSignals> signals{sig(), sig()};
+  const auto w = policy.compute(make_input(signals, remote_only, /*source=*/0));
+  EXPECT_EQ(w[0], 1000u);
+  EXPECT_EQ(w[1], 1000u);
+}
+
+TEST(CostAwareAdjuster, DiscountsByTransferCost) {
+  TransferCostMatrix costs(3);
+  costs.set(0, 1, 1.0);  // remote transfer costs 1 unit
+  costs.set(0, 2, 1.0);
+  CostAwareAdjuster policy(std::make_unique<RoundRobinPolicy>(), costs,
+                           {.lambda = 1.0});
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  const auto w = policy.compute(make_input(signals, kBackends, /*source=*/0));
+  EXPECT_EQ(w[0], 1000u);  // local: free
+  EXPECT_EQ(w[1], 500u);   // 1000 / (1 + 1·1)
+  EXPECT_EQ(w[2], 500u);
+}
+
+TEST(CostAwareAdjuster, LambdaZeroIsInnerPolicy) {
+  TransferCostMatrix costs(3);
+  costs.set(0, 1, 5.0);
+  CostAwareAdjuster policy(std::make_unique<RoundRobinPolicy>(), costs,
+                           {.lambda = 0.0});
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  const auto w = policy.compute(make_input(signals, kBackends));
+  EXPECT_EQ(w, (std::vector<std::uint64_t>{1000, 1000, 1000}));
+}
+
+TEST(CostAwareAdjuster, NeverBelowOne) {
+  TransferCostMatrix costs(3);
+  costs.set(0, 1, 1e9);
+  CostAwareAdjuster policy(std::make_unique<RoundRobinPolicy>(), costs, {});
+  const std::vector<BackendSignals> signals{sig(), sig(), sig()};
+  const auto w = policy.compute(make_input(signals, kBackends));
+  EXPECT_GE(w[1], 1u);
+}
+
+TEST(TransferCostMatrix, Bounds) {
+  TransferCostMatrix costs(2);
+  costs.set(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(costs.get(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(costs.get(1, 0), 0.0);
+  EXPECT_THROW(costs.set(0, 5, 1.0), ContractViolation);
+  EXPECT_THROW(costs.set(0, 1, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace l3::lb

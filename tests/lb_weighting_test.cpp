@@ -1,0 +1,160 @@
+// Tests for Algorithm 1 — the L3 weight assigner — including the exact
+// formulas of Eq. 3 and Eq. 4 and their monotonicity properties.
+#include "l3/lb/weighting.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace l3::lb {
+namespace {
+
+BackendSignals healthy(double latency = 0.100, double rps = 100.0,
+                       double inflight = 0.0, double success = 1.0) {
+  BackendSignals s;
+  s.latency_p99 = latency;
+  s.success_rate = success;
+  s.rps = rps;
+  s.inflight = inflight;
+  return s;
+}
+
+TEST(EstimatedLatency, Eq3Formula) {
+  // L_est = L_s + P × (1/R_s − 1).
+  EXPECT_DOUBLE_EQ(estimated_latency(0.1, 1.0, 0.6), 0.1);
+  EXPECT_NEAR(estimated_latency(0.1, 0.5, 0.6), 0.1 + 0.6 * 1.0, 1e-12);
+  EXPECT_NEAR(estimated_latency(0.1, 0.9, 0.6),
+              0.1 + 0.6 * (1.0 / 0.9 - 1.0), 1e-12);
+}
+
+TEST(EstimatedLatency, ZeroSuccessRateGuard) {
+  // Algorithm 1 line 11: prevent division by zero.
+  EXPECT_DOUBLE_EQ(estimated_latency(0.25, 0.0, 0.6), 0.25);
+}
+
+TEST(EstimatedLatency, MonotoneDecreasingInSuccessRate) {
+  double prev = estimated_latency(0.1, 0.05, 0.6);
+  for (double rs : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double est = estimated_latency(0.1, rs, 0.6);
+    EXPECT_LT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(AssignWeights, Eq4Formula) {
+  // w = S / ((R_i + 1)² · L_est); R_i = inflight / rps.
+  WeightingConfig config;
+  config.scale = 100.0;
+  config.penalty = 0.6;
+  BackendSignals s = healthy(0.100, 100.0, 50.0);  // R_i = 0.5
+  const auto w = assign_weights(std::vector<BackendSignals>{s}, config);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0], 100.0 / (1.5 * 1.5 * 0.100), 1e-9);
+}
+
+TEST(AssignWeights, ZeroRpsMeansZeroNormalizedInflight) {
+  // Algorithm 1 lines 6–9: R_i = 0 when RPS = 0.
+  WeightingConfig config;
+  BackendSignals s = healthy(0.100, 0.0, 500.0);
+  const auto w = assign_weights(std::vector<BackendSignals>{s}, config);
+  EXPECT_NEAR(w[0], config.scale / 0.100, 1e-9);
+}
+
+TEST(AssignWeights, FasterBackendGetsHigherWeight) {
+  const std::vector<BackendSignals> signals{healthy(0.050), healthy(0.200)};
+  const auto w = assign_weights(signals);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(w[0] / w[1], 4.0, 1e-9);  // reciprocal in latency
+}
+
+TEST(AssignWeights, LowerSuccessRateLowersWeight) {
+  const std::vector<BackendSignals> signals{healthy(0.100, 100, 0, 1.0),
+                                            healthy(0.100, 100, 0, 0.8)};
+  const auto w = assign_weights(signals);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(AssignWeights, MoreInflightLowersWeight) {
+  const std::vector<BackendSignals> signals{healthy(0.100, 100, 10),
+                                            healthy(0.100, 100, 80)};
+  const auto w = assign_weights(signals);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(AssignWeights, FloorAtMinWeight) {
+  // Algorithm 1 lines 16–18: w ≥ 1 even for terrible backends.
+  WeightingConfig config;
+  config.scale = 1.0;
+  const std::vector<BackendSignals> signals{healthy(30.0)};  // 30 s latency
+  const auto w = assign_weights(signals, config);
+  EXPECT_GE(w[0], 1.0);
+}
+
+TEST(AssignWeights, InflightExponentConfigurable) {
+  // The ablation knob: exponent 1 vs the paper's 2.
+  WeightingConfig squared;
+  WeightingConfig linear;
+  linear.inflight_exponent = 1.0;
+  BackendSignals s = healthy(0.100, 100.0, 100.0);  // R_i = 1
+  const auto w2 = assign_weights(std::vector<BackendSignals>{s}, squared);
+  const auto w1 = assign_weights(std::vector<BackendSignals>{s}, linear);
+  EXPECT_NEAR(w1[0] / w2[0], 2.0, 1e-9);  // (R_i+1)² vs (R_i+1)
+}
+
+TEST(AssignWeights, MinLatencyGuardsZeroSignal) {
+  const std::vector<BackendSignals> signals{healthy(0.0)};
+  const auto w = assign_weights(signals);
+  EXPECT_TRUE(std::isfinite(w[0]));
+  EXPECT_GT(w[0], 0.0);
+}
+
+TEST(FinalizeWeights, RoundsAndFloorsToOne) {
+  const std::vector<double> weights{0.2, 1.6, 1000.0};
+  const auto out = finalize_weights(weights, 0.0);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 1000u);
+}
+
+TEST(FinalizeWeights, MinShareFloorKeepsMetricsAlive) {
+  // §3.1: a starved backend keeps enough weight for metric collection.
+  const std::vector<double> weights{10000.0, 10000.0, 1.0};
+  const auto out = finalize_weights(weights, 0.01);
+  const double total = 20001.0;
+  EXPECT_GE(out[2], static_cast<std::uint64_t>(total * 0.01));
+}
+
+TEST(FinalizeWeights, RejectsNonFiniteWeights) {
+  const std::vector<double> bad{1.0, std::nan("")};
+  EXPECT_THROW(finalize_weights(bad, 0.01), ContractViolation);
+}
+
+/// Property sweep: weights are always finite and >= 1 for arbitrary inputs.
+class WeightingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightingProperty, AlwaysPositiveFinite) {
+  SplitRng rng(GetParam());
+  std::vector<BackendSignals> signals(3);
+  for (auto& s : signals) {
+    s.latency_p99 = rng.uniform(0.0, 10.0);
+    s.success_rate = rng.uniform(0.0, 1.0);
+    s.rps = rng.uniform(0.0, 1000.0);
+    s.inflight = rng.uniform(0.0, 500.0);
+  }
+  const auto weights = assign_weights(signals);
+  const auto final = finalize_weights(weights);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(weights[i]));
+    EXPECT_GE(weights[i], 1.0);
+    EXPECT_GE(final[i], 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightingProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace l3::lb

@@ -1,0 +1,166 @@
+// Tests for deployment elasticity and the HPA-style autoscaler.
+#include "l3/mesh/autoscaler.h"
+
+#include "l3/mesh/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::mesh {
+namespace {
+
+class AutoscalerTest : public ::testing::Test {
+ protected:
+  AutoscalerTest() : rng(41), mesh(sim, rng) {
+    cluster = mesh.add_cluster("c1");
+  }
+
+  /// Deploys a slow service with 1 replica × 4 slots.
+  ServiceDeployment& deploy_slow() {
+    return mesh.deploy(
+        "svc", cluster,
+        {.replicas = 1, .concurrency = 4, .queue_capacity = 4096},
+        std::make_unique<FixedLatencyBehavior>(0.500, 0.501));
+  }
+
+  /// Keeps `inflight` requests outstanding by re-issuing on completion.
+  void sustain_load(ServiceDeployment& d, int inflight) {
+    for (int i = 0; i < inflight; ++i) {
+      issue(d);
+    }
+  }
+
+  void issue(ServiceDeployment& d) {
+    d.handle(0, [this, &d](const Outcome&) {
+      if (keep_going) issue(d);
+    });
+  }
+
+  sim::Simulator sim;
+  SplitRng rng;
+  Mesh mesh;
+  ClusterId cluster = 0;
+  bool keep_going = true;
+};
+
+TEST_F(AutoscalerTest, DeploymentAddAndRemoveReplica) {
+  auto& d = deploy_slow();
+  EXPECT_EQ(d.replica_count(), 1u);
+  EXPECT_EQ(d.total_concurrency(), 4u);
+  d.add_replica();
+  EXPECT_EQ(d.replica_count(), 2u);
+  EXPECT_EQ(d.total_concurrency(), 8u);
+  EXPECT_TRUE(d.remove_idle_replica());
+  EXPECT_EQ(d.replica_count(), 1u);
+  EXPECT_FALSE(d.remove_idle_replica());  // never below one replica
+}
+
+TEST_F(AutoscalerTest, BusyReplicaIsNotRemoved) {
+  auto& d = deploy_slow();
+  d.add_replica();
+  sustain_load(d, 8);  // both replicas busy
+  EXPECT_FALSE(d.remove_idle_replica());
+  keep_going = false;
+  sim.run_until(5.0);
+}
+
+TEST_F(AutoscalerTest, ScalesUpUnderOverloadAfterProvisioningDelay) {
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 5.0;
+  config.provisioning_delay = 20.0;
+  config.cooldown = 10.0;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+
+  sustain_load(d, 16);  // 4 slots, 16 outstanding → utilisation 4x
+  sim.run_until(6.0);   // first evaluation decided to scale
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  EXPECT_EQ(d.replica_count(), 1u);  // still provisioning
+  sim.run_until(30.0);
+  EXPECT_GE(d.replica_count(), 2u);  // replica came up
+  keep_going = false;
+  sim.run_until(40.0);
+}
+
+TEST_F(AutoscalerTest, CooldownLimitsActionRate) {
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 1.0;
+  config.cooldown = 30.0;
+  config.provisioning_delay = 1.0;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sustain_load(d, 64);
+  sim.run_until(25.0);
+  EXPECT_EQ(scaler.scale_ups(), 1u);  // one action per cooldown window
+  keep_going = false;
+  sim.run_until(35.0);
+}
+
+TEST_F(AutoscalerTest, ScalesDownWhenIdle) {
+  auto& d = deploy_slow();
+  d.add_replica();
+  d.add_replica();
+  Autoscaler::Config config;
+  config.interval = 5.0;
+  config.cooldown = 5.0;
+  config.min_replicas = 1;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sim.run_until(60.0);  // no load at all
+  EXPECT_EQ(d.replica_count(), 1u);
+  EXPECT_GE(scaler.scale_downs(), 2u);
+}
+
+TEST_F(AutoscalerTest, RespectsMaxReplicas) {
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 1.0;
+  config.cooldown = 1.0;
+  config.provisioning_delay = 0.5;
+  config.max_replicas = 3;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sustain_load(d, 256);
+  sim.run_until(120.0);
+  EXPECT_LE(d.replica_count(), 3u);
+  keep_going = false;
+  sim.run_until(130.0);
+}
+
+TEST_F(AutoscalerTest, ScaleUpRestoresThroughput) {
+  // Demand of ~16 concurrent requests against 4 slots: queueing dominates
+  // until the autoscaler grows the deployment.
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 5.0;
+  config.cooldown = 5.0;
+  config.provisioning_delay = 10.0;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sustain_load(d, 16);
+  sim.run_until(200.0);
+  EXPECT_GE(d.replica_count(), 4u);  // grew to fit the demand
+  EXPECT_LE(static_cast<double>(d.load()) /
+                static_cast<double>(d.total_concurrency()),
+            1.1);
+  keep_going = false;
+  sim.run_until(210.0);
+}
+
+TEST_F(AutoscalerTest, RejectsBadConfig) {
+  Autoscaler::Config config;
+  config.scale_up_utilisation = 0.2;
+  config.scale_down_utilisation = 0.5;
+  EXPECT_THROW(Autoscaler(sim, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace l3::mesh

@@ -1,0 +1,176 @@
+// Tests for Replica (slots + FIFO queue) and ServiceDeployment (replica
+// selection, outage handling, behavior invocation).
+#include "l3/mesh/deployment.h"
+
+#include "l3/mesh/mesh.h"
+#include "l3/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::mesh {
+namespace {
+
+TEST(Replica, RunsImmediatelyWhenSlotFree) {
+  Replica r(2, 10);
+  bool ran = false;
+  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+    ran = true;
+    release();
+  }));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(r.active(), 0u);
+  EXPECT_EQ(r.completed(), 1u);
+}
+
+TEST(Replica, QueuesBeyondConcurrency) {
+  Replica r(1, 10);
+  std::function<void()> release_first;
+  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+    release_first = std::move(release);
+  }));
+  bool second_ran = false;
+  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+    second_ran = true;
+    release();
+  }));
+  EXPECT_EQ(r.active(), 1u);
+  EXPECT_EQ(r.queued(), 1u);
+  EXPECT_FALSE(second_ran);
+  release_first();  // frees the slot → queued job runs
+  EXPECT_TRUE(second_ran);
+  EXPECT_EQ(r.load(), 0u);
+  EXPECT_EQ(r.completed(), 2u);
+}
+
+TEST(Replica, RejectsWhenQueueFull) {
+  Replica r(1, 1);
+  std::function<void()> hold;
+  r.submit([&](std::function<void()> release) { hold = std::move(release); });
+  EXPECT_TRUE(r.submit([](std::function<void()> release) { release(); }));
+  EXPECT_FALSE(r.submit([](std::function<void()> release) { release(); }));
+  EXPECT_EQ(r.rejected(), 1u);
+  hold();
+}
+
+TEST(Replica, DoubleReleaseIsContractViolation) {
+  Replica r(1, 1);
+  std::function<void()> saved;
+  r.submit([&](std::function<void()> release) { saved = std::move(release); });
+  saved();
+  EXPECT_THROW(saved(), ContractViolation);
+}
+
+TEST(Replica, FifoOrderForQueuedJobs) {
+  Replica r(1, 10);
+  std::function<void()> release0;
+  std::vector<int> order;
+  r.submit([&](std::function<void()> release) { release0 = std::move(release); });
+  for (int i = 1; i <= 3; ++i) {
+    r.submit([&order, i](std::function<void()> release) {
+      order.push_back(i);
+      release();
+    });
+  }
+  release0();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : rng(1), mesh(sim, rng) {
+    cluster = mesh.add_cluster("c1");
+  }
+
+  ServiceDeployment& deploy(DeploymentConfig config,
+                            SimDuration median = 0.010,
+                            SimDuration p99 = 0.050, double success = 1.0) {
+    return mesh.deploy("svc", cluster, config,
+                       std::make_unique<FixedLatencyBehavior>(median, p99,
+                                                              success));
+  }
+
+  sim::Simulator sim;
+  SplitRng rng;
+  Mesh mesh;
+  ClusterId cluster = 0;
+};
+
+TEST_F(DeploymentTest, HandlesRequestThroughBehavior) {
+  auto& d = deploy({.replicas = 2, .concurrency = 4, .queue_capacity = 8});
+  bool done = false;
+  Outcome outcome;
+  d.handle(0, [&](const Outcome& o) {
+    done = true;
+    outcome = o;
+  });
+  EXPECT_FALSE(done);  // asynchronous: needs the execution delay to elapse
+  sim.run_until(10.0);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_FALSE(outcome.rejected);
+  EXPECT_EQ(d.completed(), 1u);
+}
+
+TEST_F(DeploymentTest, DownDeploymentRejectsImmediately) {
+  auto& d = deploy({});
+  d.set_down(true);
+  bool done = false;
+  d.handle(0, [&](const Outcome& o) {
+    done = true;
+    EXPECT_FALSE(o.success);
+    EXPECT_TRUE(o.rejected);
+  });
+  EXPECT_TRUE(done);  // rejection is synchronous
+  EXPECT_EQ(d.rejected(), 1u);
+}
+
+TEST_F(DeploymentTest, SpreadsLoadAcrossReplicas) {
+  auto& d = deploy({.replicas = 3, .concurrency = 100, .queue_capacity = 100});
+  for (int i = 0; i < 30; ++i) {
+    d.handle(0, [](const Outcome&) {});
+  }
+  // With least-loaded + rotation, 30 in-flight requests spread 10/10/10.
+  EXPECT_EQ(d.replica(0).load(), 10u);
+  EXPECT_EQ(d.replica(1).load(), 10u);
+  EXPECT_EQ(d.replica(2).load(), 10u);
+  sim.run_until(10.0);
+  EXPECT_EQ(d.completed(), 30u);
+}
+
+TEST_F(DeploymentTest, FailureRateRoughlyHonoured) {
+  auto& d = deploy({.replicas = 3, .concurrency = 1000,
+                    .queue_capacity = 1000},
+                   0.010, 0.050, 0.7);
+  int ok = 0, total = 2000;
+  for (int i = 0; i < total; ++i) {
+    d.handle(0, [&](const Outcome& o) {
+      if (o.success) ++ok;
+    });
+  }
+  sim.run_until(60.0);
+  EXPECT_NEAR(static_cast<double>(ok) / total, 0.7, 0.05);
+}
+
+TEST_F(DeploymentTest, SaturationBuildsQueueingDelay) {
+  // 1 replica × 1 slot; behavior takes ~10 ms; submit 20 at once → the
+  // last completion should be near 20 × exec time, far beyond a single
+  // exec time.
+  auto& d = deploy({.replicas = 1, .concurrency = 1, .queue_capacity = 64},
+                   0.010, 0.0101);
+  int completed = 0;
+  SimTime last_done = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    d.handle(0, [&](const Outcome&) {
+      ++completed;
+      last_done = sim.now();
+    });
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(last_done, 0.15);  // ≈ 20 × 10 ms serialized
+}
+
+}  // namespace
+}  // namespace l3::mesh

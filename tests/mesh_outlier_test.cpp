@@ -1,0 +1,187 @@
+// Tests for the outlier detector and its integration with the proxy
+// (circuit-breaker failover, §5.1) plus the per-request PeakEWMA-P2C
+// routing mode (§6, Linkerd's in-proxy balancer).
+#include "l3/mesh/outlier.h"
+
+#include "l3/mesh/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::mesh {
+namespace {
+
+OutlierDetectionConfig enabled_config() {
+  OutlierDetectionConfig config;
+  config.enabled = true;
+  config.failure_threshold = 0.5;
+  config.min_requests = 10;
+  config.window = 10.0;
+  config.ejection_duration = 30.0;
+  config.max_ejected_fraction = 0.67;
+  return config;
+}
+
+TEST(OutlierDetector, DisabledNeverEjects) {
+  OutlierDetectionConfig config = enabled_config();
+  config.enabled = false;
+  OutlierDetector detector(3, config);
+  for (int i = 0; i < 100; ++i) detector.record(0, false, 1.0);
+  EXPECT_FALSE(detector.is_ejected(0, 1.0));
+  EXPECT_EQ(detector.ejections(), 0u);
+}
+
+TEST(OutlierDetector, EjectsAfterThresholdFailures) {
+  OutlierDetector detector(3, enabled_config());
+  // 5 successes + 5 failures = 50 % at min_requests → eject on the 10th.
+  for (int i = 0; i < 5; ++i) detector.record(0, true, 1.0);
+  for (int i = 0; i < 4; ++i) detector.record(0, false, 1.0);
+  EXPECT_FALSE(detector.is_ejected(0, 1.0));
+  detector.record(0, false, 1.0);
+  EXPECT_TRUE(detector.is_ejected(0, 1.0));
+  EXPECT_EQ(detector.ejections(), 1u);
+}
+
+TEST(OutlierDetector, NoEjectionBelowMinRequests) {
+  OutlierDetector detector(3, enabled_config());
+  for (int i = 0; i < 9; ++i) detector.record(0, false, 1.0);
+  EXPECT_FALSE(detector.is_ejected(0, 1.0));
+}
+
+TEST(OutlierDetector, EjectionExpires) {
+  OutlierDetector detector(3, enabled_config());
+  for (int i = 0; i < 10; ++i) detector.record(0, false, 1.0);
+  EXPECT_TRUE(detector.is_ejected(0, 10.0));
+  EXPECT_TRUE(detector.is_ejected(0, 30.9));
+  EXPECT_FALSE(detector.is_ejected(0, 31.1));  // 1.0 + 30 s elapsed
+}
+
+TEST(OutlierDetector, WindowRollsForgetOldFailures) {
+  OutlierDetector detector(3, enabled_config());
+  for (int i = 0; i < 9; ++i) detector.record(0, false, 1.0);
+  // Window rolls at t >= 11; old failures are forgotten.
+  detector.record(0, false, 12.0);
+  EXPECT_FALSE(detector.is_ejected(0, 12.0));
+}
+
+TEST(OutlierDetector, EjectionBudgetRespected) {
+  // With 3 backends and max 0.67, at most 2 may be ejected at once.
+  OutlierDetector detector(3, enabled_config());
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (int i = 0; i < 10; ++i) detector.record(b, false, 1.0);
+  }
+  EXPECT_EQ(detector.ejected_count(1.0), 2u);
+  EXPECT_FALSE(detector.is_ejected(2, 1.0));  // the third stays in rotation
+}
+
+TEST(OutlierDetector, SuccessesKeepBackendIn) {
+  OutlierDetector detector(2, enabled_config());
+  for (int i = 0; i < 100; ++i) {
+    detector.record(0, i % 4 != 0, 1.0);  // 25 % failures < threshold
+  }
+  EXPECT_FALSE(detector.is_ejected(0, 1.0));
+}
+
+class ProxyOutlierTest : public ::testing::Test {
+ protected:
+  static MeshConfig config_with_outlier() {
+    MeshConfig config;
+    config.local_delay = 0.0;
+    config.local_jitter_frac = 0.0;
+    config.health_probe_interval = 0.0;
+    config.outlier_detection = enabled_config();
+    return config;
+  }
+
+  sim::Simulator sim;
+};
+
+TEST_F(ProxyOutlierTest, FailingBackendGetsEjectedAndTrafficMoves) {
+  Mesh mesh(sim, SplitRng(3), config_with_outlier());
+  const auto a = mesh.add_cluster("a");
+  const auto b = mesh.add_cluster("b");
+  mesh.deploy("svc", a, {},
+              std::make_unique<FixedLatencyBehavior>(0.010, 0.020, 0.05));
+  mesh.deploy("svc", b, {},
+              std::make_unique<FixedLatencyBehavior>(0.010, 0.020, 1.0));
+  Proxy& proxy = mesh.proxy(a, "svc");
+
+  int to_failing = 0;
+  auto burst = [&](int n) {
+    to_failing = 0;
+    for (int i = 0; i < n; ++i) {
+      mesh.call(a, "svc", 0, [&](const Response& r) {
+        if (r.backend_cluster == a) ++to_failing;
+      });
+    }
+    sim.run_until(sim.now() + 5.0);
+  };
+  burst(100);  // enough to trip the detector
+  EXPECT_GT(proxy.outlier_detector().ejections(), 0u);
+  burst(100);  // while ejected, (almost) everything goes to b
+  EXPECT_LT(to_failing, 5);
+}
+
+TEST_F(ProxyOutlierTest, P2CModePrefersFastBackend) {
+  MeshConfig config;
+  config.local_delay = 0.0;
+  config.local_jitter_frac = 0.0;
+  config.health_probe_interval = 0.0;
+  config.routing = RoutingMode::kPeakEwmaP2C;
+  Mesh mesh(sim, SplitRng(5), config);
+  const auto a = mesh.add_cluster("a");
+  const auto b = mesh.add_cluster("b");
+  mesh.deploy("svc", a, {},
+              std::make_unique<FixedLatencyBehavior>(0.010, 0.020));
+  mesh.deploy("svc", b, {},
+              std::make_unique<FixedLatencyBehavior>(0.200, 0.400));
+  Proxy& proxy = mesh.proxy(a, "svc");
+  EXPECT_EQ(proxy.routing_mode(), RoutingMode::kPeakEwmaP2C);
+
+  int to_fast = 0, total = 0;
+  // Sequential-ish stream so the PeakEWMA has feedback to learn from.
+  for (int wave = 0; wave < 40; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      mesh.call(a, "svc", 0, [&](const Response& r) {
+        ++total;
+        if (r.backend_cluster == a) ++to_fast;
+      });
+    }
+    sim.run_until(sim.now() + 1.0);
+  }
+  sim.run_until(sim.now() + 5.0);
+  EXPECT_EQ(total, 400);
+  // P2C with a 20x latency gap must send the clear majority to the fast
+  // backend (it still probes the slow one occasionally by design).
+  EXPECT_GT(static_cast<double>(to_fast) / total, 0.75);
+}
+
+TEST_F(ProxyOutlierTest, P2CIgnoresTrafficSplitWeights) {
+  MeshConfig config;
+  config.local_delay = 0.0;
+  config.health_probe_interval = 0.0;
+  config.routing = RoutingMode::kPeakEwmaP2C;
+  Mesh mesh(sim, SplitRng(6), config);
+  const auto a = mesh.add_cluster("a");
+  const auto b = mesh.add_cluster("b");
+  for (auto c : {a, b}) {
+    mesh.deploy("svc", c, {},
+                std::make_unique<FixedLatencyBehavior>(0.010, 0.020));
+  }
+  mesh.proxy(a, "svc");
+  // Zero out backend b in the split: P2C routing must still use it (it
+  // decides per request from client-side signals, not from weights).
+  mesh.find_split(a, "svc")->set_weights(std::vector<std::uint64_t>{1, 0});
+  int to_b = 0;
+  for (int i = 0; i < 400; ++i) {
+    mesh.call(a, "svc", 0, [&](const Response& r) {
+      if (r.backend_cluster == b) ++to_b;
+    });
+  }
+  sim.run_until(sim.now() + 10.0);
+  EXPECT_GT(to_b, 100);
+}
+
+}  // namespace
+}  // namespace l3::mesh

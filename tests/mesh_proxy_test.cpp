@@ -1,0 +1,234 @@
+// Tests for the proxy hot path: weighted routing shares, metric export,
+// in-flight accounting, timeouts, and health-based exclusion.
+#include "l3/mesh/mesh.h"
+
+#include "l3/mesh/metric_names.h"
+#include "l3/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::mesh {
+namespace {
+
+namespace mn = metric_names;
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : rng(11), mesh(sim, rng, make_config()) {
+    c1 = mesh.add_cluster("c1");
+    c2 = mesh.add_cluster("c2");
+    c3 = mesh.add_cluster("c3");
+  }
+
+  static MeshConfig make_config() {
+    MeshConfig config;
+    config.local_delay = 0.0;
+    config.local_jitter_frac = 0.0;
+    config.health_probe_interval = 0.0;  // disabled unless a test enables it
+    return config;
+  }
+
+  void deploy_everywhere(SimDuration median = 0.010,
+                         SimDuration p99 = 0.030) {
+    for (ClusterId c : {c1, c2, c3}) {
+      mesh.deploy("svc", c, {},
+                  std::make_unique<FixedLatencyBehavior>(median, p99));
+    }
+  }
+
+  /// Sends n requests from c1 and returns the per-cluster response counts.
+  std::vector<int> send_and_count(int n) {
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < n; ++i) {
+      mesh.call(c1, "svc", 0, [&](const Response& r) {
+        counts[r.backend_cluster] += 1;
+      });
+    }
+    sim.run_until(sim.now() + 30.0);
+    return counts;
+  }
+
+  sim::Simulator sim;
+  SplitRng rng;
+  Mesh mesh;
+  ClusterId c1 = 0, c2 = 0, c3 = 0;
+};
+
+TEST_F(ProxyTest, EqualWeightsGiveRoughlyEqualShares) {
+  deploy_everywhere();
+  const auto counts = send_and_count(3000);
+  for (int c : counts) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST_F(ProxyTest, TrafficFollowsWeightRatios) {
+  deploy_everywhere();
+  Proxy& proxy = mesh.proxy(c1, "svc");
+  TrafficSplit* split = mesh.find_split(c1, "svc");
+  ASSERT_NE(split, nullptr);
+  const std::vector<std::uint64_t> w{6000, 3000, 1000};
+  split->set_weights(w);
+  const auto counts = send_and_count(5000);
+  EXPECT_NEAR(counts[0] / 5000.0, 0.6, 0.03);
+  EXPECT_NEAR(counts[1] / 5000.0, 0.3, 0.03);
+  EXPECT_NEAR(counts[2] / 5000.0, 0.1, 0.03);
+  EXPECT_EQ(proxy.sent(), 5000u);
+}
+
+TEST_F(ProxyTest, ZeroWeightBackendGetsNoTraffic) {
+  deploy_everywhere();
+  mesh.proxy(c1, "svc");
+  mesh.find_split(c1, "svc")->set_weights(std::vector<std::uint64_t>{1, 0, 1});
+  const auto counts = send_and_count(2000);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST_F(ProxyTest, LatencyIncludesWanRtt) {
+  deploy_everywhere(0.010, 0.0101);
+  mesh.wan().set_symmetric(c1, c2, {.base = 0.050, .jitter_frac = 0.0});
+  mesh.proxy(c1, "svc");
+  mesh.find_split(c1, "svc")->set_weights(std::vector<std::uint64_t>{0, 1, 0});
+  double latency = 0.0;
+  mesh.call(c1, "svc", 0, [&](const Response& r) { latency = r.latency; });
+  sim.run_until(10.0);
+  EXPECT_GT(latency, 0.100);  // 2 × 50 ms WAN + exec
+  EXPECT_LT(latency, 0.200);
+}
+
+TEST_F(ProxyTest, MetricsExportedPerBackend) {
+  deploy_everywhere();
+  send_and_count(300);
+  auto& registry = mesh.registry(c1);
+  double total = 0.0;
+  for (const char* dst : {"c1", "c2", "c3"}) {
+    total += registry
+                 .counter(mn::kRequestTotal,
+                          mn::backend_labels("svc", "c1", dst))
+                 .value();
+  }
+  EXPECT_DOUBLE_EQ(total, 300.0);
+  // All succeeded; failure counters stay zero; in-flight drained to zero.
+  for (const char* dst : {"c1", "c2", "c3"}) {
+    const auto labels = mn::backend_labels("svc", "c1", dst);
+    EXPECT_DOUBLE_EQ(registry.counter(mn::kFailureTotal, labels).value(), 0.0);
+    EXPECT_DOUBLE_EQ(registry.gauge(mn::kInflight, labels).value(), 0.0);
+  }
+}
+
+TEST_F(ProxyTest, LatencySumCounterAccumulates) {
+  deploy_everywhere();
+  send_and_count(100);
+  auto& registry = mesh.registry(c1);
+  double sum = 0.0;
+  for (const char* dst : {"c1", "c2", "c3"}) {
+    sum += registry
+               .counter(mn::kLatencySuccessSum,
+                        mn::backend_labels("svc", "c1", dst))
+               .value();
+  }
+  EXPECT_GT(sum, 100 * 0.005);  // 100 requests at ≥ ~10 ms median
+}
+
+TEST_F(ProxyTest, InflightTracksOutstandingRequests) {
+  deploy_everywhere(1.0, 1.001);  // 1 s execution
+  Proxy& proxy = mesh.proxy(c1, "svc");
+  for (int i = 0; i < 10; ++i) {
+    mesh.call(c1, "svc", 0, [](const Response&) {});
+  }
+  sim.run_until(0.5);  // mid-flight
+  EXPECT_EQ(proxy.inflight(), 10u);
+  sim.run_until(5.0);
+  EXPECT_EQ(proxy.inflight(), 0u);
+}
+
+TEST_F(ProxyTest, TimeoutProducesFailureWithTimeoutLatency) {
+  MeshConfig config = make_config();
+  config.request_timeout = 0.5;
+  Mesh m(sim, SplitRng(3), config);
+  const auto a = m.add_cluster("a");
+  m.deploy("svc", a, {},
+           std::make_unique<FixedLatencyBehavior>(2.0, 2.001));  // way > 0.5 s
+  Response response;
+  bool got = false;
+  m.call(a, "svc", 0, [&](const Response& r) {
+    response = r;
+    got = true;
+  });
+  sim.run_until(10.0);
+  ASSERT_TRUE(got);
+  EXPECT_FALSE(response.success);
+  EXPECT_TRUE(response.timed_out);
+  EXPECT_DOUBLE_EQ(response.latency, 0.5);
+}
+
+TEST_F(ProxyTest, LateResponseAfterTimeoutIsIgnored) {
+  MeshConfig config = make_config();
+  config.request_timeout = 0.5;
+  Mesh m(sim, SplitRng(4), config);
+  const auto a = m.add_cluster("a");
+  m.deploy("svc", a, {}, std::make_unique<FixedLatencyBehavior>(2.0, 2.001));
+  int callbacks = 0;
+  m.call(a, "svc", 0, [&](const Response&) { ++callbacks; });
+  sim.run_until(10.0);  // behavior completes at ~2 s, after the timeout
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST_F(ProxyTest, HealthExclusionReroutesAfterProbe) {
+  MeshConfig config = make_config();
+  config.health_probe_interval = 1.0;
+  Mesh m(sim, SplitRng(5), config);
+  const auto a = m.add_cluster("a");
+  const auto b = m.add_cluster("b");
+  auto& da = m.deploy("svc", a, {},
+                      std::make_unique<FixedLatencyBehavior>(0.01, 0.02));
+  m.deploy("svc", b, {}, std::make_unique<FixedLatencyBehavior>(0.01, 0.02));
+  m.proxy(a, "svc");
+
+  da.set_down(true);
+  sim.run_until(2.0);  // health probe notices
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 200; ++i) {
+    m.call(a, "svc", 0,
+           [&](const Response& r) { counts[r.backend_cluster] += 1; });
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(counts[0], 0);  // excluded by the health view
+  EXPECT_EQ(counts[1], 200);
+}
+
+TEST_F(ProxyTest, DepthLimitFailsFast) {
+  deploy_everywhere();
+  bool got = false;
+  mesh.call(c1, "svc", 100, [&](const Response& r) {
+    got = true;
+    EXPECT_FALSE(r.success);
+  });
+  EXPECT_TRUE(got);  // synchronous failure, no recursion
+}
+
+TEST_F(ProxyTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator s;
+    Mesh m(s, SplitRng(seed), make_config());
+    const auto a = m.add_cluster("a");
+    const auto b = m.add_cluster("b");
+    for (ClusterId c : {a, b}) {
+      m.deploy("svc", c, {},
+               std::make_unique<FixedLatencyBehavior>(0.01, 0.05));
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      m.call(a, "svc", 0, [&](const Response& r) { sum += r.latency; });
+    }
+    s.run_until(30.0);
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+}  // namespace
+}  // namespace l3::mesh

@@ -1,0 +1,81 @@
+// Tests for TrafficSplit weight semantics and ControlPlane propagation.
+#include "l3/mesh/traffic_split.h"
+
+#include <gtest/gtest.h>
+
+namespace l3::mesh {
+namespace {
+
+std::vector<BackendRef> three_backends() {
+  return {{"svc", 0}, {"svc", 1}, {"svc", 2}};
+}
+
+TEST(TrafficSplit, StartsWithEqualWeights) {
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  EXPECT_EQ(split.backend_count(), 3u);
+  EXPECT_EQ(split.weights(), (std::vector<std::uint64_t>{1000, 1000, 1000}));
+  EXPECT_EQ(split.generation(), 0u);
+  EXPECT_EQ(split.service(), "svc");
+  EXPECT_EQ(split.source(), 0u);
+}
+
+TEST(TrafficSplit, SetWeightsBumpsGeneration) {
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  const std::vector<std::uint64_t> w{10, 20, 30};
+  split.set_weights(w);
+  EXPECT_EQ(split.weights(), w);
+  EXPECT_EQ(split.generation(), 1u);
+}
+
+TEST(TrafficSplit, ZeroWeightsAllowed) {
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  const std::vector<std::uint64_t> w{0, 5, 0};
+  split.set_weights(w);
+  EXPECT_EQ(split.weights(), w);
+}
+
+TEST(TrafficSplit, RejectsSizeMismatch) {
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  const std::vector<std::uint64_t> w{1, 2};
+  EXPECT_THROW(split.set_weights(w), ContractViolation);
+}
+
+TEST(TrafficSplit, RejectsEmptyBackends) {
+  EXPECT_THROW(TrafficSplit("svc", 0, {}, 1000), ContractViolation);
+}
+
+TEST(ControlPlane, ZeroDelayAppliesImmediately) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, 0.0);
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  cp.apply(split, {1, 2, 3});
+  EXPECT_EQ(split.weights(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(cp.updates_applied(), 1u);
+}
+
+TEST(ControlPlane, PropagationDelayDefersApplication) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, 2.0);
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  cp.apply(split, {1, 2, 3});
+  EXPECT_EQ(split.weights(), (std::vector<std::uint64_t>{1000, 1000, 1000}));
+  sim.run_until(1.9);
+  EXPECT_EQ(split.generation(), 0u);
+  sim.run_until(2.1);
+  EXPECT_EQ(split.weights(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ControlPlane, InFlightUpdatesApplyInOrder) {
+  sim::Simulator sim;
+  ControlPlane cp(sim, 1.0);
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  cp.apply(split, {1, 1, 1});
+  sim.run_until(0.5);
+  cp.apply(split, {2, 2, 2});
+  sim.run_until(10.0);
+  EXPECT_EQ(split.weights(), (std::vector<std::uint64_t>{2, 2, 2}));
+  EXPECT_EQ(split.generation(), 2u);
+}
+
+}  // namespace
+}  // namespace l3::mesh

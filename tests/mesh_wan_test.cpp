@@ -1,0 +1,114 @@
+// Tests for the WAN delay model: base delays, jitter, route flaps,
+// disturbances, and determinism.
+#include "l3/mesh/wan.h"
+
+#include <gtest/gtest.h>
+
+namespace l3::mesh {
+namespace {
+
+TEST(Wan, DefaultLinksHaveZeroDelay) {
+  WanModel wan;
+  wan.resize(2);
+  SplitRng rng(1);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 0.0, rng), 0.0);
+}
+
+TEST(Wan, BaseDelayWithoutJitterIsExact) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.005, .jitter_frac = 0.0});
+  SplitRng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(wan.sample(0, 1, static_cast<double>(i), rng), 0.005);
+  }
+}
+
+TEST(Wan, JitterOnlyAddsDelay) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.010, .jitter_frac = 0.2});
+  SplitRng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = wan.sample(0, 1, 0.0, rng);
+    EXPECT_GE(d, 0.010);          // half-normal jitter is non-negative
+    EXPECT_LT(d, 0.010 * 2.0);    // 5 sigma would be needed to reach 2x
+  }
+}
+
+TEST(Wan, SymmetricSetsBothDirections) {
+  WanModel wan;
+  wan.resize(3);
+  wan.set_symmetric(0, 2, {.base = 0.007, .jitter_frac = 0.0});
+  SplitRng rng(3);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 2, 0.0, rng), 0.007);
+  EXPECT_DOUBLE_EQ(wan.sample(2, 0, 0.0, rng), 0.007);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 0.0, rng), 0.0);  // untouched
+}
+
+TEST(Wan, LocalDelayOnDiagonal) {
+  WanModel wan;
+  wan.resize(3);
+  wan.set_local_delay(0.0005, 0.0);
+  SplitRng rng(4);
+  for (ClusterId c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(wan.sample(c, c, 0.0, rng), 0.0005);
+  }
+}
+
+TEST(Wan, DisturbanceAppliesOnlyInWindowAndDirection) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.005, .jitter_frac = 0.0});
+  wan.set_link(1, 0, {.base = 0.005, .jitter_frac = 0.0});
+  wan.add_disturbance({.from = 0, .to = 1, .start = 10.0, .end = 20.0,
+                       .extra = 0.050});
+  SplitRng rng(5);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 9.9, rng), 0.005);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 10.0, rng), 0.055);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 19.9, rng), 0.055);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 20.0, rng), 0.005);
+  EXPECT_DOUBLE_EQ(wan.sample(1, 0, 15.0, rng), 0.005);  // other direction
+}
+
+TEST(Wan, RouteFlapIsPiecewiseConstantAndBounded) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1,
+               {.base = 0.005, .jitter_frac = 0.0, .flap_amp = 0.002,
+                .flap_period = 4.0});
+  SplitRng rng(6);
+  // Within one epoch the flap offset is constant.
+  const double a = wan.sample(0, 1, 0.1, rng);
+  const double b = wan.sample(0, 1, 3.9, rng);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 0.005);
+  EXPECT_LE(a, 0.007);
+  // Across epochs it (almost surely) changes.
+  bool changed = false;
+  for (int e = 1; e < 10; ++e) {
+    if (wan.sample(0, 1, 4.0 * e + 0.1, rng) != a) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Wan, ResizePreservesExistingLinks) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.003, .jitter_frac = 0.0});
+  wan.resize(4);
+  SplitRng rng(7);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 0.0, rng), 0.003);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 3, 0.0, rng), 0.0);
+}
+
+TEST(Wan, RejectsOutOfRangeClusters) {
+  WanModel wan;
+  wan.resize(2);
+  EXPECT_THROW(wan.set_link(0, 5, {}), ContractViolation);
+  SplitRng rng(8);
+  EXPECT_THROW(wan.sample(5, 0, 0.0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace l3::mesh

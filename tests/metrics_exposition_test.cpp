@@ -1,0 +1,58 @@
+// Tests for the Prometheus text exposition of a Registry.
+#include "l3/metrics/exposition.h"
+
+#include <gtest/gtest.h>
+
+namespace l3::metrics {
+namespace {
+
+TEST(Exposition, CountersAndGauges) {
+  Registry registry;
+  registry.counter("requests_total", {{"dst", "c1"}}).add(42.0);
+  registry.gauge("inflight", {}).set(7.0);
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("requests_total{dst=\"c1\"} 42"), std::string::npos);
+  EXPECT_NE(text.find("inflight 7"), std::string::npos);
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeWithInf) {
+  Registry registry;
+  const std::vector<double> bounds = {0.1, 0.2};
+  auto& h = registry.histogram("latency", {{"svc", "api"}}, &bounds);
+  h.record(0.05);
+  h.record(0.15);
+  h.record(5.0);
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("latency_bucket{svc=\"api\",le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{svc=\"api\",le=\"0.2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{svc=\"api\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_count{svc=\"api\"} 3"), std::string::npos);
+}
+
+TEST(Exposition, MultipleLabelsQuoted) {
+  Registry registry;
+  registry.counter("m", {{"b", "2"}, {"a", "1"}}).increment();
+  const std::string text = exposition_text(registry);
+  // Labels come out sorted (series-key order) and quoted.
+  EXPECT_NE(text.find("m{a=\"1\",b=\"2\"} 1"), std::string::npos);
+}
+
+TEST(Exposition, EmptyRegistryEmptyOutput) {
+  Registry registry;
+  EXPECT_TRUE(exposition_text(registry).empty());
+}
+
+TEST(Exposition, DeterministicOrder) {
+  Registry a, b;
+  a.counter("x", {{"i", "1"}}).increment();
+  a.counter("x", {{"i", "2"}}).increment();
+  b.counter("x", {{"i", "2"}}).increment();
+  b.counter("x", {{"i", "1"}}).increment();
+  EXPECT_EQ(exposition_text(a), exposition_text(b));
+}
+
+}  // namespace
+}  // namespace l3::metrics

@@ -1,0 +1,102 @@
+// Tests for the Prometheus-style registry: series identity, counter/gauge
+// semantics, cumulative histogram export.
+#include "l3/metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace l3::metrics {
+namespace {
+
+TEST(SeriesKey, SortsLabels) {
+  const auto a = series_key("m", {{"b", "2"}, {"a", "1"}});
+  const auto b = series_key("m", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "m{a=1,b=2}");
+}
+
+TEST(SeriesKey, EmptyLabels) {
+  EXPECT_EQ(series_key("requests", {}), "requests{}");
+}
+
+TEST(Counter, MonotoneAndRejectsNegative) {
+  Counter c;
+  c.increment();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  EXPECT_THROW(c.add(-1.0), ContractViolation);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(5.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Registry, SameNameLabelsReturnsSameSeries) {
+  Registry r;
+  Counter& a = r.counter("req", {{"dst", "c1"}});
+  Counter& b = r.counter("req", {{"dst", "c1"}});
+  EXPECT_EQ(&a, &b);
+  a.increment();
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+}
+
+TEST(Registry, DifferentLabelsAreDistinct) {
+  Registry r;
+  Counter& a = r.counter("req", {{"dst", "c1"}});
+  Counter& b = r.counter("req", {{"dst", "c2"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(r.series_count(), 2u);
+}
+
+TEST(Registry, ReferencesStableAcrossInserts) {
+  Registry r;
+  Counter& first = r.counter("m", {{"i", "0"}});
+  first.increment();
+  for (int i = 1; i < 100; ++i) {
+    r.counter("m", {{"i", std::to_string(i)}});
+  }
+  EXPECT_DOUBLE_EQ(first.value(), 1.0);  // no reallocation invalidation
+}
+
+TEST(Registry, HistogramCumulativeCounts) {
+  Registry r;
+  const std::vector<double> bounds = {0.1, 0.2};
+  HistogramSeries& h = r.histogram("lat", {}, &bounds);
+  h.record(0.05);
+  h.record(0.15);
+  h.record(5.0);
+  const auto cum = h.cumulative_counts();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_DOUBLE_EQ(cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(cum[1], 2.0);
+  EXPECT_DOUBLE_EQ(cum[2], 3.0);  // +Inf == total
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(Registry, ForEachVisitsEverySeries) {
+  Registry r;
+  r.counter("c", {{"x", "1"}}).increment();
+  r.gauge("g", {}).set(7.0);
+  r.histogram("h", {}).record(0.05);
+  int counters = 0, gauges = 0, histos = 0;
+  r.for_each([&](const std::string&, double v) {
+    ++counters;
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  },
+             [&](const std::string&, double v) {
+               ++gauges;
+               EXPECT_DOUBLE_EQ(v, 7.0);
+             },
+             [&](const std::string&, const HistogramSeries& h) {
+               ++histos;
+               EXPECT_EQ(h.total_count(), 1u);
+             });
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(histos, 1);
+}
+
+}  // namespace
+}  // namespace l3::metrics

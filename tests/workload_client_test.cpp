@@ -1,0 +1,190 @@
+// Tests for the open-loop client, timeline aggregation and summaries.
+#include "l3/workload/client.h"
+
+#include "l3/mesh/mesh.h"
+#include "l3/workload/trace_behavior.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace l3::workload {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : rng(31), mesh(sim, rng) {
+    c1 = mesh.add_cluster("c1");
+    mesh.deploy("svc", c1, {},
+                std::make_unique<mesh::FixedLatencyBehavior>(0.010, 0.030));
+  }
+
+  sim::Simulator sim;
+  SplitRng rng;
+  mesh::Mesh mesh;
+  mesh::ClusterId c1 = 0;
+};
+
+TEST_F(ClientTest, ConstantRateSendsExpectedCount) {
+  OpenLoopClient client(mesh, c1, "svc", [](SimTime) { return 100.0; },
+                        rng.split("c"));
+  client.start(0.0, 10.0);
+  sim.run_until(15.0);
+  EXPECT_NEAR(static_cast<double>(client.sent()), 1000.0, 2.0);
+  EXPECT_EQ(client.completed(), client.sent());
+}
+
+TEST_F(ClientTest, OpenLoopDoesNotWaitForResponses) {
+  // Slow service (1 s) at 100 RPS: an open-loop client keeps firing.
+  mesh::Mesh slow_mesh(sim, SplitRng(1));
+  const auto a = slow_mesh.add_cluster("a");
+  slow_mesh.deploy(
+      "svc", a, {.replicas = 1, .concurrency = 4096, .queue_capacity = 1},
+      std::make_unique<mesh::FixedLatencyBehavior>(1.0, 1.001));
+  OpenLoopClient client(slow_mesh, a, "svc", [](SimTime) { return 100.0; },
+                        SplitRng(2));
+  client.start(0.0, 2.0);
+  sim.run_until(1.5);
+  EXPECT_GT(client.sent(), 100u);  // far more than completed
+}
+
+TEST_F(ClientTest, RateFunctionFollowedOverTime) {
+  OpenLoopClient client(
+      mesh, c1, "svc",
+      [](SimTime t) { return t < 5.0 ? 50.0 : 200.0; }, rng.split("c"));
+  client.start(0.0, 10.0);
+  sim.run_until(15.0);
+  const auto timeline = aggregate_timeline(client.records(), 0.0, 10.0, 5.0);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_NEAR(timeline[0].rps, 50.0, 5.0);
+  EXPECT_NEAR(timeline[1].rps, 200.0, 10.0);
+}
+
+TEST_F(ClientTest, PoissonArrivalsApproximateRate) {
+  OpenLoopClient::Config config;
+  config.poisson = true;
+  OpenLoopClient client(mesh, c1, "svc", [](SimTime) { return 100.0; },
+                        rng.split("p"), config);
+  client.start(0.0, 20.0);
+  sim.run_until(25.0);
+  EXPECT_NEAR(static_cast<double>(client.sent()), 2000.0, 150.0);
+}
+
+TEST_F(ClientTest, RecordsAfterDropsWarmup) {
+  OpenLoopClient client(mesh, c1, "svc", [](SimTime) { return 100.0; },
+                        rng.split("c"));
+  client.start(0.0, 10.0);
+  sim.run_until(15.0);
+  const auto post = client.records_after(5.0);
+  EXPECT_NEAR(static_cast<double>(post.size()), 500.0, 5.0);
+  for (const auto& r : post) EXPECT_GE(r.sent, 5.0);
+}
+
+TEST_F(ClientTest, LocalDirectModeBypassesSplit) {
+  OpenLoopClient::Config config;
+  config.mode = CallMode::kLocalDirect;
+  OpenLoopClient client(mesh, c1, "svc", [](SimTime) { return 50.0; },
+                        rng.split("d"), config);
+  client.start(0.0, 4.0);
+  sim.run_until(10.0);
+  EXPECT_GT(client.completed(), 150u);
+  EXPECT_EQ(mesh.find_split(c1, "svc"), nullptr);  // no split was created
+  for (const auto& r : client.records()) {
+    EXPECT_EQ(r.backend_cluster, c1);
+    EXPECT_TRUE(r.success);
+    EXPECT_GT(r.latency, 0.0);
+  }
+}
+
+TEST_F(ClientTest, RetriesTurnFailuresIntoSuccesses) {
+  mesh::Mesh failing_mesh(sim, SplitRng(8));
+  const auto a = failing_mesh.add_cluster("a");
+  failing_mesh.deploy(
+      "svc", a, {},
+      std::make_unique<mesh::FixedLatencyBehavior>(0.010, 0.030, 0.5));
+  OpenLoopClient::Config config;
+  config.max_retries = 5;
+  config.retry_backoff = 0.01;
+  OpenLoopClient client(failing_mesh, a, "svc", [](SimTime) { return 50.0; },
+                        SplitRng(9), config);
+  client.start(0.0, 20.0);
+  sim.run_until(40.0);
+  const auto s = summarize_records(client.records());
+  // 5 retries against a 50 % success rate: ~98.4 % end up successful.
+  EXPECT_GT(s.success_rate, 0.95);
+  // Retried requests accumulate latency: mean latency of all requests must
+  // exceed a single attempt's ~10 ms median noticeably.
+  int multi_attempt = 0;
+  for (const auto& r : client.records()) {
+    EXPECT_GE(r.attempts, 1);
+    EXPECT_LE(r.attempts, 6);
+    if (r.attempts > 1) ++multi_attempt;
+  }
+  EXPECT_GT(multi_attempt, 300);  // ~half of 1000 requests needed a retry
+}
+
+TEST_F(ClientTest, NoRetriesByDefault) {
+  mesh::Mesh failing_mesh(sim, SplitRng(10));
+  const auto a = failing_mesh.add_cluster("a");
+  failing_mesh.deploy(
+      "svc", a, {},
+      std::make_unique<mesh::FixedLatencyBehavior>(0.010, 0.030, 0.5));
+  OpenLoopClient client(failing_mesh, a, "svc", [](SimTime) { return 50.0; },
+                        SplitRng(11));
+  client.start(0.0, 20.0);
+  sim.run_until(40.0);
+  const auto s = summarize_records(client.records());
+  EXPECT_NEAR(s.success_rate, 0.5, 0.06);
+  for (const auto& r : client.records()) EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(Timeline, AggregatesPerBucket) {
+  std::vector<RequestRecord> records;
+  records.push_back({0.5, 0.100, true, false, 0});
+  records.push_back({0.6, 0.300, false, false, 1});
+  records.push_back({1.5, 0.200, true, false, 0});
+  const auto timeline = aggregate_timeline(records, 0.0, 2.0, 1.0);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].count, 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(timeline[0].rps, 2.0);
+  EXPECT_EQ(timeline[1].count, 1u);
+  EXPECT_DOUBLE_EQ(timeline[1].p50, 0.200);
+}
+
+TEST(Timeline, EmptyBucketsAreZeroed) {
+  std::vector<RequestRecord> records;
+  records.push_back({2.5, 0.1, true, false, 0});
+  const auto timeline = aggregate_timeline(records, 0.0, 4.0, 1.0);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0].count, 0u);
+  EXPECT_EQ(timeline[2].count, 1u);
+}
+
+TEST(Timeline, RecordsOutsideRangeIgnored) {
+  std::vector<RequestRecord> records;
+  records.push_back({-1.0, 0.1, true, false, 0});
+  records.push_back({10.0, 0.1, true, false, 0});
+  const auto timeline = aggregate_timeline(records, 0.0, 5.0, 1.0);
+  for (const auto& b : timeline) EXPECT_EQ(b.count, 0u);
+}
+
+TEST(Summaries, SeparateSuccessLatency) {
+  std::vector<RequestRecord> records;
+  records.push_back({0.0, 0.100, true, false, 0});
+  records.push_back({0.1, 0.900, false, false, 0});
+  const auto s = summarize_records(records);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.success_latency.max, 0.100);
+  EXPECT_DOUBLE_EQ(s.latency.max, 0.900);
+}
+
+TEST(Summaries, EmptyRecords) {
+  const auto s = summarize_records(std::vector<RequestRecord>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.success_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace l3::workload

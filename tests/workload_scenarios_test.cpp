@@ -1,0 +1,201 @@
+// Tests for the scenario library: every generated trace must exhibit the
+// quantitative features the paper publishes for it (Figures 1, 2, 6, 7a).
+#include "l3/workload/scenarios.h"
+
+#include "l3/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace l3::workload {
+namespace {
+
+struct TraceStats {
+  double med_lo = 1e18, med_hi = 0.0;
+  double p99_lo = 1e18, p99_hi = 0.0;
+  double rps_lo = 1e18, rps_hi = 0.0;
+  double success_avg = 0.0;
+  double success_min = 1.0;
+};
+
+TraceStats stats_of(const ScenarioTrace& trace) {
+  TraceStats st;
+  double success_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      const auto& p = trace.at(c, s);
+      st.med_lo = std::min(st.med_lo, p.median);
+      st.med_hi = std::max(st.med_hi, p.median);
+      st.p99_lo = std::min(st.p99_lo, p.p99);
+      st.p99_hi = std::max(st.p99_hi, p.p99);
+      st.success_min = std::min(st.success_min, p.success_rate);
+      success_sum += p.success_rate;
+      ++n;
+    }
+  }
+  st.success_avg = success_sum / static_cast<double>(n);
+  for (std::size_t s = 0; s < trace.steps(); ++s) {
+    const double r = trace.rps_at(static_cast<double>(s));
+    st.rps_lo = std::min(st.rps_lo, r);
+    st.rps_hi = std::max(st.rps_hi, r);
+  }
+  return st;
+}
+
+TEST(Scenarios, AllHaveTenMinutesThreeClusters) {
+  for (const auto& t : all_latency_scenarios()) {
+    EXPECT_EQ(t.cluster_count(), 3u);
+    EXPECT_DOUBLE_EQ(t.duration(), 600.0);
+    EXPECT_EQ(t.steps(), 600u);
+  }
+}
+
+TEST(Scenarios, P99AlwaysAboveMedian) {
+  for (const auto& t : all_latency_scenarios()) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t s = 0; s < t.steps(); ++s) {
+        EXPECT_GT(t.at(c, s).p99, t.at(c, s).median) << t.name();
+      }
+    }
+  }
+}
+
+TEST(Scenarios, Scenario1MatchesPaperBands) {
+  const auto st = stats_of(make_scenario1());
+  // Fig 1a: median 50–100 ms most of the time, cluster-2 spikes ~350 ms;
+  // P99 into the several-hundred-ms band; ~300 RPS stable.
+  EXPECT_GT(st.med_lo, 0.020);
+  EXPECT_LT(st.med_hi, 0.600);
+  EXPECT_GT(st.p99_hi, 0.500);
+  EXPECT_LT(st.p99_hi, 6.0);
+  EXPECT_GT(st.rps_lo, 250.0);
+  EXPECT_LT(st.rps_hi, 350.0);
+}
+
+TEST(Scenarios, Scenario2MatchesPaperBands) {
+  const auto st = stats_of(make_scenario2());
+  // Fig 1b: median 3–9 ms nominally (slow windows push one cluster up);
+  // P99 spikes beyond 2 s; RPS fluctuating 45–200.
+  EXPECT_LT(st.med_lo, 0.010);
+  EXPECT_GT(st.p99_hi, 1.0);
+  EXPECT_GE(st.rps_lo, 45.0 - 1.0);
+  EXPECT_LE(st.rps_hi, 200.0 + 1.0);
+  EXPECT_GT(st.rps_hi - st.rps_lo, 60.0);  // it really fluctuates
+}
+
+TEST(Scenarios, Scenario4HasTheWildestTail) {
+  const auto s3 = stats_of(make_scenario3());
+  const auto s4 = stats_of(make_scenario4());
+  const auto s5 = stats_of(make_scenario5());
+  EXPECT_GT(s4.p99_hi, s5.p99_hi);  // §5.2.2: s4 fluctuates the most
+  EXPECT_GT(s3.p99_hi, s5.p99_hi);  // s5 is the calmest
+}
+
+TEST(Scenarios, Scenario5MedianIsStable) {
+  // §5.3.1: σ of the median ≈ 6.3 ms — ours must be of that order.
+  const auto trace = make_scenario5();
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<double> medians;
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      medians.push_back(trace.at(c, s).median);
+    }
+    EXPECT_LT(stddev(medians), 0.020) << "cluster " << c;
+  }
+}
+
+TEST(Scenarios, LatencyScenariosHaveFullSuccess) {
+  for (const auto& t : all_latency_scenarios()) {
+    const auto st = stats_of(t);
+    EXPECT_DOUBLE_EQ(st.success_avg, 1.0) << t.name();
+  }
+}
+
+TEST(Scenarios, Failure1MatchesPaperSuccessProfile) {
+  const auto st = stats_of(make_failure1());
+  // §5.3.2: average ≈ 91.4 %, intermittent drops down to ~30 %.
+  EXPECT_NEAR(st.success_avg, 0.914, 0.03);
+  EXPECT_LT(st.success_min, 0.5);
+  EXPECT_GE(st.success_min, 0.25);
+}
+
+TEST(Scenarios, Failure2MatchesPaperSuccessProfile) {
+  const auto st = stats_of(make_failure2());
+  // §5.3.2: average ≈ 98.5 %, short drops by at most ~5–10 %.
+  EXPECT_NEAR(st.success_avg, 0.985, 0.008);
+  EXPECT_GE(st.success_min, 0.85);
+}
+
+TEST(Scenarios, Failure2HasAConsistentlyBestBackend) {
+  // §5.2.1: the best backend averages ~99.8 % — the success-rate ceiling.
+  const auto trace = make_failure2();
+  double best_avg = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      sum += trace.at(c, s).success_rate;
+    }
+    best_avg = std::max(best_avg, sum / static_cast<double>(trace.steps()));
+  }
+  EXPECT_GT(best_avg, 0.985);
+}
+
+TEST(Scenarios, DeterministicInSeed) {
+  const auto a = make_scenario3(77);
+  const auto b = make_scenario3(77);
+  const auto c = make_scenario3(78);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.steps(); ++s) {
+    EXPECT_DOUBLE_EQ(a.at(0, s).p99, b.at(0, s).p99);
+    if (a.at(0, s).p99 != c.at(0, s).p99) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenarios, GeneratorRespectsClusterMultipliers) {
+  ScenarioShape shape;
+  shape.name = "custom";
+  shape.med_lo = shape.med_hi = 0.050;  // pin the walk start
+  shape.med_sigma = 0.0;
+  shape.ratio_lo = shape.ratio_hi = 3.0;
+  shape.ratio_sigma = 0.0;
+  shape.cluster_med_mult = {1.0, 2.0, 4.0};
+  const auto trace = generate_scenario(shape, 1);
+  EXPECT_NEAR(trace.at(1, 0).median / trace.at(0, 0).median, 2.0, 1e-9);
+  EXPECT_NEAR(trace.at(2, 0).median / trace.at(0, 0).median, 4.0, 1e-9);
+}
+
+TEST(Scenarios, RotatingSlowWindowHitsEachClusterInTurn) {
+  ScenarioShape shape;
+  shape.name = "rot";
+  shape.med_lo = shape.med_hi = 0.050;
+  shape.med_sigma = 0.0;
+  shape.ratio_lo = shape.ratio_hi = 3.0;
+  shape.ratio_sigma = 0.0;
+  shape.slow_period = 100.0;
+  shape.slow_duration = 50.0;
+  shape.slow_med_mult = 3.0;
+  shape.slow_ratio_mult = 1.0;
+  const auto trace = generate_scenario(shape, 1);
+  // Epoch 0 (t in [0, 50)) slows cluster 0, epoch 1 slows cluster 1, ...
+  EXPECT_NEAR(trace.at(0, 10).median, 0.150, 1e-9);
+  EXPECT_NEAR(trace.at(1, 10).median, 0.050, 1e-9);
+  EXPECT_NEAR(trace.at(1, 110).median, 0.150, 1e-9);
+  EXPECT_NEAR(trace.at(2, 210).median, 0.150, 1e-9);
+  EXPECT_NEAR(trace.at(0, 60).median, 0.050, 1e-9);  // window over
+}
+
+TEST(ScenarioTrace, PointClampsTime) {
+  const auto trace = make_scenario1();
+  EXPECT_NO_THROW(trace.point(0, -5.0));
+  EXPECT_NO_THROW(trace.point(0, 1e9));
+  EXPECT_DOUBLE_EQ(trace.point(0, -5.0).median, trace.at(0, 0).median);
+  EXPECT_DOUBLE_EQ(trace.point(0, 1e9).median,
+                   trace.at(0, trace.steps() - 1).median);
+}
+
+}  // namespace
+}  // namespace l3::workload

@@ -1,0 +1,89 @@
+// Tests for scenario-trace CSV import/export.
+#include "l3/workload/trace_io.h"
+
+#include "l3/common/assert.h"
+#include "l3/workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace l3::workload {
+namespace {
+
+TEST(TraceIo, RoundTripsGeneratedScenario) {
+  const auto original = make_scenario2(7);
+  std::stringstream buffer;
+  save_trace_csv(original, buffer);
+  const auto loaded = load_trace_csv(buffer);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.cluster_count(), original.cluster_count());
+  EXPECT_DOUBLE_EQ(loaded.duration(), original.duration());
+  EXPECT_EQ(loaded.steps(), original.steps());
+  for (std::size_t c = 0; c < original.cluster_count(); ++c) {
+    for (std::size_t s = 0; s < original.steps(); ++s) {
+      EXPECT_NEAR(loaded.at(c, s).median, original.at(c, s).median, 1e-9);
+      EXPECT_NEAR(loaded.at(c, s).p99, original.at(c, s).p99, 1e-9);
+      EXPECT_NEAR(loaded.at(c, s).success_rate,
+                  original.at(c, s).success_rate, 1e-9);
+    }
+  }
+  for (std::size_t s = 0; s < original.steps(); ++s) {
+    const double t = static_cast<double>(s);
+    EXPECT_NEAR(loaded.rps_at(t), original.rps_at(t), 1e-6);
+  }
+}
+
+TEST(TraceIo, HeaderContainsMetadata) {
+  const auto trace = make_scenario5(1);
+  std::stringstream buffer;
+  save_trace_csv(trace, buffer);
+  std::string first;
+  std::getline(buffer, first);
+  EXPECT_NE(first.find("scenario-5"), std::string::npos);
+  EXPECT_NE(first.find("clusters=3"), std::string::npos);
+  EXPECT_NE(first.find("duration=600"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream garbage("not a trace\n1,2,3\n");
+  EXPECT_THROW(load_trace_csv(garbage), ContractViolation);
+}
+
+TEST(TraceIo, RejectsWrongColumnCount) {
+  std::stringstream bad(
+      "# scenario x clusters=2 duration=2 dt=1\n"
+      "t,rps,c0_median,c0_p99,c0_success,c1_median,c1_p99,c1_success\n"
+      "0,100,0.01,0.05,1.0\n");  // missing cluster-1 columns
+  EXPECT_THROW(load_trace_csv(bad), ContractViolation);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  const auto trace = make_scenario5(1);
+  std::stringstream buffer;
+  save_trace_csv(trace, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  // Cut mid-file: either a malformed row or too few steps must throw.
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_trace_csv(truncated), ContractViolation);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = make_failure2(3);
+  const std::string path = "/tmp/l3_trace_io_test.csv";
+  save_trace_csv(original, path);
+  const auto loaded = load_trace_csv(path);
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_NEAR(loaded.at(2, 599).success_rate,
+              original.at(2, 599).success_rate, 1e-9);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv(std::string("/nonexistent/path.csv")),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace l3::workload
