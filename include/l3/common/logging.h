@@ -1,29 +1,61 @@
 // Minimal leveled logger. The simulator is single-threaded by design, so no
 // synchronisation is needed; output goes to stderr so bench tables on stdout
-// stay machine-parsable.
+// stay machine-parsable. An optional time provider stamps each line with the
+// current sim time, and a pluggable sink lets tests capture output.
 #pragma once
 
+#include "l3/common/time.h"
+
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace l3 {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// One log line as handed to a sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  /// Sim time at emission; meaningful only when `has_time` is true (a time
+  /// provider was installed).
+  SimTime time = 0.0;
+  bool has_time = false;
+  std::string_view component;
+  std::string_view message;
+};
+
 /// Process-wide logging configuration and sink.
 class Logger {
  public:
+  using TimeProvider = std::function<SimTime()>;
+  using Sink = std::function<void(const LogRecord&)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
+
+  /// Installs a sim-time source (e.g. [&sim] { return sim.now(); }); lines
+  /// then carry a `t=...s` stamp. Pass nullptr to remove. The provider must
+  /// be cleared before the simulator it captures is destroyed.
+  void set_time_provider(TimeProvider provider) {
+    time_provider_ = std::move(provider);
+  }
+
+  /// Replaces the stderr sink (test capture). Pass nullptr to restore the
+  /// default.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
 
   /// Emits one line at `level` if it passes the filter.
   void log(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   LogLevel level_ = LogLevel::kWarn;
+  TimeProvider time_provider_;
+  Sink sink_;
 };
 
 namespace detail {

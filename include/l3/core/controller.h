@@ -24,6 +24,7 @@
 #include "l3/metrics/ewma.h"
 #include "l3/metrics/tsdb.h"
 #include "l3/sim/simulator.h"
+#include "l3/trace/journal.h"
 
 #include <memory>
 #include <optional>
@@ -65,6 +66,10 @@ struct ControllerConfig {
   /// Export controller-internal state as gauges (weight + filtered signals
   /// per backend) into the source cluster's registry.
   bool export_introspection = true;
+
+  /// Decision-journal capacity in events (0 disables journaling). Each
+  /// control tick records one event per managed split.
+  std::size_t journal_capacity = 4096;
 
   /// §7 future work: derive the penalty factor P dynamically from the
   /// observed round-trip latency of FAILED requests instead of a constant.
@@ -143,6 +148,10 @@ class L3Controller {
   const ControllerConfig& config() const { return config_; }
   std::uint64_t ticks() const { return ticks_; }
 
+  /// The decision journal (empty when journal_capacity == 0).
+  const trace::DecisionJournal& journal() const { return journal_; }
+  trace::DecisionJournal& journal() { return journal_; }
+
  private:
   struct BackendFilters;
   struct ManagedSplit;
@@ -155,6 +164,7 @@ class L3Controller {
   std::unique_ptr<lb::LoadBalancingPolicy> policy_;
   ControllerConfig config_;
   std::vector<std::unique_ptr<ManagedSplit>> managed_;
+  trace::DecisionJournal journal_;
   sim::PeriodicHandle task_;
   bool active_ = true;
   std::uint64_t ticks_ = 0;

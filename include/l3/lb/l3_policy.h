@@ -25,6 +25,11 @@ class L3Policy final : public LoadBalancingPolicy {
 
   std::vector<std::uint64_t> compute(const PolicyInput& input) override;
 
+  /// Exposes Algorithm 1's raw weights and Algorithm 2's rate-controlled
+  /// weights (identical when rate control is disabled) for the journal.
+  std::vector<std::uint64_t> compute_explained(const PolicyInput& input,
+                                               PolicyExplain& explain) override;
+
   std::string_view name() const override { return "L3"; }
 
   const L3PolicyConfig& config() const { return config_; }

@@ -11,6 +11,15 @@
 
 namespace l3::lb {
 
+/// Intermediate weight stages a policy can expose for the controller's
+/// decision journal: the raw weights its scoring assigned and the weights
+/// after rate control, both before integer finalisation. Policies without
+/// internal stages report the final weights for both.
+struct PolicyExplain {
+  std::vector<double> raw_weights;
+  std::vector<double> rate_controlled;
+};
+
 /// Computes TrafficSplit weights from filtered backend signals.
 class LoadBalancingPolicy {
  public:
@@ -19,6 +28,16 @@ class LoadBalancingPolicy {
   /// Weights in backend order; all entries >= 1 unless a backend is meant
   /// to receive no traffic at all.
   virtual std::vector<std::uint64_t> compute(const PolicyInput& input) = 0;
+
+  /// As compute(), additionally filling `explain` with the intermediate
+  /// weight stages. The default mirrors the final weights into both stages.
+  virtual std::vector<std::uint64_t> compute_explained(const PolicyInput& input,
+                                                       PolicyExplain& explain) {
+    std::vector<std::uint64_t> out = compute(input);
+    explain.raw_weights.assign(out.begin(), out.end());
+    explain.rate_controlled = explain.raw_weights;
+    return out;
+  }
 
   /// Short policy name for reports ("round-robin", "C3", "L3", ...).
   virtual std::string_view name() const = 0;

@@ -11,13 +11,20 @@
 #include "l3/mesh/replica.h"
 #include "l3/mesh/types.h"
 #include "l3/sim/simulator.h"
+#include "l3/trace/span.h"
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-namespace l3::mesh {
+namespace l3 {
+namespace trace {
+class Tracer;  // spans are recorded only when a tracer is attached
+}  // namespace trace
+
+namespace mesh {
 
 class Mesh;  // behaviors may issue downstream calls through the mesh
 
@@ -28,6 +35,9 @@ struct BehaviorContext {
   ClusterId cluster;     ///< the cluster this replica runs in
   SplitRng& rng;         ///< deployment-local random stream
   int depth;             ///< call depth (loop guard for downstream calls)
+  /// Trace context of the enclosing server span; behaviors propagate it
+  /// into downstream calls so multi-hop call trees stay connected.
+  trace::SpanContext trace{};
 };
 
 /// Server-side application logic of a deployment. `invoke` is asynchronous:
@@ -78,7 +88,17 @@ class ServiceDeployment {
   /// Handles one request: picks the least-loaded replica, runs the behavior
   /// and reports the Outcome (a queue-overflow rejection reports
   /// `success=false, rejected=true` immediately).
-  void handle(int depth, OutcomeFn done);
+  void handle(int depth, OutcomeFn done) {
+    handle(depth, trace::SpanContext{}, std::move(done));
+  }
+
+  /// As above, recording queue/service child spans under `parent` when it
+  /// is sampled and a tracer is attached.
+  void handle(int depth, trace::SpanContext parent, OutcomeFn done);
+
+  /// Attaches (or detaches, nullptr) the tracer spans are recorded into.
+  /// Normally called through Mesh::set_tracer.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   const std::string& service() const { return service_; }
   ClusterId cluster() const { return cluster_; }
@@ -115,15 +135,18 @@ class ServiceDeployment {
  private:
   std::string service_;
   ClusterId cluster_;
+  std::string cluster_name_;  ///< span label, resolved at construction
   DeploymentConfig config_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<ServiceBehavior> behavior_;
   sim::Simulator& sim_;
   Mesh& mesh_;
   SplitRng rng_;
+  trace::Tracer* tracer_ = nullptr;
   bool down_ = false;
   std::uint64_t rejected_ = 0;
   std::size_t rr_cursor_ = 0;  // tie-break rotation among equally loaded
 };
 
-}  // namespace l3::mesh
+}  // namespace mesh
+}  // namespace l3

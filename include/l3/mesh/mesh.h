@@ -14,6 +14,7 @@
 #include "l3/mesh/wan.h"
 #include "l3/metrics/registry.h"
 #include "l3/sim/simulator.h"
+#include "l3/trace/span.h"
 
 #include <map>
 #include <memory>
@@ -91,6 +92,13 @@ class Mesh {
     proxy(source, service).send(depth, std::move(done));
   }
 
+  /// As above, propagating a trace context so the proxy/WAN/server spans of
+  /// this hop attach to the caller's span tree.
+  void call(ClusterId source, const std::string& service, int depth,
+            trace::SpanContext parent, ResponseFn done) {
+    proxy(source, service).send(depth, parent, std::move(done));
+  }
+
   /// nullptr until the corresponding proxy has been created.
   TrafficSplit* find_split(ClusterId source, const std::string& service);
 
@@ -103,6 +111,13 @@ class Mesh {
   ControlPlane& control_plane() { return control_plane_; }
   HealthChecker& health() { return health_; }
 
+  /// Attaches a tracer to every proxy and deployment, current and future
+  /// (nullptr detaches). The tracer must outlive the mesh or be detached
+  /// before destruction. With no tracer (or a kOff tracer) the request hot
+  /// path stays allocation-free.
+  void set_tracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// The metrics registry of one cluster (scrape target).
   metrics::Registry& registry(ClusterId cluster);
 
@@ -113,6 +128,7 @@ class Mesh {
   sim::Simulator& sim_;
   SplitRng rng_;
   MeshConfig config_;
+  trace::Tracer* tracer_ = nullptr;
   WanModel wan_;
   ControlPlane control_plane_;
   HealthChecker health_;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace l3::mesh {
@@ -71,7 +72,17 @@ class Proxy {
 
   /// Sends one request through the mesh; `done` fires exactly once with the
   /// response (success, failure or timeout).
-  void send(int depth, ResponseFn done);
+  void send(int depth, ResponseFn done) {
+    send(depth, trace::SpanContext{}, std::move(done));
+  }
+
+  /// As above, recording a proxy span (with WAN-transit and server child
+  /// spans) under `parent` when it is sampled and a tracer is attached.
+  void send(int depth, trace::SpanContext parent, ResponseFn done);
+
+  /// Attaches (or detaches, nullptr) the tracer spans are recorded into.
+  /// Normally called through Mesh::set_tracer.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   const TrafficSplit& split() const { return split_; }
   ClusterId source() const { return source_; }
@@ -90,6 +101,7 @@ class Proxy {
  private:
   struct BackendSlot {
     ServiceDeployment* deployment;
+    std::string dst_name;  ///< backend cluster name (span label)
     metrics::Counter* requests;
     metrics::Counter* success;
     metrics::Counter* failure;
@@ -127,6 +139,8 @@ class Proxy {
   sim::Simulator& sim_;
   const WanModel& wan_;
   ClusterId source_;
+  std::string src_name_;  ///< source cluster name (span label)
+  trace::Tracer* tracer_ = nullptr;
   TrafficSplit& split_;
   std::vector<BackendSlot> backends_;
   const HealthChecker* health_;

@@ -13,8 +13,11 @@ namespace l3::metrics {
 
 /// Renders every series of `registry` in Prometheus text format (0.0.4):
 /// counters and gauges as `name{labels} value`, histograms as cumulative
-/// `_bucket{le=...}` series plus `_count`. Series appear in deterministic
-/// (sorted-key) order.
+/// `_bucket{le=...}` series plus `_sum` and `_count`, each family preceded
+/// by a `# TYPE` comment. A counter named `<hist>_sum` with the same labels
+/// as histogram `<hist>` is folded into that histogram's `_sum` line rather
+/// than emitted standalone. Series appear in deterministic (sorted-key)
+/// order within each section (counters, gauges, histograms).
 void write_exposition(const Registry& registry, std::ostream& os);
 
 /// Convenience: exposition as a string.

@@ -57,8 +57,26 @@ class TimeSeriesDb {
   std::optional<double> quantile(const std::string& key, double q,
                                  SimDuration window, SimTime now) const;
 
+  /// Drops every sample older than now − retention across ALL series and
+  /// erases series left empty. Series only trim themselves on append, so a
+  /// series that stops receiving samples (disabled scrape target, removed
+  /// backend) would otherwise pin its stale samples forever; the scraper
+  /// calls this once per scrape to bound memory.
+  void compact(SimTime now);
+
   /// Number of scalar series stored.
   std::size_t series_count() const { return scalars_.size(); }
+
+  /// Number of histogram series stored.
+  std::size_t histogram_series_count() const { return histograms_.size(); }
+
+  /// Stored sample count of one scalar series (0 when absent).
+  std::size_t sample_count(const std::string& key) const;
+
+  /// Stored sample count of one histogram series (0 when absent).
+  std::size_t histogram_sample_count(const std::string& key) const;
+
+  SimDuration retention() const { return retention_; }
 
  private:
   struct ScalarSample {

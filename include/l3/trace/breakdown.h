@@ -1,0 +1,61 @@
+// Per-hop latency-breakdown analysis over completed traces: walks each
+// trace's critical path (the chain of spans that actually gated the root's
+// completion) and attributes its self-time to WAN transit, replica queueing,
+// service execution, client-side time, and other — answering "was that tail
+// request slow because of the network, the queue, or the service?" The
+// aggregate view is a percentile table across traces per category.
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/trace/tracer.h"
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace l3::trace {
+
+/// Span indices (into `trace.spans`) on the critical path, in the order the
+/// path is walked (root first, each node before its on-path children).
+std::vector<std::size_t> critical_path(const TraceRecord& trace);
+
+/// Critical-path self-time of one trace, bucketed by span kind (seconds).
+/// The buckets sum to ~`total` (the root latency) up to clamping of
+/// out-of-window children.
+struct TraceAttribution {
+  SimDuration total = 0.0;   ///< root latency
+  SimDuration wan = 0.0;     ///< network transit on the critical path
+  SimDuration queue = 0.0;   ///< replica queue wait on the critical path
+  SimDuration service = 0.0; ///< server-side execution self-time
+  SimDuration proxy = 0.0;   ///< proxy self-time (pick, timeout slack)
+  SimDuration client = 0.0;  ///< root self-time (e.g. retry backoff)
+  SimDuration other = 0.0;
+};
+
+TraceAttribution attribute_critical_path(const TraceRecord& trace);
+
+/// One row of the aggregate breakdown: distribution of a category's
+/// critical-path time across traces.
+struct BreakdownRow {
+  std::string category;
+  double mean = 0.0;  ///< seconds
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double share = 0.0;  ///< category total / latency total over all traces
+};
+
+struct BreakdownSummary {
+  std::size_t trace_count = 0;
+  std::vector<BreakdownRow> rows;  ///< wan, queue, service, proxy, client,
+                                   ///< other, total — in that order
+};
+
+BreakdownSummary summarize_breakdown(const std::deque<TraceRecord>& traces);
+
+/// Renders the summary as an aligned ASCII table (milliseconds).
+void print_breakdown(const BreakdownSummary& summary, std::ostream& os);
+
+}  // namespace l3::trace

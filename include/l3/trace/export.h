@@ -1,0 +1,33 @@
+// Trace exporters. `write_chrome_trace` renders completed traces in the
+// Chrome trace-event JSON format ("X" complete events inside a
+// `traceEvents` array), loadable in Perfetto / chrome://tracing: each trace
+// becomes one process (pid), each span one lane (tid), with cluster /
+// service / status / parentage carried in `args`.
+#pragma once
+
+#include "l3/trace/tracer.h"
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace l3::trace {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Writes `traces` as Chrome trace-event JSON. Deterministic: output depends
+/// only on the trace contents.
+void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::ostream& os);
+
+/// Convenience over the tracer's completed buffer.
+inline void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  write_chrome_trace(tracer.traces(), os);
+}
+
+/// Chrome trace-event JSON as a string.
+std::string chrome_trace_json(const Tracer& tracer);
+
+}  // namespace l3::trace

@@ -1,0 +1,82 @@
+// The controller decision journal: one structured event per control tick
+// per managed TrafficSplit, capturing the filtered signals the policy saw,
+// the raw policy weights, the post-rate-control weights, and the weights
+// actually applied — the audit trail that answers "why did traffic shift at
+// t=T?" without replaying the run. Bounded: the oldest events are evicted
+// once capacity is reached.
+#pragma once
+
+#include "l3/common/time.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace l3::trace {
+
+/// One backend's slice of a decision.
+struct BackendDecision {
+  std::string dst_cluster;
+  // Filtered signals as handed to the policy (post-EWMA).
+  double latency_p99 = 0.0;  ///< seconds
+  double success_rate = 1.0;
+  double rps = 0.0;
+  double inflight = 0.0;
+  /// Weight straight out of the weighting algorithm (Algorithm 1), before
+  /// rate control.
+  double raw_weight = 0.0;
+  /// After rate control (Algorithm 2), before integer finalisation.
+  double rate_controlled_weight = 0.0;
+  /// The weight written to (or, for an inactive follower, that would have
+  /// been written to) the TrafficSplit.
+  std::uint64_t applied_weight = 0;
+};
+
+/// One control tick for one TrafficSplit.
+struct DecisionEvent {
+  SimTime time = 0.0;
+  std::uint64_t tick = 0;
+  std::string source_cluster;
+  std::string service;
+  std::string policy;
+  /// False when the controller was a passive follower (weights not pushed).
+  bool applied = true;
+  double total_rps_ewma = 0.0;
+  double total_rps_last = 0.0;
+  std::vector<BackendDecision> backends;
+};
+
+/// Bounded in-memory journal of decision events.
+class DecisionJournal {
+ public:
+  explicit DecisionJournal(std::size_t capacity = 4096);
+
+  void record(DecisionEvent event);
+
+  /// Events oldest-first.
+  const std::deque<DecisionEvent>& events() const { return events_; }
+
+  /// Most recent event for (service); nullptr when none exists.
+  const DecisionEvent* latest(const std::string& service) const;
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Dumps the journal as a JSON array of event objects (deterministic
+  /// field order), for offline inspection next to the Chrome trace.
+  void write_json(std::ostream& os) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<DecisionEvent> events_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace l3::trace

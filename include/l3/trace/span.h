@@ -1,0 +1,66 @@
+// Span vocabulary of the distributed-tracing subsystem — the OpenTelemetry
+// half of the paper's observability story (§4: internal state "exposed
+// through Prometheus or OpenTelemetry metrics"). A trace is the tree of
+// spans one client request produces as it flows client → proxy → WAN →
+// backend (→ DSB fan-out); the SpanContext is the propagation token threaded
+// through those layers.
+#pragma once
+
+#include "l3/common/time.h"
+
+#include <cstdint>
+#include <string>
+
+namespace l3::trace {
+
+/// What part of the request path a span covers — the categories the
+/// latency-breakdown analysis attributes critical-path time to.
+enum class SpanKind : std::uint8_t {
+  kClient,    ///< root: the client's view of one request (incl. retries)
+  kProxy,     ///< one proxy attempt: pick + transit + server + transit
+  kWan,       ///< one-way network transit between clusters
+  kQueue,     ///< time waiting for a replica concurrency slot
+  kService,   ///< server-side handling (execution + downstream calls)
+  kInternal,  ///< anything else
+};
+
+enum class SpanStatus : std::uint8_t {
+  kUnset,    ///< still open (or truncated at trace finalisation)
+  kOk,
+  kError,    ///< failed response / rejection
+  kTimeout,  ///< client-side timeout fired
+};
+
+const char* to_string(SpanKind kind);
+const char* to_string(SpanStatus status);
+
+/// The propagated token: identifies the trace and the span that acts as
+/// parent for anything started under this context. POD by design — passing
+/// it around costs nothing, and `sampled() == false` (the zero value) is the
+/// single branch unsampled hot paths pay.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// One recorded span. Times are simulated seconds (SimTime).
+struct Span {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  SpanKind kind = SpanKind::kInternal;
+  SpanStatus status = SpanStatus::kUnset;
+  /// Still open when the trace finalised (e.g. server work outliving a
+  /// client timeout); `end` was forced to the trace end.
+  bool truncated = false;
+  std::string name;     ///< e.g. "proxy:api", "wan:paris->milan"
+  std::string cluster;  ///< cluster the span executes in (src for WAN)
+  std::string service;  ///< service the span belongs to
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+
+  SimDuration duration() const { return end - start; }
+};
+
+}  // namespace l3::trace

@@ -1,0 +1,143 @@
+// The Tracer: per-request span collection with configurable sampling and a
+// bounded in-memory buffer of completed traces.
+//
+// Sampling modes:
+//  * kOff  — tracing disabled; every start_trace() returns an unsampled
+//    context after a single branch, and instrumented layers do no
+//    allocations and no further work (the ISSUE's hot-path requirement).
+//  * kRatio — head sampling: a trace is kept or dropped at the root with
+//    probability `ratio`, decided from the tracer's OWN rng stream so
+//    enabling tracing never perturbs the workload's random streams (the
+//    simulator's determinism guarantee).
+//  * kTail — tail-triggered: every request is recorded, but at trace end
+//    only traces whose root latency >= `tail_threshold` are kept — "show me
+//    the slow ones", the mode tail-latency attribution wants.
+//
+// Memory is O(max_traces × max_spans_per_trace) plus the spans of requests
+// currently in flight, independent of run length.
+#pragma once
+
+#include "l3/common/rng.h"
+#include "l3/common/time.h"
+#include "l3/sim/simulator.h"
+#include "l3/trace/span.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace l3::trace {
+
+enum class SamplingMode : std::uint8_t { kOff, kRatio, kTail };
+
+struct TracerConfig {
+  SamplingMode sampling = SamplingMode::kOff;
+  /// Fraction of traces kept in kRatio mode (0..1].
+  double ratio = 1.0;
+  /// kTail: keep only traces with root latency >= this (seconds).
+  SimDuration tail_threshold = 0.100;
+  /// Completed-trace ring buffer capacity; oldest traces are evicted.
+  std::size_t max_traces = 1024;
+  /// Per-trace span cap; children beyond it are dropped (not recorded).
+  std::size_t max_spans_per_trace = 256;
+};
+
+/// One completed (kept) trace: the root's summary plus all spans, root
+/// first. Span parent_ids always reference spans within the same record.
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  std::string root_name;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  SimDuration latency = 0.0;  ///< root duration
+  SpanStatus status = SpanStatus::kUnset;
+  std::vector<Span> spans;
+};
+
+class Tracer {
+ public:
+  Tracer(sim::Simulator& sim, TracerConfig config, std::uint64_t seed = 1);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// False iff sampling is kOff — the one branch unsampled paths pay.
+  bool enabled() const { return config_.sampling != SamplingMode::kOff; }
+
+  /// Opens a root span and makes the head-sampling decision. Returns an
+  /// unsampled context when tracing is off or the trace was sampled out.
+  SpanContext start_trace(std::string_view name, std::string_view cluster,
+                          std::string_view service);
+
+  /// Opens a child span under `parent`. No-op (unsampled context) when the
+  /// parent is unsampled, the trace already finalised, or the per-trace
+  /// span cap is reached.
+  SpanContext start_span(SpanContext parent, SpanKind kind,
+                         std::string_view name, std::string_view cluster,
+                         std::string_view service);
+
+  /// Records an already-finished span (e.g. a WAN transit whose duration is
+  /// known when it is scheduled) without the start/end round trip.
+  void add_span(SpanContext parent, SpanKind kind, std::string_view name,
+                std::string_view cluster, std::string_view service,
+                SimTime start, SimTime end,
+                SpanStatus status = SpanStatus::kOk);
+
+  /// Closes a span at the current sim time. Late calls against an already
+  /// finalised trace are ignored (the span stays `truncated`).
+  void end_span(SpanContext span, SpanStatus status = SpanStatus::kOk);
+
+  /// Closes the root span and finalises the trace: tail filtering, then
+  /// admission into the bounded completed buffer. Spans still open are
+  /// force-closed at the root's end and marked truncated.
+  void end_trace(SpanContext root, SpanStatus status = SpanStatus::kOk);
+
+  /// Completed traces, oldest first.
+  const std::deque<TraceRecord>& traces() const { return completed_; }
+
+  /// Drops all completed traces (pending ones are unaffected).
+  void clear() { completed_.clear(); }
+
+  const TracerConfig& config() const { return config_; }
+
+  // --- counters (lifetime) --------------------------------------------------
+  std::uint64_t started() const { return started_; }       ///< start_trace calls
+  std::uint64_t sampled_out() const { return sampled_out_; }  ///< head-dropped
+  std::uint64_t kept() const { return kept_; }             ///< admitted traces
+  std::uint64_t dropped_fast() const { return dropped_fast_; }  ///< tail-dropped
+  std::uint64_t evicted() const { return evicted_; }  ///< ring-buffer evictions
+  std::uint64_t dropped_spans() const { return dropped_spans_; }  ///< cap hits
+
+  /// Traces currently in flight (for tests / leak checks).
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    TraceRecord record;
+    std::size_t open = 0;  ///< spans not yet ended
+  };
+
+  Pending* find_pending(std::uint64_t trace_id);
+  Span* append_span(Pending& pending, SpanContext parent, SpanKind kind,
+                    std::string_view name, std::string_view cluster,
+                    std::string_view service, SimTime start);
+
+  sim::Simulator& sim_;
+  TracerConfig config_;
+  SplitRng rng_;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::deque<TraceRecord> completed_;
+
+  std::uint64_t started_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t kept_ = 0;
+  std::uint64_t dropped_fast_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+};
+
+}  // namespace l3::trace

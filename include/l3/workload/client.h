@@ -11,6 +11,7 @@
 #include "l3/common/stats.h"
 #include "l3/common/time.h"
 #include "l3/mesh/mesh.h"
+#include "l3/trace/span.h"
 
 #include <functional>
 #include <span>
@@ -82,7 +83,9 @@ class OpenLoopClient {
   void schedule_next();
   void fire();
   void fire_local_direct();
-  void send_attempt(SimTime first_sent, int attempt);
+  void send_attempt(SimTime first_sent, int attempt, trace::SpanContext root);
+  /// Finalizes the root span of a traced request (no-op when unsampled).
+  void end_trace(trace::SpanContext root, bool success, bool timed_out);
 
   mesh::Mesh& mesh_;
   mesh::ClusterId source_;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer and UndefinedBehaviorSanitizer
+# and runs ctest for each, then the plain RelWithDebInfo build. Intended as
+# the pre-merge gate; any failure aborts immediately.
+#
+# Usage: scripts/check.sh [preset...]
+#   With no arguments, runs: asan ubsan default.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(asan ubsan default)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset" >/dev/null
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> [$preset] test"
+  ctest --preset "$preset"
+done
+
+echo "All checks passed: ${presets[*]}"

@@ -1,5 +1,6 @@
 #include "l3/common/logging.h"
 
+#include <cstdio>
 #include <iostream>
 
 namespace l3 {
@@ -12,9 +13,26 @@ Logger& Logger::instance() {
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
   if (level < level_ || level_ == LogLevel::kOff) return;
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = msg;
+  if (time_provider_) {
+    record.time = time_provider_();
+    record.has_time = true;
+  }
+  if (sink_) {
+    sink_(record);
+    return;
+  }
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << component
-            << ": " << msg << '\n';
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] ";
+  if (record.has_time) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[t=%.6fs] ", record.time);
+    std::cerr << buf;
+  }
+  std::cerr << component << ": " << msg << '\n';
 }
 
 }  // namespace l3

@@ -58,7 +58,10 @@ L3Controller::L3Controller(mesh::Mesh& mesh, metrics::TimeSeriesDb& tsdb,
       tsdb_(tsdb),
       source_(source),
       policy_(std::move(policy)),
-      config_(config) {
+      config_(config),
+      // capacity 0 means "journaling disabled" (nothing is recorded); the
+      // journal itself still needs a positive capacity.
+      journal_(config.journal_capacity > 0 ? config.journal_capacity : 1) {
   L3_EXPECTS(policy_ != nullptr);
   L3_EXPECTS(config.control_interval > 0.0);
   L3_EXPECTS(config.query_window > 0.0);
@@ -212,12 +215,41 @@ void L3Controller::tick_split(ManagedSplit& managed) {
   input.total_rps_ewma = managed.total_rps.value();
   input.total_rps_last = managed.last_rps_sample;
 
-  std::vector<std::uint64_t> weights = policy_->compute(input);
+  lb::PolicyExplain explain;
+  std::vector<std::uint64_t> weights = policy_->compute_explained(input, explain);
   L3_ASSERT(weights.size() == managed.split->backend_count());
   managed.last_weights = weights;
 
   if (active_) {
     mesh_.control_plane().apply(*managed.split, weights);
+  }
+
+  if (config_.journal_capacity > 0) {
+    trace::DecisionEvent event;
+    event.time = now;
+    event.tick = ticks_;
+    event.source_cluster = mesh_.cluster_names()[source_];
+    event.service = managed.split->service();
+    event.policy = std::string(policy_->name());
+    event.applied = active_;
+    event.total_rps_ewma = input.total_rps_ewma;
+    event.total_rps_last = input.total_rps_last;
+    event.backends.reserve(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      trace::BackendDecision b;
+      b.dst_cluster = mesh_.cluster_names()[refs[i].cluster];
+      b.latency_p99 = signals[i].latency_p99;
+      b.success_rate = signals[i].success_rate;
+      b.rps = signals[i].rps;
+      b.inflight = signals[i].inflight;
+      b.raw_weight = i < explain.raw_weights.size() ? explain.raw_weights[i]
+                                                    : 0.0;
+      b.rate_controlled_weight =
+          i < explain.rate_controlled.size() ? explain.rate_controlled[i] : 0.0;
+      b.applied_weight = weights[i];
+      event.backends.push_back(std::move(b));
+    }
+    journal_.record(std::move(event));
   }
 
   if (config_.export_introspection) {

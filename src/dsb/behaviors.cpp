@@ -17,21 +17,23 @@ void issue_call(const mesh::BehaviorContext& ctx, const Call& call,
     return;
   }
   if (!call.local) {
-    ctx.mesh.call(ctx.cluster, call.service, ctx.depth,
+    ctx.mesh.call(ctx.cluster, call.service, ctx.depth, ctx.trace,
                   [cb = std::move(cb)](const mesh::Response& response) {
                     cb(response.success);
                   });
     return;
   }
   // Cluster-local dependency: a local network hop to the co-located
-  // deployment, no TrafficSplit involved.
+  // deployment, no TrafficSplit involved. The trace context still
+  // propagates so fan-out spans attach under the calling server span.
   mesh::ServiceDeployment* deployment =
       ctx.mesh.find_deployment(call.service, ctx.cluster);
   L3_ASSERT(deployment != nullptr);
   const SimDuration out =
       ctx.mesh.wan().sample(ctx.cluster, ctx.cluster, ctx.sim.now(), ctx.rng);
   ctx.sim.schedule_after(out, [ctx, deployment, cb = std::move(cb)] {
-    deployment->handle(ctx.depth + 1, [ctx, cb](const mesh::Outcome& outcome) {
+    deployment->handle(ctx.depth + 1, ctx.trace,
+                       [ctx, cb](const mesh::Outcome& outcome) {
       const SimDuration back = ctx.mesh.wan().sample(ctx.cluster, ctx.cluster,
                                                      ctx.sim.now(), ctx.rng);
       ctx.sim.schedule_after(back, [cb, ok = outcome.success] { cb(ok); });

@@ -5,10 +5,18 @@
 namespace l3::lb {
 
 std::vector<std::uint64_t> L3Policy::compute(const PolicyInput& input) {
+  PolicyExplain explain;
+  return compute_explained(input, explain);
+}
+
+std::vector<std::uint64_t> L3Policy::compute_explained(const PolicyInput& input,
+                                                       PolicyExplain& explain) {
   std::vector<double> weights = assign_weights(input.signals, config_.weighting);
+  explain.raw_weights = weights;
   if (config_.rate_control_enabled) {
     weights = rate_control(weights, input.total_rps_ewma, input.total_rps_last);
   }
+  explain.rate_controlled = weights;
   return finalize_weights(weights, config_.min_share);
 }
 

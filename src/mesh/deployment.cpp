@@ -2,6 +2,8 @@
 
 #include "l3/common/assert.h"
 #include "l3/common/lognormal.h"
+#include "l3/mesh/mesh.h"
+#include "l3/trace/tracer.h"
 
 #include <limits>
 #include <utility>
@@ -32,11 +34,13 @@ ServiceDeployment::ServiceDeployment(std::string service, ClusterId cluster,
                                      SplitRng rng)
     : service_(std::move(service)),
       cluster_(cluster),
+      cluster_name_(mesh.cluster_names().at(cluster)),
       config_(config),
       behavior_(std::move(behavior)),
       sim_(sim),
       mesh_(mesh),
-      rng_(rng) {
+      rng_(rng),
+      tracer_(mesh.tracer()) {
   L3_EXPECTS(config.replicas >= 1);
   L3_EXPECTS(behavior_ != nullptr);
   replicas_.reserve(config.replicas);
@@ -46,10 +50,22 @@ ServiceDeployment::ServiceDeployment(std::string service, ClusterId cluster,
   }
 }
 
-void ServiceDeployment::handle(int depth, OutcomeFn done) {
+void ServiceDeployment::handle(int depth, trace::SpanContext parent,
+                               OutcomeFn done) {
   L3_EXPECTS(done != nullptr);
+  // Server-side span covering queue wait + behavior execution (including
+  // downstream calls). Opened only for sampled requests.
+  trace::SpanContext server{};
+  if (tracer_ != nullptr && parent.sampled()) {
+    server = tracer_->start_span(parent, trace::SpanKind::kService,
+                                 "server:" + service_, cluster_name_,
+                                 service_);
+  }
   if (down_) {
     ++rejected_;
+    if (server.sampled()) {
+      tracer_->end_span(server, trace::SpanStatus::kError);
+    }
     done(Outcome{.success = false, .rejected = true});
     return;
   }
@@ -68,17 +84,33 @@ void ServiceDeployment::handle(int depth, OutcomeFn done) {
 
   // `done` is captured by copy: if the replica rejects the job the original
   // must still be callable on the rejection path below.
+  const SimTime enqueued = sim_.now();
   const bool accepted = replicas_[best]->submit(
-      [this, depth, done](std::function<void()> release) {
-        const BehaviorContext ctx{sim_, mesh_, cluster_, rng_, depth};
-        behavior_->invoke(ctx, [done, release = std::move(release)](
+      [this, depth, done, server, enqueued](std::function<void()> release) {
+        if (server.sampled() && sim_.now() > enqueued) {
+          // The job waited for a concurrency slot: the queueing component
+          // of the paper's tail-latency story, recorded as its own span.
+          tracer_->add_span(server, trace::SpanKind::kQueue, "queue",
+                            cluster_name_, service_, enqueued, sim_.now());
+        }
+        const BehaviorContext ctx{sim_, mesh_, cluster_, rng_, depth, server};
+        behavior_->invoke(ctx, [this, done, server,
+                                release = std::move(release)](
                                    const Outcome& outcome) {
           release();
+          if (server.sampled()) {
+            tracer_->end_span(server, outcome.success
+                                          ? trace::SpanStatus::kOk
+                                          : trace::SpanStatus::kError);
+          }
           done(outcome);
         });
       });
   if (!accepted) {
     ++rejected_;
+    if (server.sampled()) {
+      tracer_->end_span(server, trace::SpanStatus::kError);
+    }
     done(Outcome{.success = false, .rejected = true});
   }
 }

@@ -89,9 +89,20 @@ Proxy& Mesh::proxy(ClusterId source, const std::string& service) {
       *registries_[source],
       config_.health_probe_interval > 0.0 ? &health_ : nullptr,
       rng_.split("proxy/" + names_[source] + "/" + service), pc, names_);
+  proxy->set_tracer(tracer_);
   Proxy& ref = *proxy;
   proxies_.emplace(key, std::move(proxy));
   return ref;
+}
+
+void Mesh::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& [key, proxy] : proxies_) proxy->set_tracer(tracer);
+  for (auto& [service, per_cluster] : deployments_) {
+    for (auto& [cluster, deployment] : per_cluster) {
+      deployment->set_tracer(tracer);
+    }
+  }
 }
 
 TrafficSplit* Mesh::find_split(ClusterId source, const std::string& service) {

@@ -2,6 +2,7 @@
 
 #include "l3/common/assert.h"
 #include "l3/mesh/metric_names.h"
+#include "l3/trace/tracer.h"
 
 #include <limits>
 #include <utility>
@@ -12,6 +13,7 @@ struct Proxy::CallState {
   SimTime start = 0.0;
   std::size_t backend = 0;
   ResponseFn done;
+  trace::SpanContext span;  ///< the proxy span (unsampled when not traced)
   bool finished = false;
 };
 
@@ -23,6 +25,7 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
     : sim_(sim),
       wan_(wan),
       source_(source),
+      src_name_(cluster_names.at(source)),
       split_(split),
       health_(health),
       rng_(rng),
@@ -41,6 +44,7 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
         metric_names::backend_labels(split.service(), src_name, dst_name);
     BackendSlot slot{
         d,
+        dst_name,
         &registry.counter(metric_names::kRequestTotal, labels),
         &registry.counter(metric_names::kSuccessTotal, labels),
         &registry.counter(metric_names::kFailureTotal, labels),
@@ -136,7 +140,7 @@ std::size_t Proxy::pick() {
              : pick_weighted(available);
 }
 
-void Proxy::send(int depth, ResponseFn done) {
+void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
   L3_EXPECTS(done != nullptr);
   constexpr int kMaxDepth = 32;  // guards against call-graph cycles
   if (depth > kMaxDepth) {
@@ -156,6 +160,12 @@ void Proxy::send(int depth, ResponseFn done) {
   state->start = sim_.now();
   state->backend = idx;
   state->done = std::move(done);
+  if (tracer_ != nullptr && parent.sampled()) {
+    state->span =
+        tracer_->start_span(parent, trace::SpanKind::kProxy,
+                            "proxy:" + split_.service(), src_name_,
+                            split_.service());
+  }
 
   if (config_.timeout > 0.0) {
     sim_.schedule_after(config_.timeout,
@@ -164,15 +174,28 @@ void Proxy::send(int depth, ResponseFn done) {
 
   const SimDuration outbound =
       wan_.sample(source_, slot.deployment->cluster(), sim_.now(), rng_);
+  if (state->span.sampled()) {
+    tracer_->add_span(state->span, trace::SpanKind::kWan,
+                      "wan:" + src_name_ + "->" + slot.dst_name, src_name_,
+                      split_.service(), sim_.now(), sim_.now() + outbound);
+  }
   sim_.schedule_after(outbound, [this, state, depth] {
     BackendSlot& s = backends_[state->backend];
-    s.deployment->handle(depth + 1, [this, state](const Outcome& outcome) {
-      const SimDuration inbound = wan_.sample(
-          backends_[state->backend].deployment->cluster(), source_,
-          sim_.now(), rng_);
-      sim_.schedule_after(inbound,
-                          [this, state, outcome] { on_response(state, outcome); });
-    });
+    s.deployment->handle(
+        depth + 1, state->span, [this, state](const Outcome& outcome) {
+          const BackendSlot& s2 = backends_[state->backend];
+          const SimDuration inbound =
+              wan_.sample(s2.deployment->cluster(), source_, sim_.now(), rng_);
+          if (state->span.sampled()) {
+            tracer_->add_span(state->span, trace::SpanKind::kWan,
+                              "wan:" + s2.dst_name + "->" + src_name_,
+                              src_name_, split_.service(), sim_.now(),
+                              sim_.now() + inbound);
+          }
+          sim_.schedule_after(inbound, [this, state, outcome] {
+            on_response(state, outcome);
+          });
+        });
   });
 }
 
@@ -207,6 +230,12 @@ void Proxy::finish(const std::shared_ptr<CallState>& state, bool success,
   }
   slot.p2c_latency->observe(latency, sim_.now());
   outlier_.record(state->backend, success, sim_.now());
+  if (state->span.sampled()) {
+    tracer_->end_span(state->span,
+                      timed_out ? trace::SpanStatus::kTimeout
+                                : (success ? trace::SpanStatus::kOk
+                                           : trace::SpanStatus::kError));
+  }
   Response response;
   response.success = success;
   response.latency = latency;

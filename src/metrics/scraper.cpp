@@ -40,6 +40,9 @@ void Scraper::scrape_once() {
           tsdb_.append_histogram(key, now, h.bounds(), h.cumulative_counts());
         });
   }
+  // Series belonging to disabled targets receive no appends (which is where
+  // per-series trimming happens), so sweep the whole store each scrape.
+  tsdb_.compact(now);
   ++scrapes_;
 }
 

@@ -4,6 +4,7 @@
 #include "l3/common/histogram.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace l3::metrics {
 namespace {
@@ -61,6 +62,34 @@ void TimeSeriesDb::append_histogram(const std::string& key, SimTime t,
          series.samples.front().t < t - retention_) {
     series.samples.pop_front();
   }
+}
+
+void TimeSeriesDb::compact(SimTime now) {
+  const SimTime cutoff = now - retention_;
+  for (auto it = scalars_.begin(); it != scalars_.end();) {
+    auto& series = it->second;
+    while (!series.empty() && series.front().t < cutoff) {
+      series.pop_front();
+    }
+    it = series.empty() ? scalars_.erase(it) : std::next(it);
+  }
+  for (auto it = histograms_.begin(); it != histograms_.end();) {
+    auto& series = it->second.samples;
+    while (!series.empty() && series.front().t < cutoff) {
+      series.pop_front();
+    }
+    it = series.empty() ? histograms_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t TimeSeriesDb::sample_count(const std::string& key) const {
+  const auto it = scalars_.find(key);
+  return it == scalars_.end() ? 0 : it->second.size();
+}
+
+std::size_t TimeSeriesDb::histogram_sample_count(const std::string& key) const {
+  const auto it = histograms_.find(key);
+  return it == histograms_.end() ? 0 : it->second.samples.size();
 }
 
 std::optional<double> TimeSeriesDb::rate(const std::string& key,

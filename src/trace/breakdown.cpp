@@ -1,0 +1,134 @@
+#include "l3/trace/breakdown.h"
+
+#include "l3/common/stats.h"
+#include "l3/common/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace l3::trace {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Children indices per span index, each list sorted by span end descending
+/// (the order the critical-path walk consumes them in).
+std::vector<std::vector<std::size_t>> children_of(const TraceRecord& trace) {
+  std::vector<std::vector<std::size_t>> children(trace.spans.size());
+  for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+    const std::uint64_t parent = trace.spans[i].parent_id;
+    for (std::size_t j = 0; j < trace.spans.size(); ++j) {
+      if (trace.spans[j].span_id == parent) {
+        children[j].push_back(i);
+        break;
+      }
+    }
+  }
+  for (auto& list : children) {
+    std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
+      return trace.spans[a].end > trace.spans[b].end;
+    });
+  }
+  return children;
+}
+
+SimDuration& bucket_of(TraceAttribution& attribution, SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kWan: return attribution.wan;
+    case SpanKind::kQueue: return attribution.queue;
+    case SpanKind::kService: return attribution.service;
+    case SpanKind::kProxy: return attribution.proxy;
+    case SpanKind::kClient: return attribution.client;
+    case SpanKind::kInternal: break;
+  }
+  return attribution.other;
+}
+
+/// Walks the critical path under span `idx`: repeatedly yields to the child
+/// that finishes last before the current cursor, attributing the uncovered
+/// gaps to the span itself. Appends visited indices to `path` (root first)
+/// and self-times to `attribution` (when non-null).
+void walk(const TraceRecord& trace,
+          const std::vector<std::vector<std::size_t>>& children,
+          std::size_t idx, std::vector<std::size_t>* path,
+          TraceAttribution* attribution) {
+  const Span& span = trace.spans[idx];
+  if (path != nullptr) path->push_back(idx);
+  SimTime cursor = span.end;
+  SimDuration self = 0.0;
+  for (const std::size_t child_idx : children[idx]) {
+    const Span& child = trace.spans[child_idx];
+    // A child ending past the cursor overlaps a later (already critical)
+    // sibling; a child entirely before the span start is out of window.
+    if (child.end > cursor + kEps || child.end <= span.start + kEps) continue;
+    self += std::max(0.0, cursor - child.end);
+    walk(trace, children, child_idx, path, attribution);
+    cursor = std::min(cursor, std::max(span.start, child.start));
+    if (cursor <= span.start + kEps) break;
+  }
+  self += std::max(0.0, cursor - span.start);
+  if (attribution != nullptr) bucket_of(*attribution, span.kind) += self;
+}
+
+}  // namespace
+
+std::vector<std::size_t> critical_path(const TraceRecord& trace) {
+  std::vector<std::size_t> path;
+  if (trace.spans.empty()) return path;
+  const auto children = children_of(trace);
+  walk(trace, children, 0, &path, nullptr);
+  return path;
+}
+
+TraceAttribution attribute_critical_path(const TraceRecord& trace) {
+  TraceAttribution attribution;
+  if (trace.spans.empty()) return attribution;
+  attribution.total = trace.latency;
+  const auto children = children_of(trace);
+  walk(trace, children, 0, nullptr, &attribution);
+  return attribution;
+}
+
+BreakdownSummary summarize_breakdown(const std::deque<TraceRecord>& traces) {
+  BreakdownSummary summary;
+  summary.trace_count = traces.size();
+  const char* names[] = {"wan",   "queue",  "service", "proxy",
+                         "client", "other", "total"};
+  std::vector<std::vector<double>> samples(7);
+  for (auto& s : samples) s.reserve(traces.size());
+  for (const TraceRecord& trace : traces) {
+    const TraceAttribution a = attribute_critical_path(trace);
+    const double values[] = {a.wan,   a.queue,  a.service, a.proxy,
+                             a.client, a.other, a.total};
+    for (std::size_t i = 0; i < 7; ++i) samples[i].push_back(values[i]);
+  }
+  double grand_total = 0.0;
+  for (const double v : samples[6]) grand_total += v;
+  for (std::size_t i = 0; i < 7; ++i) {
+    BreakdownRow row;
+    row.category = names[i];
+    row.mean = mean(samples[i]);
+    row.p50 = percentile(samples[i], 0.50);
+    row.p90 = percentile(samples[i], 0.90);
+    row.p99 = percentile(samples[i], 0.99);
+    double category_total = 0.0;
+    for (const double v : samples[i]) category_total += v;
+    row.share = grand_total > 0.0 ? category_total / grand_total : 0.0;
+    summary.rows.push_back(std::move(row));
+  }
+  return summary;
+}
+
+void print_breakdown(const BreakdownSummary& summary, std::ostream& os) {
+  os << "latency breakdown over " << summary.trace_count
+     << " trace(s), critical-path self-time per category:\n";
+  Table table({"category", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "share"});
+  for (const BreakdownRow& row : summary.rows) {
+    table.add_row({row.category, fmt_ms(row.mean, 3), fmt_ms(row.p50, 3),
+                   fmt_ms(row.p90, 3), fmt_ms(row.p99, 3),
+                   fmt_percent(row.share)});
+  }
+  table.print(os);
+}
+
+}  // namespace l3::trace

@@ -1,0 +1,75 @@
+#include "l3/trace/journal.h"
+
+#include "l3/common/assert.h"
+#include "l3/trace/export.h"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace l3::trace {
+namespace {
+
+/// Fixed-notation double for JSON (no locale, no exponent surprises).
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+DecisionJournal::DecisionJournal(std::size_t capacity) : capacity_(capacity) {
+  L3_EXPECTS(capacity >= 1);
+}
+
+void DecisionJournal::record(DecisionEvent event) {
+  ++recorded_;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++evicted_;
+  }
+}
+
+const DecisionEvent* DecisionJournal::latest(const std::string& service) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->service == service) return &*it;
+  }
+  return nullptr;
+}
+
+void DecisionJournal::write_json(std::ostream& os) const {
+  os << "[\n";
+  bool first_event = true;
+  for (const DecisionEvent& event : events_) {
+    if (!first_event) os << ",\n";
+    first_event = false;
+    os << "{\"time\":" << fmt_num(event.time) << ",\"tick\":" << event.tick
+       << ",\"source\":\"" << json_escape(event.source_cluster)
+       << "\",\"service\":\"" << json_escape(event.service)
+       << "\",\"policy\":\"" << json_escape(event.policy)
+       << "\",\"applied\":" << (event.applied ? "true" : "false")
+       << ",\"total_rps_ewma\":" << fmt_num(event.total_rps_ewma)
+       << ",\"total_rps_last\":" << fmt_num(event.total_rps_last)
+       << ",\"backends\":[";
+    bool first_backend = true;
+    for (const BackendDecision& backend : event.backends) {
+      if (!first_backend) os << ",";
+      first_backend = false;
+      os << "{\"dst\":\"" << json_escape(backend.dst_cluster)
+         << "\",\"latency_p99\":" << fmt_num(backend.latency_p99)
+         << ",\"success_rate\":" << fmt_num(backend.success_rate)
+         << ",\"rps\":" << fmt_num(backend.rps)
+         << ",\"inflight\":" << fmt_num(backend.inflight)
+         << ",\"raw_weight\":" << fmt_num(backend.raw_weight)
+         << ",\"rate_controlled_weight\":"
+         << fmt_num(backend.rate_controlled_weight)
+         << ",\"applied_weight\":" << backend.applied_weight << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace l3::trace

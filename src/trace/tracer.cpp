@@ -1,0 +1,170 @@
+#include "l3/trace/tracer.h"
+
+#include "l3/common/assert.h"
+
+#include <utility>
+
+namespace l3::trace {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClient: return "client";
+    case SpanKind::kProxy: return "proxy";
+    case SpanKind::kWan: return "wan";
+    case SpanKind::kQueue: return "queue";
+    case SpanKind::kService: return "service";
+    case SpanKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* to_string(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kUnset: return "unset";
+    case SpanStatus::kOk: return "ok";
+    case SpanStatus::kError: return "error";
+    case SpanStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(sim::Simulator& sim, TracerConfig config, std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  L3_EXPECTS(config.ratio > 0.0 && config.ratio <= 1.0);
+  L3_EXPECTS(config.max_traces >= 1);
+  L3_EXPECTS(config.max_spans_per_trace >= 1);
+}
+
+Tracer::Pending* Tracer::find_pending(std::uint64_t trace_id) {
+  const auto it = pending_.find(trace_id);
+  return it == pending_.end() ? nullptr : &it->second;
+}
+
+Span* Tracer::append_span(Pending& pending, SpanContext parent, SpanKind kind,
+                          std::string_view name, std::string_view cluster,
+                          std::string_view service, SimTime start) {
+  if (pending.record.spans.size() >= config_.max_spans_per_trace) {
+    ++dropped_spans_;
+    return nullptr;
+  }
+  Span span;
+  span.span_id = next_span_id_++;
+  span.parent_id = parent.span_id;
+  span.kind = kind;
+  span.name.assign(name);
+  span.cluster.assign(cluster);
+  span.service.assign(service);
+  span.start = start;
+  pending.record.spans.push_back(std::move(span));
+  return &pending.record.spans.back();
+}
+
+SpanContext Tracer::start_trace(std::string_view name,
+                                std::string_view cluster,
+                                std::string_view service) {
+  if (config_.sampling == SamplingMode::kOff) return SpanContext{};
+  ++started_;
+  if (config_.sampling == SamplingMode::kRatio && config_.ratio < 1.0 &&
+      rng_.uniform() >= config_.ratio) {
+    ++sampled_out_;
+    return SpanContext{};
+  }
+  const std::uint64_t trace_id = next_trace_id_++;
+  Pending& pending = pending_[trace_id];
+  pending.record.trace_id = trace_id;
+  pending.record.root_name.assign(name);
+  pending.record.start = sim_.now();
+  Span* root = append_span(pending, SpanContext{}, SpanKind::kClient, name,
+                           cluster, service, sim_.now());
+  L3_ASSERT(root != nullptr);  // max_spans_per_trace >= 1
+  pending.open = 1;
+  return SpanContext{trace_id, root->span_id};
+}
+
+SpanContext Tracer::start_span(SpanContext parent, SpanKind kind,
+                               std::string_view name, std::string_view cluster,
+                               std::string_view service) {
+  if (!parent.sampled()) return SpanContext{};
+  Pending* pending = find_pending(parent.trace_id);
+  if (pending == nullptr) return SpanContext{};  // trace already finalised
+  Span* span = append_span(*pending, parent, kind, name, cluster, service,
+                           sim_.now());
+  if (span == nullptr) return SpanContext{};
+  ++pending->open;
+  return SpanContext{parent.trace_id, span->span_id};
+}
+
+void Tracer::add_span(SpanContext parent, SpanKind kind, std::string_view name,
+                      std::string_view cluster, std::string_view service,
+                      SimTime start, SimTime end, SpanStatus status) {
+  if (!parent.sampled()) return;
+  Pending* pending = find_pending(parent.trace_id);
+  if (pending == nullptr) return;
+  Span* span = append_span(*pending, parent, kind, name, cluster, service,
+                           start);
+  if (span == nullptr) return;
+  span->end = end;
+  span->status = status;
+}
+
+void Tracer::end_span(SpanContext ctx, SpanStatus status) {
+  if (!ctx.sampled()) return;
+  Pending* pending = find_pending(ctx.trace_id);
+  if (pending == nullptr) return;  // finalised while this span was open
+  // Recently opened spans live near the back; traces are small.
+  auto& spans = pending->record.spans;
+  for (std::size_t i = spans.size(); i-- > 0;) {
+    if (spans[i].span_id != ctx.span_id) continue;
+    if (spans[i].status != SpanStatus::kUnset || spans[i].end != 0.0) return;
+    spans[i].end = sim_.now();
+    spans[i].status = status;
+    L3_ASSERT(pending->open > 0);
+    --pending->open;
+    return;
+  }
+}
+
+void Tracer::end_trace(SpanContext root, SpanStatus status) {
+  if (!root.sampled()) return;
+  const auto it = pending_.find(root.trace_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  TraceRecord& record = pending.record;
+
+  Span& root_span = record.spans.front();
+  L3_ASSERT(root_span.span_id == root.span_id);
+  root_span.end = sim_.now();
+  root_span.status = status;
+
+  record.end = root_span.end;
+  record.latency = root_span.end - root_span.start;
+  record.status = status;
+
+  // Force-close whatever is still open (server work outliving a client
+  // timeout): truncated at the trace end so span trees stay well-formed.
+  if (pending.open > 1) {
+    for (Span& span : record.spans) {
+      if (span.status == SpanStatus::kUnset && span.end == 0.0 &&
+          span.span_id != root_span.span_id) {
+        span.end = record.end;
+        span.truncated = true;
+      }
+    }
+  }
+
+  const bool keep = config_.sampling != SamplingMode::kTail ||
+                    record.latency >= config_.tail_threshold;
+  if (keep) {
+    ++kept_;
+    completed_.push_back(std::move(record));
+    while (completed_.size() > config_.max_traces) {
+      completed_.pop_front();
+      ++evicted_;
+    }
+  } else {
+    ++dropped_fast_;
+  }
+  pending_.erase(it);
+}
+
+}  // namespace l3::trace

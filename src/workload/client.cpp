@@ -1,6 +1,7 @@
 #include "l3/workload/client.h"
 
 #include "l3/common/assert.h"
+#include "l3/trace/tracer.h"
 
 #include <algorithm>
 #include <cmath>
@@ -52,19 +53,38 @@ void OpenLoopClient::fire() {
     fire_local_direct();
     return;
   }
-  send_attempt(sent_at, 1);
+  // Root span for the whole request including retries (the client's view).
+  // Unsampled (zero) context when no tracer is attached or sampling says no.
+  trace::SpanContext root{};
+  if (trace::Tracer* tracer = mesh_.tracer()) {
+    root = tracer->start_trace(service_, mesh_.cluster_names()[source_],
+                               service_);
+  }
+  send_attempt(sent_at, 1, root);
 }
 
-void OpenLoopClient::send_attempt(SimTime first_sent, int attempt) {
-  mesh_.call(source_, service_, /*depth=*/0,
-             [this, first_sent, attempt](const mesh::Response& response) {
+void OpenLoopClient::end_trace(trace::SpanContext root, bool success,
+                               bool timed_out) {
+  if (!root.sampled()) return;
+  trace::Tracer* tracer = mesh_.tracer();
+  if (tracer == nullptr) return;
+  tracer->end_trace(root, timed_out  ? trace::SpanStatus::kTimeout
+                          : success ? trace::SpanStatus::kOk
+                                    : trace::SpanStatus::kError);
+}
+
+void OpenLoopClient::send_attempt(SimTime first_sent, int attempt,
+                                  trace::SpanContext root) {
+  mesh_.call(source_, service_, /*depth=*/0, root,
+             [this, first_sent, attempt, root](const mesh::Response& response) {
                if (!response.success && attempt <= config_.max_retries) {
                  mesh_.simulator().schedule_after(
-                     config_.retry_backoff, [this, first_sent, attempt] {
-                       send_attempt(first_sent, attempt + 1);
+                     config_.retry_backoff, [this, first_sent, attempt, root] {
+                       send_attempt(first_sent, attempt + 1, root);
                      });
                  return;
                }
+               end_trace(root, response.success, response.timed_out);
                records_.push_back(RequestRecord{
                    first_sent, mesh_.simulator().now() - first_sent,
                    response.success, response.timed_out,
@@ -81,13 +101,19 @@ void OpenLoopClient::fire_local_direct() {
   mesh::ServiceDeployment* deployment =
       mesh_.find_deployment(service_, source_);
   L3_EXPECTS(deployment != nullptr);
+  trace::SpanContext root{};
+  if (trace::Tracer* tracer = mesh_.tracer()) {
+    root = tracer->start_trace(service_, mesh_.cluster_names()[source_],
+                               service_);
+  }
   const SimDuration out = mesh_.wan().sample(source_, source_, sim.now(), rng_);
-  sim.schedule_after(out, [this, &sim, deployment, sent_at] {
-    deployment->handle(/*depth=*/1, [this, &sim, sent_at](
-                                        const mesh::Outcome& outcome) {
+  sim.schedule_after(out, [this, &sim, deployment, sent_at, root] {
+    deployment->handle(/*depth=*/1, root, [this, &sim, sent_at, root](
+                                              const mesh::Outcome& outcome) {
       const SimDuration back =
           mesh_.wan().sample(source_, source_, sim.now(), rng_);
-      sim.schedule_after(back, [this, &sim, sent_at, outcome] {
+      sim.schedule_after(back, [this, &sim, sent_at, root, outcome] {
+        end_trace(root, outcome.success, false);
         records_.push_back(RequestRecord{sent_at, sim.now() - sent_at,
                                          outcome.success, false, source_});
       });

@@ -1,0 +1,94 @@
+// Tests for the Logger's sim-time context and pluggable sink. The logger is
+// a process-wide singleton, so every test restores level / sink / time
+// provider on exit.
+#include "l3/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace l3 {
+namespace {
+
+/// Restores global logger state after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = Logger::instance().level(); }
+  void TearDown() override {
+    Logger::instance().set_level(saved_level_);
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_time_provider(nullptr);
+  }
+
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+struct Captured {
+  LogLevel level;
+  double time;
+  bool has_time;
+  std::string component;
+  std::string message;
+};
+
+TEST_F(LoggingTest, SinkCapturesRecords) {
+  std::vector<Captured> captured;
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_sink([&](const LogRecord& record) {
+    captured.push_back({record.level, record.time, record.has_time,
+                        std::string(record.component),
+                        std::string(record.message)});
+  });
+  L3_LOG(kInfo, "test") << "hello " << 42;
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].component, "test");
+  EXPECT_EQ(captured[0].message, "hello 42");
+  EXPECT_FALSE(captured[0].has_time);
+}
+
+TEST_F(LoggingTest, LevelFilterAppliesBeforeTheSink) {
+  int calls = 0;
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().set_sink([&](const LogRecord&) { ++calls; });
+  L3_LOG(kDebug, "test") << "filtered";
+  L3_LOG(kInfo, "test") << "filtered";
+  L3_LOG(kWarn, "test") << "passes";
+  L3_LOG(kError, "test") << "passes";
+  EXPECT_EQ(calls, 2);
+  Logger::instance().set_level(LogLevel::kOff);
+  L3_LOG(kError, "test") << "off";
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(LoggingTest, TimeProviderStampsRecords) {
+  std::vector<Captured> captured;
+  double now = 12.5;
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_time_provider([&now] { return now; });
+  Logger::instance().set_sink([&](const LogRecord& record) {
+    captured.push_back({record.level, record.time, record.has_time,
+                        std::string(record.component),
+                        std::string(record.message)});
+  });
+  L3_LOG(kInfo, "sim") << "tick";
+  now = 20.0;
+  L3_LOG(kInfo, "sim") << "tock";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_TRUE(captured[0].has_time);
+  EXPECT_DOUBLE_EQ(captured[0].time, 12.5);
+  EXPECT_DOUBLE_EQ(captured[1].time, 20.0);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresDefaultOutput) {
+  int calls = 0;
+  Logger::instance().set_level(LogLevel::kOff);  // keep stderr quiet
+  Logger::instance().set_sink([&](const LogRecord&) { ++calls; });
+  Logger::instance().set_sink(nullptr);
+  L3_LOG(kError, "test") << "to stderr (filtered by kOff)";
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace l3

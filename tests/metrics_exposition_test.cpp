@@ -45,6 +45,71 @@ TEST(Exposition, EmptyRegistryEmptyOutput) {
   EXPECT_TRUE(exposition_text(registry).empty());
 }
 
+namespace {
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+TEST(Exposition, TypeCommentOncePerFamily) {
+  Registry registry;
+  registry.counter("requests_total", {{"dst", "c1"}}).increment();
+  registry.counter("requests_total", {{"dst", "c2"}}).increment();
+  registry.gauge("inflight", {}).set(1.0);
+  const std::vector<double> bounds = {0.1};
+  registry.histogram("latency", {}, &bounds).record(0.05);
+  const std::string text = exposition_text(registry);
+  EXPECT_EQ(count_occurrences(text, "# TYPE requests_total counter"), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE inflight gauge"), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE latency histogram"), 1u);
+  // The TYPE comment precedes the family's first sample line.
+  EXPECT_LT(text.find("# TYPE requests_total counter"),
+            text.find("requests_total{dst=\"c1\"}"));
+}
+
+TEST(Exposition, HistogramSumComesFromThePairedCounter) {
+  Registry registry;
+  const std::vector<double> bounds = {0.1, 0.2};
+  auto& h = registry.histogram("latency", {{"svc", "api"}}, &bounds);
+  h.record(0.05);
+  h.record(0.15);
+  registry.counter("latency_sum", {{"svc", "api"}}).add(0.2);
+  const std::string text = exposition_text(registry);
+  // Exactly one _sum line, emitted as part of the histogram family (between
+  // the +Inf bucket and _count), not as a standalone counter.
+  EXPECT_EQ(count_occurrences(text, "latency_sum{svc=\"api\"} 0.2"), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE latency_sum counter"), 0u);
+  EXPECT_LT(text.find("latency_bucket{svc=\"api\",le=\"+Inf\"}"),
+            text.find("latency_sum{svc=\"api\"}"));
+  EXPECT_LT(text.find("latency_sum{svc=\"api\"}"),
+            text.find("latency_count{svc=\"api\"}"));
+}
+
+TEST(Exposition, SumCounterWithoutAHistogramStaysACounter) {
+  Registry registry;
+  registry.counter("bytes_sum", {}).add(9.0);
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("# TYPE bytes_sum counter"), std::string::npos);
+  EXPECT_NE(text.find("bytes_sum 9"), std::string::npos);
+}
+
+TEST(Exposition, SumFoldingRespectsLabels) {
+  Registry registry;
+  const std::vector<double> bounds = {0.1};
+  registry.histogram("latency", {{"svc", "api"}}, &bounds).record(0.05);
+  // Different labels → no matching histogram series → ordinary counter.
+  registry.counter("latency_sum", {{"svc", "auth"}}).add(3.0);
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("# TYPE latency_sum counter"), std::string::npos);
+  EXPECT_NE(text.find("latency_sum{svc=\"auth\"} 3"), std::string::npos);
+}
+
 TEST(Exposition, DeterministicOrder) {
   Registry a, b;
   a.counter("x", {{"i", "1"}}).increment();

@@ -127,6 +127,44 @@ TEST(Tsdb, RejectsMismatchedHistogramBounds) {
                ContractViolation);
 }
 
+TEST(Tsdb, CompactDropsStaleSamplesOfIdleSeries) {
+  TimeSeriesDb db(/*retention=*/30.0);
+  // "idle" receives one early batch and then goes quiet — per-series trim
+  // only runs on append, so without compact() its samples would live forever.
+  db.append("idle", 0.0, 1.0);
+  db.append("idle", 5.0, 2.0);
+  db.append("live", 0.0, 1.0);
+  EXPECT_EQ(db.sample_count("idle"), 2u);
+  db.append("live", 100.0, 2.0);
+  EXPECT_EQ(db.sample_count("idle"), 2u);  // untouched by other appends
+
+  db.compact(100.0);
+  EXPECT_EQ(db.sample_count("idle"), 0u);
+  EXPECT_EQ(db.series_count(), 1u);  // empty series erased entirely
+  EXPECT_EQ(db.sample_count("live"), 1u);
+}
+
+TEST(Tsdb, CompactErasesEmptyHistogramSeries) {
+  TimeSeriesDb db(/*retention=*/30.0);
+  const std::vector<double> bounds = {0.1};
+  db.append_histogram("idle_h", 0.0, bounds, {1.0, 2.0});
+  db.append_histogram("live_h", 100.0, bounds, {1.0, 2.0});
+  EXPECT_EQ(db.histogram_series_count(), 2u);
+  db.compact(100.0);
+  EXPECT_EQ(db.histogram_series_count(), 1u);
+  EXPECT_EQ(db.histogram_sample_count("idle_h"), 0u);
+  EXPECT_EQ(db.histogram_sample_count("live_h"), 1u);
+}
+
+TEST(Tsdb, CompactKeepsSamplesInsideRetention) {
+  TimeSeriesDb db(/*retention=*/30.0);
+  db.append("c", 80.0, 1.0);
+  db.append("c", 90.0, 2.0);
+  db.compact(100.0);
+  EXPECT_EQ(db.sample_count("c"), 2u);
+  ASSERT_TRUE(db.rate("c", 30.0, 100.0).has_value());
+}
+
 TEST(Tsdb, FiveSecondScrapeTenSecondWindowAlwaysHasTwoSamples) {
   // The paper's §4 choice: scrape every 5 s, query 10 s windows — verify
   // the invariant it exists for.

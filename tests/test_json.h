@@ -1,0 +1,137 @@
+// Minimal recursive-descent JSON syntax validator for tests: checks that a
+// string is one well-formed JSON value (objects, arrays, strings, numbers,
+// true/false/null). No DOM — just accept/reject, enough to assert that
+// exported trace/journal files parse.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace l3::testing {
+
+class JsonValidator {
+ public:
+  /// True iff `text` is exactly one valid JSON value (plus whitespace).
+  static bool valid(std::string_view text) {
+    JsonValidator v(text);
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace l3::testing

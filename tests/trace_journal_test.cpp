@@ -1,0 +1,162 @@
+// Tests for the controller decision journal: bounded recording, latest()
+// lookup, JSON export, and the integration guarantee that a journal entry's
+// applied weights are the weights actually on the TrafficSplit.
+#include "l3/trace/journal.h"
+
+#include "l3/core/controller.h"
+#include "l3/lb/l3_policy.h"
+#include "l3/mesh/mesh.h"
+#include "l3/metrics/scraper.h"
+#include "l3/metrics/tsdb.h"
+#include "l3/sim/simulator.h"
+#include "l3/workload/client.h"
+#include "test_json.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+namespace l3::trace {
+namespace {
+
+using l3::testing::JsonValidator;
+
+DecisionEvent make_event(std::uint64_t tick, const std::string& service) {
+  DecisionEvent event;
+  event.time = static_cast<double>(tick) * 5.0;
+  event.tick = tick;
+  event.source_cluster = "c1";
+  event.service = service;
+  event.policy = "L3";
+  BackendDecision backend;
+  backend.dst_cluster = "c2";
+  backend.raw_weight = 12.5;
+  backend.rate_controlled_weight = 10.0;
+  backend.applied_weight = 10;
+  event.backends.push_back(backend);
+  return event;
+}
+
+TEST(DecisionJournal, BoundedWithEviction) {
+  DecisionJournal journal(3);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    journal.record(make_event(i, "api"));
+  }
+  EXPECT_EQ(journal.events().size(), 3u);
+  EXPECT_EQ(journal.recorded(), 5u);
+  EXPECT_EQ(journal.evicted(), 2u);
+  EXPECT_EQ(journal.events().front().tick, 3u);
+  EXPECT_EQ(journal.events().back().tick, 5u);
+}
+
+TEST(DecisionJournal, LatestFindsNewestPerService) {
+  DecisionJournal journal;
+  journal.record(make_event(1, "api"));
+  journal.record(make_event(2, "auth"));
+  journal.record(make_event(3, "api"));
+  const DecisionEvent* latest = journal.latest("api");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->tick, 3u);
+  EXPECT_EQ(journal.latest("nope"), nullptr);
+}
+
+TEST(DecisionJournal, JsonExportIsValid) {
+  DecisionJournal journal;
+  journal.record(make_event(1, "api \"quoted\""));
+  journal.record(make_event(2, "auth"));
+  std::ostringstream os;
+  journal.write_json(os);
+  EXPECT_TRUE(JsonValidator::valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"raw_weight\":12.500000"), std::string::npos);
+  EXPECT_NE(os.str().find("\"applied_weight\":10"), std::string::npos);
+}
+
+TEST(DecisionJournal, EmptyJournalExportsEmptyArray) {
+  DecisionJournal journal;
+  std::ostringstream os;
+  journal.write_json(os);
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+}
+
+// --- controller integration ----------------------------------------------
+
+TEST(ControllerJournal, EntriesMatchTheAppliedTrafficSplitWeights) {
+  sim::Simulator sim;
+  SplitRng rng(5);
+  mesh::Mesh mesh(sim, rng.split("mesh"));
+  const auto c1 = mesh.add_cluster("c1");
+  const auto c2 = mesh.add_cluster("c2");
+  mesh.wan().set_symmetric(c1, c2, {.base = 0.005, .jitter_frac = 0.1});
+  mesh::DeploymentConfig dc;
+  mesh.deploy("api", c1, dc,
+              std::make_unique<mesh::FixedLatencyBehavior>(0.060, 0.250));
+  mesh.deploy("api", c2, dc,
+              std::make_unique<mesh::FixedLatencyBehavior>(0.020, 0.080));
+  mesh.proxy(c1, "api");
+
+  metrics::TimeSeriesDb tsdb;
+  metrics::Scraper scraper(sim, tsdb);
+  scraper.add_target("c1", mesh.registry(c1));
+  scraper.start(5.0);
+
+  core::L3Controller controller(mesh, tsdb, c1,
+                                std::make_unique<lb::L3Policy>());
+  controller.manage_all();
+  controller.start();
+
+  workload::OpenLoopClient client(
+      mesh, c1, "api", [](SimTime) { return 50.0; }, rng.split("client"));
+  client.start(0.0, 60.0);
+  sim.run_until(70.0);
+
+  const DecisionJournal& journal = controller.journal();
+  ASSERT_GT(journal.events().size(), 5u);
+  const DecisionEvent* last = journal.latest("api");
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->policy, "L3");
+  EXPECT_TRUE(last->applied);
+  EXPECT_EQ(last->source_cluster, "c1");
+
+  // The journal's applied weights are the ones on the TrafficSplit.
+  mesh::TrafficSplit* split = mesh.find_split(c1, "api");
+  ASSERT_NE(split, nullptr);
+  const auto weights = split->weights();
+  ASSERT_EQ(last->backends.size(), weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(last->backends[i].applied_weight, weights[i]);
+  }
+  // L3's intermediate stages are populated (raw != 0) and the faster c2
+  // backend carries at least as much applied weight as slow c1.
+  EXPECT_GT(last->backends[0].raw_weight, 0.0);
+  EXPECT_GT(last->backends[1].raw_weight, 0.0);
+  EXPECT_GE(last->backends[1].applied_weight,
+            last->backends[0].applied_weight);
+
+  // One event per managed split per tick.
+  EXPECT_EQ(journal.recorded(), controller.ticks());
+}
+
+TEST(ControllerJournal, ZeroCapacityDisablesJournaling) {
+  sim::Simulator sim;
+  SplitRng rng(5);
+  mesh::Mesh mesh(sim, rng.split("mesh"));
+  const auto c1 = mesh.add_cluster("c1");
+  mesh::DeploymentConfig dc;
+  mesh.deploy("api", c1, dc,
+              std::make_unique<mesh::FixedLatencyBehavior>(0.020, 0.080));
+  mesh.proxy(c1, "api");
+  metrics::TimeSeriesDb tsdb;
+  core::ControllerConfig config;
+  config.journal_capacity = 0;
+  core::L3Controller controller(mesh, tsdb, c1,
+                                std::make_unique<lb::L3Policy>(), config);
+  controller.manage_all();
+  controller.tick();
+  controller.tick();
+  EXPECT_EQ(controller.ticks(), 2u);
+  EXPECT_TRUE(controller.journal().events().empty());
+}
+
+}  // namespace
+}  // namespace l3::trace

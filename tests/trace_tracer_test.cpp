@@ -1,0 +1,268 @@
+// Tests for the Tracer: sampling modes (off / ratio / tail-triggered),
+// buffer bounding, the per-trace span cap, and span parent/child integrity
+// across a DeathStarBench-style fan-out over a multi-cluster mesh.
+#include "l3/trace/tracer.h"
+
+#include "l3/dsb/behaviors.h"
+#include "l3/dsb/disturbance.h"
+#include "l3/mesh/mesh.h"
+#include "l3/sim/simulator.h"
+#include "l3/workload/client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+namespace l3::trace {
+namespace {
+
+TEST(Tracer, OffModeRecordsNothingAfterOneBranch) {
+  sim::Simulator sim;
+  Tracer tracer(sim, TracerConfig{});  // sampling = kOff
+  EXPECT_FALSE(tracer.enabled());
+  const SpanContext root = tracer.start_trace("req", "c1", "api");
+  EXPECT_FALSE(root.sampled());
+  // Child operations on an unsampled context are no-ops.
+  const SpanContext child =
+      tracer.start_span(root, SpanKind::kProxy, "p", "c1", "api");
+  EXPECT_FALSE(child.sampled());
+  tracer.add_span(root, SpanKind::kWan, "w", "c1", "api", 0.0, 1.0);
+  tracer.end_span(child);
+  tracer.end_trace(root);
+  EXPECT_EQ(tracer.started(), 0u);
+  EXPECT_EQ(tracer.kept(), 0u);
+  EXPECT_EQ(tracer.pending_count(), 0u);
+  EXPECT_TRUE(tracer.traces().empty());
+}
+
+TEST(Tracer, RatioSamplingKeepsApproximatelyTheConfiguredFraction) {
+  sim::Simulator sim;
+  TracerConfig config;
+  config.sampling = SamplingMode::kRatio;
+  config.ratio = 0.25;
+  config.max_traces = 2000;
+  Tracer tracer(sim, config, /*seed=*/3);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const SpanContext root = tracer.start_trace("req", "c1", "api");
+    if (root.sampled()) tracer.end_trace(root);
+  }
+  EXPECT_EQ(tracer.started(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(tracer.kept() + tracer.sampled_out(),
+            static_cast<std::uint64_t>(n));
+  // ~250 expected; allow a generous band for the fixed seed.
+  EXPECT_GT(tracer.kept(), 150u);
+  EXPECT_LT(tracer.kept(), 350u);
+  EXPECT_EQ(tracer.traces().size(), tracer.kept());
+  EXPECT_EQ(tracer.pending_count(), 0u);
+}
+
+TEST(Tracer, TailModeKeepsOnlySlowTraces) {
+  sim::Simulator sim;
+  TracerConfig config;
+  config.sampling = SamplingMode::kTail;
+  config.tail_threshold = 0.100;
+  Tracer tracer(sim, config);
+
+  // Fast trace: 50 ms < threshold → dropped.
+  const SpanContext fast = tracer.start_trace("fast", "c1", "api");
+  ASSERT_TRUE(fast.sampled());
+  sim.schedule_at(0.050, [&] { tracer.end_trace(fast); });
+  // Slow trace: 150 ms >= threshold → kept.
+  SpanContext slow;
+  sim.schedule_at(0.060, [&] { slow = tracer.start_trace("slow", "c1", "api"); });
+  sim.schedule_at(0.210, [&] { tracer.end_trace(slow); });
+  // Boundary: exactly the threshold → kept (>=).
+  SpanContext edge;
+  sim.schedule_at(0.300, [&] { edge = tracer.start_trace("edge", "c1", "api"); });
+  sim.schedule_at(0.400, [&] { tracer.end_trace(edge); });
+  sim.run_until(1.0);
+
+  EXPECT_EQ(tracer.dropped_fast(), 1u);
+  EXPECT_EQ(tracer.kept(), 2u);
+  ASSERT_EQ(tracer.traces().size(), 2u);
+  EXPECT_EQ(tracer.traces()[0].root_name, "slow");
+  EXPECT_EQ(tracer.traces()[1].root_name, "edge");
+  EXPECT_DOUBLE_EQ(tracer.traces()[0].latency, 0.150);
+}
+
+TEST(Tracer, CompletedBufferIsBounded) {
+  sim::Simulator sim;
+  TracerConfig config;
+  config.sampling = SamplingMode::kRatio;
+  config.max_traces = 4;
+  Tracer tracer(sim, config);
+  for (int i = 0; i < 10; ++i) {
+    const SpanContext root = tracer.start_trace("req", "c1", "api");
+    tracer.end_trace(root);
+  }
+  EXPECT_EQ(tracer.traces().size(), 4u);
+  EXPECT_EQ(tracer.kept(), 10u);
+  EXPECT_EQ(tracer.evicted(), 6u);
+  // The survivors are the newest four.
+  EXPECT_EQ(tracer.traces().front().trace_id, 7u);
+  EXPECT_EQ(tracer.traces().back().trace_id, 10u);
+}
+
+TEST(Tracer, SpanCapDropsExcessChildren) {
+  sim::Simulator sim;
+  TracerConfig config;
+  config.sampling = SamplingMode::kRatio;
+  config.max_spans_per_trace = 3;  // root + 2 children
+  Tracer tracer(sim, config);
+  const SpanContext root = tracer.start_trace("req", "c1", "api");
+  const SpanContext a =
+      tracer.start_span(root, SpanKind::kProxy, "a", "c1", "api");
+  EXPECT_TRUE(a.sampled());
+  tracer.add_span(root, SpanKind::kWan, "b", "c1", "api", 0.0, 0.0);
+  // Cap reached: further children are dropped, not recorded.
+  const SpanContext c =
+      tracer.start_span(root, SpanKind::kService, "c", "c1", "api");
+  EXPECT_FALSE(c.sampled());
+  tracer.add_span(root, SpanKind::kWan, "d", "c1", "api", 0.0, 0.0);
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+  tracer.end_span(a);
+  tracer.end_trace(root);
+  ASSERT_EQ(tracer.traces().size(), 1u);
+  EXPECT_EQ(tracer.traces()[0].spans.size(), 3u);
+}
+
+TEST(Tracer, ClientTimeoutTruncatesOpenSpans) {
+  sim::Simulator sim;
+  TracerConfig config;
+  config.sampling = SamplingMode::kRatio;
+  Tracer tracer(sim, config);
+  const SpanContext root = tracer.start_trace("req", "c1", "api");
+  const SpanContext server =
+      tracer.start_span(root, SpanKind::kService, "server", "c2", "api");
+  // The client gives up at t=1 while the server span is still open.
+  sim.schedule_at(1.0, [&] { tracer.end_trace(root, SpanStatus::kTimeout); });
+  // A late end_span must not resurrect or corrupt the finalised trace.
+  sim.schedule_at(2.0, [&] { tracer.end_span(server, SpanStatus::kOk); });
+  sim.run_until(3.0);
+
+  ASSERT_EQ(tracer.traces().size(), 1u);
+  const TraceRecord& trace = tracer.traces()[0];
+  EXPECT_EQ(trace.status, SpanStatus::kTimeout);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_TRUE(trace.spans[1].truncated);
+  EXPECT_DOUBLE_EQ(trace.spans[1].end, 1.0);
+  EXPECT_EQ(tracer.pending_count(), 0u);
+}
+
+// --- fan-out integration --------------------------------------------------
+
+/// Builds a two-cluster mesh with a DSB-style call graph:
+/// frontend → {search, profile} in parallel, search → geo (local).
+/// The client calls `frontend` through the mesh, so the trace must contain
+/// proxy/WAN/server spans across both clusters.
+class FanOutTrace : public ::testing::Test {
+ protected:
+  void run(SamplingMode mode) {
+    sim::Simulator sim;
+    SplitRng rng(11);
+    mesh::MeshConfig mc;
+    mc.request_timeout = 5.0;
+    mesh::Mesh mesh(sim, rng.split("mesh"), mc);
+    const auto c1 = mesh.add_cluster("c1");
+    const auto c2 = mesh.add_cluster("c2");
+    mesh.wan().set_symmetric(c1, c2, {.base = 0.005, .jitter_frac = 0.1});
+
+    dsb::ClusterLoadModel load(2);
+    const dsb::ServiceProfile profile;
+    for (const auto c : {c1, c2}) {
+      mesh.deploy("geo", c, {},
+                  std::make_unique<dsb::StagedBehavior>(
+                      profile, load, 1.0, std::vector<dsb::Stage>{}));
+      mesh.deploy("search", c, {},
+                  std::make_unique<dsb::StagedBehavior>(
+                      profile, load, 1.0,
+                      std::vector<dsb::Stage>{{{.service = "geo",
+                                                .local = true}}}));
+      mesh.deploy("profile", c, {},
+                  std::make_unique<dsb::StagedBehavior>(
+                      profile, load, 1.0, std::vector<dsb::Stage>{}));
+      mesh.deploy("frontend", c, {},
+                  std::make_unique<dsb::StagedBehavior>(
+                      profile, load, 1.0,
+                      std::vector<dsb::Stage>{{{.service = "search"},
+                                               {.service = "profile"}}}));
+    }
+    for (const auto c : {c1, c2}) {
+      for (const char* svc : {"frontend", "search", "profile"}) {
+        mesh.proxy(c, svc);
+      }
+    }
+
+    TracerConfig config;
+    config.sampling = mode;
+    config.max_traces = 512;
+    tracer_ = std::make_unique<Tracer>(sim, config);
+    mesh.set_tracer(tracer_.get());
+
+    workload::OpenLoopClient client(
+        mesh, c1, "frontend", [](SimTime) { return 50.0; }, rng.split("cl"));
+    client.start(0.0, 2.0);
+    sim.run_until(10.0);
+    completed_ = client.completed();
+  }
+
+  std::unique_ptr<Tracer> tracer_;
+  std::uint64_t completed_ = 0;
+};
+
+TEST_F(FanOutTrace, SpanTreesAreWellFormedAcrossTheFanOut) {
+  run(SamplingMode::kRatio);
+  ASSERT_GT(completed_, 0u);
+  EXPECT_EQ(tracer_->traces().size(), completed_);
+  EXPECT_EQ(tracer_->pending_count(), 0u);
+
+  bool saw_multi_cluster = false;
+  for (const TraceRecord& trace : tracer_->traces()) {
+    ASSERT_FALSE(trace.spans.empty());
+    // Root first, parented to nothing.
+    EXPECT_EQ(trace.spans[0].parent_id, 0u);
+    EXPECT_EQ(trace.spans[0].kind, SpanKind::kClient);
+
+    std::set<std::uint64_t> ids;
+    for (const Span& span : trace.spans) ids.insert(span.span_id);
+    EXPECT_EQ(ids.size(), trace.spans.size());  // unique ids
+
+    std::set<std::string> clusters;
+    std::map<SpanKind, int> kinds;
+    for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+      const Span& span = trace.spans[i];
+      // Every child's parent is a span of the same record.
+      EXPECT_TRUE(ids.count(span.parent_id) != 0)
+          << "orphan span " << span.name;
+      // Children start no earlier than the root.
+      EXPECT_GE(span.start, trace.spans[0].start - 1e-12);
+      EXPECT_FALSE(span.truncated) << span.name;
+      clusters.insert(span.cluster);
+      kinds[span.kind] += 1;
+    }
+    // The frontend call itself plus 2 fan-out mesh calls → >= 3 proxy
+    // spans, each with 2 WAN transits and a server span; geo adds a local
+    // (non-proxy) server span.
+    EXPECT_GE(kinds[SpanKind::kProxy], 3);
+    EXPECT_GE(kinds[SpanKind::kWan], 6);
+    EXPECT_GE(kinds[SpanKind::kService], 4);
+    if (clusters.size() > 1) saw_multi_cluster = true;
+  }
+  // With equal initial weights, some requests must have crossed clusters.
+  EXPECT_TRUE(saw_multi_cluster);
+}
+
+TEST_F(FanOutTrace, OffModeLeavesNoTraces) {
+  run(SamplingMode::kOff);
+  ASSERT_GT(completed_, 0u);
+  EXPECT_TRUE(tracer_->traces().empty());
+  EXPECT_EQ(tracer_->started(), 0u);
+  EXPECT_EQ(tracer_->pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace l3::trace
