@@ -1,0 +1,408 @@
+// Hot-path benchmark for the event core and the TSDB, tracking the perf
+// trajectory of the allocation-free rewrite from this PR onward.
+//
+// Three microbenches plus one end-to-end run:
+//   * event core  — a schedule-heavy request-hop workload (every simulated
+//     request crosses the queue 5+ times) on the real Simulator vs an
+//     in-binary replica of the legacy core (std::function events in a
+//     std::priority_queue) — the ratio is the headline events/sec speedup;
+//   * periodic    — schedule_every churn (scrape/control-tick shape);
+//   * tsdb        — scrape-shaped appends + controller-shaped window
+//     queries through interned SeriesIds vs a replica of the legacy
+//     string-keyed map-of-deques store with linear window scans;
+//   * scenario    — wall-clock of a full run_scenario() (scenario 1, L3).
+//
+// Results print as a table and are written to BENCH_sim_core.json
+// (machine-readable) for longitudinal tracking.
+//
+// Usage: sim_core [--fast] [--reps N] [--out PATH]
+#include "l3/metrics/tsdb.h"
+#include "l3/sim/simulator.h"
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Replica of the pre-refactor event core (std::function + priority_queue
+// with the const_cast move-out pop), kept verbatim so the speedup is
+// measured against the real thing rather than guessed.
+class LegacySimulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  l3::SimTime now() const { return now_; }
+
+  void schedule_at(l3::SimTime t, EventFn fn) {
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+  void schedule_after(l3::SimDuration delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  std::size_t run_until(l3::SimTime end) {
+    std::size_t processed = 0;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.time > end) break;
+      Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++processed;
+    }
+    if (now_ < end) now_ = end;
+    return processed;
+  }
+
+ private:
+  struct Event {
+    l3::SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  l3::SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// The request-hop workload: `chains` requests, each crossing the queue
+// `hops` times with a capture shape matching the proxy/WAN/client lambdas
+// (a couple of pointers plus a small state struct — beyond std::function's
+// 16-byte inline buffer, within EventFn's 48).
+template <typename Sim>
+struct Hop {
+  Sim* sim;
+  std::uint64_t* fired;
+  std::uint64_t id;
+  std::int32_t remaining;
+  double latency_acc;
+
+  void operator()() {
+    ++*fired;
+    latency_acc += 0.001;
+    if (--remaining > 0) {
+      sim->schedule_after(0.0005 + 1e-7 * static_cast<double>(id % 97),
+                          Hop(*this));
+    }
+  }
+};
+
+template <typename Sim>
+std::uint64_t run_hop_workload(Sim& sim, int chains, int hops) {
+  std::uint64_t fired = 0;
+  for (int c = 0; c < chains; ++c) {
+    const Hop<Sim> hop{&sim, &fired, static_cast<std::uint64_t>(c), hops,
+                       0.0};
+    sim.schedule_after(1e-9 * static_cast<double>(c), hop);
+  }
+  sim.run_until(1e9);
+  return fired;
+}
+
+struct EventCoreResult {
+  double new_events_per_sec = 0.0;
+  double legacy_events_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+EventCoreResult bench_event_core(int chains, int hops, int reps) {
+  EventCoreResult result;
+  double best_new = 0.0;
+  double best_legacy = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    {
+      l3::sim::Simulator sim;
+      const auto start = Clock::now();
+      const std::uint64_t fired = run_hop_workload(sim, chains, hops);
+      const double rate = static_cast<double>(fired) / seconds_since(start);
+      if (rate > best_new) best_new = rate;
+    }
+    {
+      LegacySimulator sim;
+      const auto start = Clock::now();
+      const std::uint64_t fired = run_hop_workload(sim, chains, hops);
+      const double rate = static_cast<double>(fired) / seconds_since(start);
+      if (rate > best_legacy) best_legacy = rate;
+    }
+  }
+  result.new_events_per_sec = best_new;
+  result.legacy_events_per_sec = best_legacy;
+  result.speedup = best_new / best_legacy;
+  return result;
+}
+
+double bench_periodic(int tasks, double sim_seconds) {
+  l3::sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::vector<l3::sim::PeriodicHandle> handles;
+  handles.reserve(static_cast<std::size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    handles.push_back(sim.schedule_every(
+        0.5 + 0.01 * static_cast<double>(i % 13), [&fired] { ++fired; }));
+  }
+  const auto start = Clock::now();
+  sim.run_until(sim_seconds);
+  return static_cast<double>(fired) / seconds_since(start);
+}
+
+// ---------------------------------------------------------------------------
+// Replica of the pre-refactor TSDB storage/query shape: string-keyed
+// std::map of deques with linear window scans.
+class LegacyTsdb {
+ public:
+  void append(const std::string& key, l3::SimTime t, double v) {
+    auto& series = scalars_[key];
+    series.push_back({t, v});
+    while (!series.empty() && series.front().t < t - retention_) {
+      series.pop_front();
+    }
+  }
+
+  std::optional<double> rate(const std::string& key, l3::SimDuration window,
+                             l3::SimTime now) const {
+    const auto it = scalars_.find(key);
+    if (it == scalars_.end()) return std::nullopt;
+    const auto& s = it->second;
+    const l3::SimTime start = now - window;
+    std::size_t first = s.size();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i].t >= start && s[i].t <= now) {
+        first = i;
+        break;
+      }
+    }
+    if (first == s.size()) return std::nullopt;
+    std::size_t last = first;
+    for (std::size_t i = s.size(); i-- > first;) {
+      if (s[i].t <= now) {
+        last = i;
+        break;
+      }
+    }
+    if (last - first + 1 < 2) return std::nullopt;
+    const double elapsed = s[last].t - s[first].t;
+    if (elapsed <= 0.0) return std::nullopt;
+    return (s[last].v - s[first].v) / elapsed;
+  }
+
+ private:
+  struct Sample {
+    l3::SimTime t;
+    double v;
+  };
+  std::map<std::string, std::deque<Sample>> scalars_;
+  l3::SimDuration retention_ = 120.0;
+};
+
+std::vector<std::string> make_series_names(int n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    names.push_back("request_total{split=api,src=cluster-1,dst=cluster-" +
+                    std::to_string(i) + "}");
+  }
+  return names;
+}
+
+struct TsdbResult {
+  double new_ops_per_sec = 0.0;
+  double legacy_ops_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+/// Scrape-shaped workload: `series` counters appended every 5 s of sim
+/// time, `queries_per_append` controller reads of a 10 s window per cycle.
+TsdbResult bench_tsdb(int series, int cycles, int queries_per_append) {
+  const auto names = make_series_names(series);
+  TsdbResult result;
+  std::uint64_t ops = 0;
+  double sink = 0.0;
+
+  {
+    l3::metrics::TimeSeriesDb db;
+    std::vector<l3::metrics::SeriesId> ids;
+    ids.reserve(names.size());
+    for (const auto& name : names) ids.push_back(db.series(name));
+    const auto start = Clock::now();
+    ops = 0;
+    for (int c = 0; c < cycles; ++c) {
+      const double now = 5.0 * static_cast<double>(c);
+      for (std::size_t s = 0; s < ids.size(); ++s) {
+        db.append(ids[s], now, static_cast<double>(c * 100 + s));
+        ++ops;
+      }
+      for (int q = 0; q < queries_per_append; ++q) {
+        for (const auto id : ids) {
+          if (const auto r = db.rate(id, 10.0, now)) sink += *r;
+          ++ops;
+        }
+      }
+      db.compact(now);
+    }
+    result.new_ops_per_sec = static_cast<double>(ops) / seconds_since(start);
+  }
+  {
+    LegacyTsdb db;
+    const auto start = Clock::now();
+    ops = 0;
+    for (int c = 0; c < cycles; ++c) {
+      const double now = 5.0 * static_cast<double>(c);
+      for (std::size_t s = 0; s < names.size(); ++s) {
+        db.append(names[s], now, static_cast<double>(c * 100 + s));
+        ++ops;
+      }
+      for (int q = 0; q < queries_per_append; ++q) {
+        for (const auto& name : names) {
+          if (const auto r = db.rate(name, 10.0, now)) sink += *r;
+          ++ops;
+        }
+      }
+    }
+    result.legacy_ops_per_sec =
+        static_cast<double>(ops) / seconds_since(start);
+  }
+  if (sink == 42.0) std::cerr << "";  // keep the reads observable
+  result.speedup = result.new_ops_per_sec / result.legacy_ops_per_sec;
+  return result;
+}
+
+struct ScenarioResult {
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t requests = 0;
+};
+
+ScenarioResult bench_scenario(double duration, int reps) {
+  const auto trace = l3::workload::make_scenario1(1);
+  l3::workload::RunnerConfig config;
+  config.seed = 42;
+  config.warmup = 30.0;
+  config.duration = duration;
+  ScenarioResult best;
+  best.wall_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const auto result =
+        l3::workload::run_scenario(trace, l3::workload::PolicyKind::kL3,
+                                   config);
+    const double wall = seconds_since(start);
+    if (wall < best.wall_seconds) {
+      best.wall_seconds = wall;
+      best.sim_seconds = config.warmup + duration + 30.0;  // incl. drain
+      best.requests = result.requests;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  int reps = 3;
+  std::string out_path = "BENCH_sim_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--fast] [--reps N] [--out PATH]\n";
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  const int chains = fast ? 200000 : 400000;
+  const int hops = 6;
+  const int periodic_tasks = fast ? 200 : 1000;
+  const double periodic_sim_seconds = fast ? 200.0 : 1000.0;
+  const int tsdb_series = 64;
+  const int tsdb_cycles = fast ? 2000 : 20000;
+  const double scenario_duration = fast ? 60.0 : 240.0;
+
+  std::cout << "== sim_core — event core + TSDB hot-path benchmark ==\n";
+
+  const EventCoreResult ev = bench_event_core(chains, hops, reps);
+  std::cout << "event core   : " << ev.new_events_per_sec / 1e6
+            << " M events/s  (legacy " << ev.legacy_events_per_sec / 1e6
+            << " M events/s, speedup " << ev.speedup << "x)\n";
+
+  const double periodic = bench_periodic(periodic_tasks, periodic_sim_seconds);
+  std::cout << "periodic     : " << periodic / 1e6 << " M firings/s\n";
+
+  const TsdbResult tsdb = bench_tsdb(tsdb_series, tsdb_cycles, 4);
+  std::cout << "tsdb         : " << tsdb.new_ops_per_sec / 1e6
+            << " M ops/s     (legacy " << tsdb.legacy_ops_per_sec / 1e6
+            << " M ops/s, speedup " << tsdb.speedup << "x)\n";
+
+  const ScenarioResult scenario = bench_scenario(scenario_duration, reps);
+  std::cout << "scenario     : " << scenario.wall_seconds << " s wall for "
+            << scenario.sim_seconds << " s sim (" << scenario.requests
+            << " requests, "
+            << scenario.sim_seconds / scenario.wall_seconds
+            << "x realtime)\n";
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"sim_core\",\n"
+       << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"event_core\": {\n"
+       << "    \"chains\": " << chains << ",\n"
+       << "    \"hops\": " << hops << ",\n"
+       << "    \"events_per_sec\": " << ev.new_events_per_sec << ",\n"
+       << "    \"legacy_events_per_sec\": " << ev.legacy_events_per_sec
+       << ",\n"
+       << "    \"speedup\": " << ev.speedup << "\n"
+       << "  },\n"
+       << "  \"periodic\": {\n"
+       << "    \"tasks\": " << periodic_tasks << ",\n"
+       << "    \"firings_per_sec\": " << periodic << "\n"
+       << "  },\n"
+       << "  \"tsdb\": {\n"
+       << "    \"series\": " << tsdb_series << ",\n"
+       << "    \"cycles\": " << tsdb_cycles << ",\n"
+       << "    \"ops_per_sec\": " << tsdb.new_ops_per_sec << ",\n"
+       << "    \"legacy_ops_per_sec\": " << tsdb.legacy_ops_per_sec << ",\n"
+       << "    \"speedup\": " << tsdb.speedup << "\n"
+       << "  },\n"
+       << "  \"scenario\": {\n"
+       << "    \"sim_seconds\": " << scenario.sim_seconds << ",\n"
+       << "    \"wall_seconds\": " << scenario.wall_seconds << ",\n"
+       << "    \"requests\": " << scenario.requests << ",\n"
+       << "    \"realtime_factor\": "
+       << scenario.sim_seconds / scenario.wall_seconds << "\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

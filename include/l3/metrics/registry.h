@@ -108,15 +108,32 @@ class Registry {
     for (const auto& [key, h] : histograms_) on_histogram(key, *h);
   }
 
+  /// Visits every series handing out the stable object pointers (the same
+  /// ones counter()/gauge()/histogram() return). The Scraper uses this to
+  /// build its per-target snapshot plan once per registry version, after
+  /// which steady-state scrapes read values straight through the pointers.
+  template <typename CounterFn, typename GaugeFn, typename HistoFn>
+  void for_each_entry(CounterFn on_counter, GaugeFn on_gauge,
+                      HistoFn on_histogram) const {
+    for (const auto& [key, c] : counters_) on_counter(key, c.get());
+    for (const auto& [key, g] : gauges_) on_gauge(key, g.get());
+    for (const auto& [key, h] : histograms_) on_histogram(key, h.get());
+  }
+
   std::size_t series_count() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  /// Bumped whenever a new series is created. Cached enumeration results
+  /// (e.g. the Scraper's snapshot plan) stay valid while this is unchanged.
+  std::uint64_t version() const { return version_; }
 
  private:
   // unique_ptr for pointer stability across rehash/insert.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramSeries>> histograms_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace l3::metrics

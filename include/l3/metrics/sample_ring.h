@@ -1,0 +1,79 @@
+// Power-of-two ring buffer for time-ordered metric samples. Replaces
+// std::deque in the TSDB hot path: contiguous storage (one cache-friendly
+// slab instead of deque's chunk map), O(1) amortized push_back, O(1)
+// pop_front, and O(1) random access — which is what lets the window queries
+// binary-search instead of scanning.
+#pragma once
+
+#include "l3/common/assert.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace l3::metrics {
+
+/// FIFO ring with random access. Samples enter at the back (append) and
+/// leave at the front (retention trimming).
+template <typename T>
+class SampleRing {
+ public:
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// i-th oldest element, 0 <= i < size().
+  const T& operator[](std::size_t i) const {
+    L3_EXPECTS(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    L3_EXPECTS(size_ > 0);
+    // Reset the slot so element-owned memory (e.g. histogram bucket
+    // vectors) is released now, not when the slot is next overwritten.
+    slots_[head_] = T{};
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() noexcept {
+    slots_.clear();
+    head_ = 0;
+    size_ = 0;
+    mask_ = 0;
+  }
+
+  /// Capacity currently reserved (always zero or a power of two).
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? kInitialCapacity
+                                           : slots_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace l3::metrics

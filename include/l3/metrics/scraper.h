@@ -2,6 +2,12 @@
 // into the TimeSeriesDb on a fixed interval (5 s by default, as in §4).
 // Targets can be disabled at runtime to inject scrape gaps — the ">10 s
 // without data" path that makes L3 converge its EWMAs back to defaults.
+//
+// Each target keeps a snapshot plan — (series pointer, interned TSDB id)
+// pairs — rebuilt only when the registry's version changes (i.e. a series
+// was created). Steady-state scrapes therefore do zero string hashing,
+// key building or map lookups: they walk two flat vectors and append
+// through interned ids.
 #pragma once
 
 #include "l3/common/time.h"
@@ -47,9 +53,17 @@ class Scraper {
  private:
   struct Target {
     std::string name;
-    const Registry* registry;
+    const Registry* registry = nullptr;
     bool enabled = true;
+    /// Registry version the plan below was built against (~0 = never).
+    std::uint64_t planned_version = ~std::uint64_t{0};
+    std::vector<std::pair<const Counter*, SeriesId>> counters;
+    std::vector<std::pair<const Gauge*, SeriesId>> gauges;
+    std::vector<std::pair<const HistogramSeries*, HistogramId>> histograms;
   };
+
+  /// (Re)builds `target`'s snapshot plan, interning any new series names.
+  void build_plan(Target& target);
 
   sim::Simulator& sim_;
   TimeSeriesDb& tsdb_;

@@ -3,17 +3,60 @@
 // averaging, and `histogram_quantile()` over bucket-rate vectors. The L3
 // controller reads ONLY from here (never from live registries), reproducing
 // the 5 s scrape / 10 s window staleness the paper discusses in §4.
+//
+// Hot-path design: series names are interned once into SeriesId /
+// HistogramId handles (TimeSeriesDb::series / histogram_series); the
+// scraper and controller cache those ids, so steady-state appends and
+// queries do zero string hashing or comparison. Samples live in
+// power-of-two ring buffers (SampleRing) and window boundaries are found
+// by binary search over the time-ordered samples. The string-keyed API is
+// kept as a thin compatibility layer over the interned one.
 #pragma once
 
 #include "l3/common/time.h"
+#include "l3/metrics/sample_ring.h"
 
-#include <deque>
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace l3::metrics {
+
+/// Interned handle to one scalar (counter/gauge) series. Cheap to copy;
+/// valid for the lifetime of the TimeSeriesDb that issued it.
+class SeriesId {
+ public:
+  SeriesId() = default;
+  bool valid() const { return index_ != kInvalid; }
+  friend bool operator==(SeriesId a, SeriesId b) {
+    return a.index_ == b.index_;
+  }
+
+ private:
+  friend class TimeSeriesDb;
+  explicit SeriesId(std::uint32_t index) : index_(index) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t index_ = kInvalid;
+};
+
+/// Interned handle to one histogram series.
+class HistogramId {
+ public:
+  HistogramId() = default;
+  bool valid() const { return index_ != kInvalid; }
+  friend bool operator==(HistogramId a, HistogramId b) {
+    return a.index_ == b.index_;
+  }
+
+ private:
+  friend class TimeSeriesDb;
+  explicit HistogramId(std::uint32_t index) : index_(index) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t index_ = kInvalid;
+};
 
 /// Time-series database with per-series retention trimming.
 class TimeSeriesDb {
@@ -24,76 +67,168 @@ class TimeSeriesDb {
   explicit TimeSeriesDb(SimDuration retention = 120.0)
       : retention_(retention) {}
 
+  // ---- Series interning -------------------------------------------------
+
+  /// Interns `name` as a scalar series and returns its stable handle.
+  /// Idempotent: the same name always yields the same id.
+  SeriesId series(std::string_view name);
+
+  /// Interns `name` as a histogram series.
+  HistogramId histogram_series(std::string_view name);
+
+  /// Looks up a scalar series without creating it.
+  SeriesId find_series(std::string_view name) const;
+
+  /// Looks up a histogram series without creating it.
+  HistogramId find_histogram_series(std::string_view name) const;
+
+  // ---- Appends ----------------------------------------------------------
+
   /// Appends a scalar (counter or gauge) sample.
-  void append(const std::string& key, SimTime t, double value);
+  void append(SeriesId id, SimTime t, double value);
+  void append(const std::string& key, SimTime t, double value) {
+    append(series(key), t, value);
+  }
 
   /// Appends a histogram sample: the cumulative bucket counts at time t.
   /// `bounds` is stored on first append and must match thereafter.
-  void append_histogram(const std::string& key, SimTime t,
+  void append_histogram(HistogramId id, SimTime t,
                         const std::vector<double>& bounds,
                         std::vector<double> cumulative_counts);
+  void append_histogram(const std::string& key, SimTime t,
+                        const std::vector<double>& bounds,
+                        std::vector<double> cumulative_counts) {
+    append_histogram(histogram_series(key), t, bounds,
+                     std::move(cumulative_counts));
+  }
+
+  // ---- Queries ----------------------------------------------------------
 
   /// Per-second rate of increase of a counter over [now − window, now].
   /// Needs at least two samples in the window (the paper's reason for the
   /// 10 s window at a 5 s scrape interval); std::nullopt otherwise.
-  std::optional<double> rate(const std::string& key, SimDuration window,
+  std::optional<double> rate(SeriesId id, SimDuration window,
                              SimTime now) const;
+  std::optional<double> rate(const std::string& key, SimDuration window,
+                             SimTime now) const {
+    return rate(find_series(key), window, now);
+  }
 
   /// Absolute increase of a counter over the window (rate × elapsed).
-  std::optional<double> increase(const std::string& key, SimDuration window,
+  std::optional<double> increase(SeriesId id, SimDuration window,
                                  SimTime now) const;
+  std::optional<double> increase(const std::string& key, SimDuration window,
+                                 SimTime now) const {
+    return increase(find_series(key), window, now);
+  }
 
   /// Mean of gauge samples in the window; std::nullopt if none.
-  std::optional<double> avg(const std::string& key, SimDuration window,
+  std::optional<double> avg(SeriesId id, SimDuration window,
                             SimTime now) const;
+  std::optional<double> avg(const std::string& key, SimDuration window,
+                            SimTime now) const {
+    return avg(find_series(key), window, now);
+  }
 
   /// Most recent sample value within the window; std::nullopt if none.
-  std::optional<double> last(const std::string& key, SimDuration window,
+  std::optional<double> last(SeriesId id, SimDuration window,
                              SimTime now) const;
+  std::optional<double> last(const std::string& key, SimDuration window,
+                             SimTime now) const {
+    return last(find_series(key), window, now);
+  }
 
   /// Prometheus-style `histogram_quantile(q, rate(buckets[window]))`.
   /// std::nullopt when fewer than two samples exist or no requests were
   /// observed in the window.
+  std::optional<double> quantile(HistogramId id, double q, SimDuration window,
+                                 SimTime now) const;
   std::optional<double> quantile(const std::string& key, double q,
-                                 SimDuration window, SimTime now) const;
+                                 SimDuration window, SimTime now) const {
+    return quantile(find_histogram_series(key), q, window, now);
+  }
 
-  /// Drops every sample older than now − retention across ALL series and
-  /// erases series left empty. Series only trim themselves on append, so a
-  /// series that stops receiving samples (disabled scrape target, removed
-  /// backend) would otherwise pin its stale samples forever; the scraper
-  /// calls this once per scrape to bound memory.
+  // ---- Maintenance / introspection --------------------------------------
+
+  /// Drops every sample older than now − retention. Series only trim
+  /// themselves on append, so a series that stops receiving samples
+  /// (disabled scrape target, removed backend) would otherwise pin its
+  /// stale samples forever; the scraper calls this once per scrape.
+  ///
+  /// Amortized: a global oldest-sample watermark makes the call O(1) when
+  /// nothing can be stale, and the sweep skips already-fresh series with a
+  /// single timestamp comparison each.
   void compact(SimTime now);
 
-  /// Number of scalar series stored.
-  std::size_t series_count() const { return scalars_.size(); }
+  /// Number of scalar series holding at least one sample. (Interned ids
+  /// stay valid forever; a series whose samples all age out no longer
+  /// counts here, matching the old erase-on-empty semantics.)
+  std::size_t series_count() const { return nonempty_scalars_; }
 
-  /// Number of histogram series stored.
-  std::size_t histogram_series_count() const { return histograms_.size(); }
+  /// Number of histogram series holding at least one sample.
+  std::size_t histogram_series_count() const { return nonempty_histograms_; }
 
   /// Stored sample count of one scalar series (0 when absent).
-  std::size_t sample_count(const std::string& key) const;
+  std::size_t sample_count(SeriesId id) const;
+  std::size_t sample_count(const std::string& key) const {
+    return sample_count(find_series(key));
+  }
 
   /// Stored sample count of one histogram series (0 when absent).
-  std::size_t histogram_sample_count(const std::string& key) const;
+  std::size_t histogram_sample_count(HistogramId id) const;
+  std::size_t histogram_sample_count(const std::string& key) const {
+    return histogram_sample_count(find_histogram_series(key));
+  }
 
   SimDuration retention() const { return retention_; }
 
  private:
   struct ScalarSample {
-    SimTime t;
-    double v;
+    SimTime t = 0.0;
+    double v = 0.0;
   };
   struct HistoSample {
-    SimTime t;
+    SimTime t = 0.0;
     std::vector<double> cumulative;
   };
+  struct ScalarSeries {
+    std::string name;
+    SampleRing<ScalarSample> samples;
+  };
   struct HistoSeries {
+    std::string name;
     std::vector<double> bounds;
-    std::deque<HistoSample> samples;
+    SampleRing<HistoSample> samples;
   };
 
-  std::map<std::string, std::deque<ScalarSample>> scalars_;
-  std::map<std::string, HistoSeries> histograms_;
+  /// Heterogeneous hashing so string_view lookups don't allocate.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using NameIndex =
+      std::unordered_map<std::string, std::uint32_t, StringHash,
+                         std::equal_to<>>;
+
+  /// Lowers the global oldest-sample watermark for a series whose first
+  /// sample just landed at time t.
+  void note_new_front(SimTime t) {
+    if (t < oldest_sample_) oldest_sample_ = t;
+  }
+
+  std::vector<ScalarSeries> scalars_;
+  std::vector<HistoSeries> histograms_;
+  NameIndex scalar_index_;
+  NameIndex histogram_index_;
+  std::size_t nonempty_scalars_ = 0;
+  std::size_t nonempty_histograms_ = 0;
+  /// Lower bound on the oldest sample timestamp across ALL series; compact
+  /// is a no-op while `oldest_sample_ >= now - retention`. Refreshed to the
+  /// exact minimum by each sweep.
+  SimTime oldest_sample_ = kNoSamples;
+  static constexpr SimTime kNoSamples = 1e300;
   SimDuration retention_;
 };
 

@@ -1,0 +1,448 @@
+// Building blocks of the allocation-free event core: `EventFn`, a move-only
+// callable with small-buffer optimization sized for the closures the mesh
+// hot path actually schedules (proxy hops, WAN transits, client arrivals),
+// and `EventQueue`, a tiered pending-event queue whose front is an
+// explicit 4-ary min-heap ordered by (time, seq).
+//
+// Why not std::function + std::priority_queue:
+//   * std::function heap-allocates for captures beyond ~2 pointers; every
+//     simulated request crosses the queue 5+ times, so those allocations
+//     dominated schedule_at() profiles. EventFn stores captures up to
+//     kInlineCapacity bytes in place and only falls back to the heap for
+//     oversized callables.
+//   * priority_queue::top() returns a const reference, forcing a const_cast
+//     to move the callable out before pop(). EventQueue::pop_min() moves the
+//     root out safely. And a monolithic heap pays a full-depth, random-
+//     access sift-down per pop once the pending set outgrows the cache;
+//     the tiered queue keeps its heap small and does the rest of its
+//     bookkeeping as sequential sorts and merges.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace l3::sim {
+
+/// Move-only `void()` callable with inline storage for small captures.
+class EventFn {
+ public:
+  /// Captures up to this many bytes are stored inline (no heap). Sized for
+  /// the common event shapes: `this` + a shared_ptr + a few scalars.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at schedule_at() call sites.
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      storage_.ptr = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+    static_assert(sizeof(D) > 0, "callable must be complete");
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    relocate_from(other);
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      relocate_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  /// Destroys the held callable (if any), leaving the EventFn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    L3_EXPECTS(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Whether the held callable lives in the inline buffer (introspection
+  /// for tests and benches; empty EventFns report false).
+  bool stored_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  /// Whether a callable of type F would be stored inline.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kInlineCapacity];
+    void* ptr;
+  };
+
+  struct Ops {
+    void (*invoke)(Storage&);
+    /// Move-constructs `dst` from `src` and destroys the source object
+    /// (for heap storage: steals the pointer).
+    void (*relocate)(Storage& dst, Storage& src) noexcept;
+    void (*destroy)(Storage&) noexcept;
+    bool inline_storage;
+    /// Trivially copyable + trivially destructible inline callables take a
+    /// fast path: relocation is a raw Storage copy (no indirect call) and
+    /// destruction is a no-op — the common case for hot-path lambdas that
+    /// capture pointers and scalars.
+    bool trivial;
+  };
+
+  /// Shared tail of move construction/assignment; assumes ops_ was copied
+  /// from `other` and own storage holds no live object.
+  void relocate_from(EventFn& other) noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->trivial) {
+        storage_ = other.storage_;
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static D* inline_object(Storage& s) noexcept {
+    return std::launder(reinterpret_cast<D*>(s.buf));
+  }
+
+  template <typename D>
+  static constexpr Ops make_inline_ops() {
+    return Ops{
+        [](Storage& s) { (*inline_object<D>(s))(); },
+        [](Storage& dst, Storage& src) noexcept {
+          D* obj = inline_object<D>(src);
+          ::new (static_cast<void*>(dst.buf)) D(std::move(*obj));
+          obj->~D();
+        },
+        [](Storage& s) noexcept { inline_object<D>(s)->~D(); },
+        true,
+        std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>,
+    };
+  }
+
+  template <typename D>
+  static constexpr Ops make_heap_ops() {
+    return Ops{
+        [](Storage& s) { (*static_cast<D*>(s.ptr))(); },
+        [](Storage& dst, Storage& src) noexcept { dst.ptr = src.ptr; },
+        [](Storage& s) noexcept { delete static_cast<D*>(s.ptr); },
+        false,
+        false,
+    };
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = make_inline_ops<D>();
+  template <typename D>
+  static constexpr Ops kHeapOps = make_heap_ops<D>();
+
+  const Ops* ops_ = nullptr;
+  Storage storage_;
+};
+
+/// One queued event. `seq` breaks timestamp ties FIFO, which is what makes
+/// equal-time events fire in scheduling order (the determinism contract).
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  EventFn fn;
+
+  /// Strict weak ordering: earlier time first, then lower seq.
+  friend bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+
+/// Tiered pending-event queue: a small 4-ary min-heap front backed by a
+/// sorted run and an unsorted staging buffer (a lazy queue in the spirit of
+/// Ronngren & Ayani).
+///
+/// The heap holds exactly the events with `time < horizon_`, so it stays a
+/// few thousand entries deep and its sifts run in L1/L2 regardless of how
+/// many events are pending overall. Far-future pushes append to `staging_`
+/// (O(1), sequential); when the heap drains, the next batch is bulk-loaded
+/// from the sorted `run_` (an ascending append is already a valid heap, so
+/// the load is sift-free) and `staging_` is partitioned against the new
+/// horizon. Staging is sorted and merged into the run only when it grows
+/// large, so every entry is sorted once and copied O(1) times amortized —
+/// sequential work instead of the full-depth random-access sift-down a
+/// monolithic heap pays per pop once the pending set outgrows the cache.
+///
+/// Heap entries are 16 bytes — the timestamp plus the sequence number and
+/// slot index packed into one u64 — so the four children of a node share a
+/// single cache line. The EventFns sit in a slot pool on the side, their
+/// indices recycled through a free list; callables never move between
+/// tiers, and are moved exactly twice in their queue lifetime (in at push,
+/// out at pop). Steady state runs allocation-free: pool and buffers
+/// high-watermark at the maximum number of concurrently pending events.
+///
+/// Determinism: the pop order is exactly ascending (time, seq). Within the
+/// heap that is the sift order; across tiers it follows from the
+/// invariants that every event outside the heap has time >= horizon_, the
+/// run is sorted, and at equal timestamps staging sequence numbers always
+/// exceed run sequence numbers (staging drains to the run wholesale, so a
+/// later push can never overtake an earlier one through a flush).
+class EventQueue {
+ public:
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept {
+    return entries_.size() + (run_.size() - run_head_) + staging_.size();
+  }
+
+  /// Timestamp of the earliest event; undefined when empty. May promote a
+  /// batch of events into the heap front, hence non-const.
+  SimTime min_time() {
+    L3_EXPECTS(!empty());
+    if (entries_.empty()) refill();
+    return entries_.front().time;
+  }
+
+  void push(SimTime time, std::uint64_t seq, EventFn fn) {
+    L3_EXPECTS(seq <= kMaxSeq);
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      L3_EXPECTS(slot <= kSlotMask);
+      slots_.push_back(std::move(fn));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    }
+    const Entry entry{time, (seq << kSlotBits) | slot};
+    if (time < horizon_) {
+      entries_.push_back(entry);
+      sift_up(entries_.size() - 1);
+    } else {
+      staging_.push_back(entry);
+      staging_min_time_ = std::min(staging_min_time_, time);
+    }
+  }
+
+  void push(Event ev) { push(ev.time, ev.seq, std::move(ev.fn)); }
+
+  /// Removes and returns the earliest event by move — no const_cast, no
+  /// copy of the callable.
+  Event pop_min() {
+    L3_EXPECTS(!empty());
+    if (entries_.empty()) refill();
+    const Entry top = entries_.front();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(top.seq_slot & kSlotMask);
+#if defined(__GNUC__)
+    // The slot pool is randomly accessed; start the load now so it overlaps
+    // with the sift below instead of stalling the move-out.
+    __builtin_prefetch(&slots_[slot]);
+#endif
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    free_slots_.push_back(slot);
+    return Event{top.time, top.seq_slot >> kSlotBits,
+                 std::move(slots_[slot])};
+  }
+
+  void clear() noexcept {
+    entries_.clear();
+    run_.clear();
+    run_head_ = 0;
+    staging_.clear();
+    staging_min_time_ = kEmptyStagingMin;
+    slots_.clear();
+    free_slots_.clear();
+    horizon_ = kInitialHorizon;
+  }
+
+ private:
+  // Sequence number and slot index packed into one word, seq in the high
+  // bits: sequence numbers are unique, so comparing the packed word orders
+  // equal-time entries FIFO exactly as comparing seq alone would. The
+  // 40/24 split allows ~1.1e12 total events and ~16.7M concurrently
+  // pending — both guarded by preconditions in push().
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = (~0ull) >> kSlotBits;
+
+  /// Events promoted into the heap per refill: deep enough to amortize the
+  /// staging scan, shallow enough that the heap (16 KiB of entries) sifts
+  /// entirely in L1.
+  static constexpr std::size_t kRefillBatch = 1024;
+  /// Staging is merged into the run once it could no longer be rescanned
+  /// cheaply relative to the run it shadows.
+  static constexpr std::size_t kStagingFlushMin = 2 * kRefillBatch;
+  /// All initial pushes stage until the first pop establishes a horizon.
+  static constexpr SimTime kInitialHorizon =
+      -std::numeric_limits<SimTime>::infinity();
+  static constexpr SimTime kEmptyStagingMin =
+      std::numeric_limits<SimTime>::infinity();
+
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq_slot;
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  std::size_t run_remaining() const noexcept {
+    return run_.size() - run_head_;
+  }
+
+  /// Sorts staging and merges it into the run (consumed prefix compacted
+  /// away first). Every entry is sorted exactly once on its way through.
+  void flush_staging() {
+    if (staging_.empty()) return;
+    run_.erase(run_.begin(),
+               run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+    run_head_ = 0;
+    std::sort(staging_.begin(), staging_.end(), &EventQueue::earlier);
+    const auto mid = run_.size();
+    run_.insert(run_.end(), staging_.begin(), staging_.end());
+    std::inplace_merge(run_.begin(),
+                       run_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       run_.end(), &EventQueue::earlier);
+    staging_.clear();
+    staging_min_time_ = kEmptyStagingMin;
+  }
+
+  /// Heap empty but events pending elsewhere: advance the horizon and bulk-
+  /// load the next batch from the run, then pull in any staged events the
+  /// new horizon now covers.
+  void refill() {
+    if (run_remaining() <= kRefillBatch ||
+        (staging_.size() >= kStagingFlushMin &&
+         staging_.size() * 4 >= run_remaining())) {
+      flush_staging();
+    }
+    if (run_head_ >= kRefillBatch * 8 && run_head_ * 2 >= run_.size()) {
+      run_.erase(run_.begin(),
+                 run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+      run_head_ = 0;
+    }
+    const std::size_t take_end =
+        std::min(run_head_ + kRefillBatch, run_.size());
+    L3_ASSERT(take_end > run_head_);
+    // Ascending appends already satisfy the heap property — no sifts.
+    entries_.assign(run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+                    run_.begin() + static_cast<std::ptrdiff_t>(take_end));
+#if defined(__GNUC__)
+    // The batch's callables were pushed long ago and their slots have gone
+    // cold; touching all of them here lets the misses overlap each other
+    // instead of stalling one pop at a time over the coming epoch.
+    for (const Entry& e : entries_) {
+      __builtin_prefetch(&slots_[e.seq_slot & kSlotMask], 0, 2);
+    }
+#endif
+    horizon_ = run_[take_end - 1].time;
+    run_head_ = take_end;
+    if (run_head_ == run_.size()) {
+      run_.clear();
+      run_head_ = 0;
+    }
+    // Staged events the horizon has caught up with belong in the heap now.
+    // Staged times usually sit well past the horizon (they were too far out
+    // for the previous epoch too), so the tracked minimum lets most refills
+    // skip the scan outright.
+    if (staging_min_time_ < horizon_) {
+      std::size_t kept = 0;
+      SimTime new_min = kEmptyStagingMin;
+      for (const Entry& e : staging_) {
+        if (e.time < horizon_) {
+          entries_.push_back(e);
+          sift_up(entries_.size() - 1);
+        } else {
+          staging_[kept++] = e;
+          new_min = std::min(new_min, e.time);
+        }
+      }
+      staging_.resize(kept);
+      staging_min_time_ = new_min;
+    }
+  }
+
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i) {
+    const Entry moving = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!earlier(moving, entries_[parent])) break;
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = moving;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = entries_.size();
+    const Entry moving = entries_[i];
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (earlier(entries_[c], entries_[best])) best = c;
+      }
+      if (!earlier(entries_[best], moving)) break;
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = moving;
+  }
+
+  std::vector<Entry> entries_;        // the 4-ary heap front (time < horizon_)
+  std::vector<Entry> run_;            // sorted ascending; consumed from run_head_
+  std::size_t run_head_ = 0;
+  std::vector<Entry> staging_;        // unsorted pushes with time >= horizon_
+  SimTime staging_min_time_ = kEmptyStagingMin;
+  std::vector<EventFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  SimTime horizon_ = kInitialHorizon;
+};
+
+}  // namespace l3::sim

@@ -4,19 +4,38 @@
 //
 // The simulator is deliberately single-threaded and deterministic: events at
 // equal timestamps fire in scheduling order, so a given (topology, scenario,
-// seed) triple always reproduces the identical request trace.
+// seed) triple always reproduces the identical request trace (pinned by
+// tests/sim_determinism_test.cpp).
+//
+// Hot-path design (see include/l3/sim/event.h): events are EventFns with
+// inline storage for small captures, queued in an explicit 4-ary min-heap.
+// Periodic tasks keep their callback in a single heap-allocated control
+// block for their whole lifetime and reschedule in place — the nth firing
+// lands at exactly `first + n * interval`, so co-periodic tasks (5 s control
+// ticks vs 5 s scrape ticks) never drift apart over long runs.
 #pragma once
 
 #include "l3/common/assert.h"
 #include "l3/common/time.h"
+#include "l3/sim/event.h"
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
 
 namespace l3::sim {
+
+namespace detail {
+/// Control block of one periodic task. Allocated once per schedule_every()
+/// and shared by the in-flight event and any PeriodicHandles; the callback
+/// is never re-wrapped between firings.
+struct PeriodicTask {
+  EventFn fn;
+  SimDuration interval = 0.0;
+  SimTime first = 0.0;     ///< time of firing 0
+  std::uint64_t fired = 0; ///< completed firings
+  bool cancelled = false;
+};
+}  // namespace detail
 
 /// Cancellation handle for a periodic task. Destroying the handle does NOT
 /// cancel the task (handles are observers); call `cancel()` explicitly.
@@ -26,22 +45,22 @@ class PeriodicHandle {
 
   /// Stops future firings. Safe to call repeatedly or on a default handle.
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (task_) task_->cancelled = true;
   }
 
-  bool active() const { return cancelled_ && !*cancelled_; }
+  bool active() const { return task_ && !task_->cancelled; }
 
  private:
   friend class Simulator;
-  explicit PeriodicHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  explicit PeriodicHandle(std::shared_ptr<detail::PeriodicTask> task)
+      : task_(std::move(task)) {}
+  std::shared_ptr<detail::PeriodicTask> task_;
 };
 
 /// The event loop: a virtual clock plus a time-ordered queue of callbacks.
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  using EventFn = sim::EventFn;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -85,22 +104,11 @@ class Simulator {
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // tie-breaker: FIFO for equal timestamps
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  void fire_periodic(const std::shared_ptr<detail::PeriodicTask>& task);
+  void schedule_periodic_firing(std::shared_ptr<detail::PeriodicTask> task,
+                                SimTime at);
 
-  void schedule_periodic(SimDuration interval, EventFn fn,
-                         std::shared_ptr<bool> cancelled, SimTime first);
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the test suite under AddressSanitizer and UndefinedBehaviorSanitizer
-# and runs ctest for each, then the plain RelWithDebInfo build. Intended as
-# the pre-merge gate; any failure aborts immediately.
+# and runs ctest for each, then the plain RelWithDebInfo build, then a
+# Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json).
+# Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
 #   With no arguments, runs: asan ubsan default.
@@ -23,4 +24,12 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset"
 done
 
-echo "All checks passed: ${presets[*]}"
+# Hot-path perf smoke: build the sim_core bench in Release and refresh
+# BENCH_sim_core.json so regressions in events/s or TSDB throughput show
+# up in the diff. --fast keeps it to a few seconds.
+echo "==> [release-bench] sim_core perf smoke"
+cmake --preset release-bench >/dev/null
+cmake --build --preset release-bench -j "$(nproc)" --target sim_core
+./build-release/bench/sim_core --fast --out BENCH_sim_core.json
+
+echo "All checks passed: ${presets[*]} + sim_core smoke"

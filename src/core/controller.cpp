@@ -34,17 +34,28 @@ struct L3Controller::BackendFilters {
 struct L3Controller::ManagedSplit {
   mesh::TrafficSplit* split = nullptr;
   std::vector<BackendFilters> filters;
-  /// Series keys per backend, precomputed: [backend][metric].
+  /// Interned TSDB handles per backend, resolved once in manage() so the
+  /// 5 s control tick queries the store with zero string work.
   struct Keys {
-    std::string requests;
-    std::string success;
-    std::string failure;
-    std::string latency_success;
-    std::string latency_failure;
-    std::string latency_success_sum;
-    std::string inflight;
+    metrics::SeriesId requests;
+    metrics::SeriesId success;
+    metrics::SeriesId failure;
+    metrics::HistogramId latency_success;
+    metrics::HistogramId latency_failure;
+    metrics::SeriesId latency_success_sum;
+    metrics::SeriesId inflight;
   };
   std::vector<Keys> keys;
+  /// Introspection gauges per backend, resolved once in manage() (Registry
+  /// guarantees pointer stability) instead of per tick via series_key().
+  struct IntrospectionGauges {
+    metrics::Gauge* weight = nullptr;
+    metrics::Gauge* latency_p99 = nullptr;
+    metrics::Gauge* success_rate = nullptr;
+    metrics::Gauge* rps = nullptr;
+    metrics::Gauge* inflight = nullptr;
+  };
+  std::vector<IntrospectionGauges> introspection;
   metrics::Ewma total_rps{0.0, 10.0};  // re-initialised in manage()
   double last_rps_sample = 0.0;
   std::vector<std::uint64_t> last_weights;
@@ -83,22 +94,37 @@ void L3Controller::manage(mesh::TrafficSplit& split) {
     managed->filters.emplace_back(config_, now);
     const std::string& dst_name = mesh_.cluster_names()[backend.ref.cluster];
     ManagedSplit::Keys keys;
-    keys.requests =
+    keys.requests = tsdb_.series(
         mn::backend_series(mn::kRequestTotal, split.service(), src_name,
-                           dst_name);
-    keys.success = mn::backend_series(mn::kSuccessTotal, split.service(),
-                                      src_name, dst_name);
-    keys.failure = mn::backend_series(mn::kFailureTotal, split.service(),
-                                      src_name, dst_name);
-    keys.latency_success = mn::backend_series(
-        mn::kLatencySuccess, split.service(), src_name, dst_name);
-    keys.latency_failure = mn::backend_series(
-        mn::kLatencyFailure, split.service(), src_name, dst_name);
-    keys.latency_success_sum = mn::backend_series(
-        mn::kLatencySuccessSum, split.service(), src_name, dst_name);
-    keys.inflight = mn::backend_series(mn::kInflight, split.service(),
-                                       src_name, dst_name);
-    managed->keys.push_back(std::move(keys));
+                           dst_name));
+    keys.success = tsdb_.series(mn::backend_series(
+        mn::kSuccessTotal, split.service(), src_name, dst_name));
+    keys.failure = tsdb_.series(mn::backend_series(
+        mn::kFailureTotal, split.service(), src_name, dst_name));
+    keys.latency_success = tsdb_.histogram_series(mn::backend_series(
+        mn::kLatencySuccess, split.service(), src_name, dst_name));
+    keys.latency_failure = tsdb_.histogram_series(mn::backend_series(
+        mn::kLatencyFailure, split.service(), src_name, dst_name));
+    keys.latency_success_sum = tsdb_.series(mn::backend_series(
+        mn::kLatencySuccessSum, split.service(), src_name, dst_name));
+    keys.inflight = tsdb_.series(mn::backend_series(
+        mn::kInflight, split.service(), src_name, dst_name));
+    managed->keys.push_back(keys);
+
+    if (config_.export_introspection) {
+      auto& registry = mesh_.registry(source_);
+      const auto labels =
+          mn::backend_labels(split.service(), src_name, dst_name);
+      ManagedSplit::IntrospectionGauges gauges;
+      gauges.weight = &registry.gauge("l3_backend_weight", labels);
+      gauges.latency_p99 =
+          &registry.gauge("l3_backend_latency_p99_ewma", labels);
+      gauges.success_rate =
+          &registry.gauge("l3_backend_success_rate_ewma", labels);
+      gauges.rps = &registry.gauge("l3_backend_rps_ewma", labels);
+      gauges.inflight = &registry.gauge("l3_backend_inflight_ewma", labels);
+      managed->introspection.push_back(gauges);
+    }
   }
   managed->last_weights = split.weights();
   managed_.push_back(std::move(managed));
@@ -253,21 +279,13 @@ void L3Controller::tick_split(ManagedSplit& managed) {
   }
 
   if (config_.export_introspection) {
-    auto& registry = mesh_.registry(source_);
-    const std::string& src_name = mesh_.cluster_names()[source_];
     for (std::size_t i = 0; i < refs.size(); ++i) {
-      const std::string& dst_name = mesh_.cluster_names()[refs[i].cluster];
-      auto labels = mn::backend_labels(managed.split->service(), src_name,
-                                       dst_name);
-      registry.gauge("l3_backend_weight", labels)
-          .set(static_cast<double>(weights[i]));
-      registry.gauge("l3_backend_latency_p99_ewma", labels)
-          .set(signals[i].latency_p99);
-      registry.gauge("l3_backend_success_rate_ewma", labels)
-          .set(signals[i].success_rate);
-      registry.gauge("l3_backend_rps_ewma", labels).set(signals[i].rps);
-      registry.gauge("l3_backend_inflight_ewma", labels)
-          .set(signals[i].inflight);
+      const auto& gauges = managed.introspection[i];
+      gauges.weight->set(static_cast<double>(weights[i]));
+      gauges.latency_p99->set(signals[i].latency_p99);
+      gauges.success_rate->set(signals[i].success_rate);
+      gauges.rps->set(signals[i].rps);
+      gauges.inflight->set(signals[i].inflight);
     }
   }
 }

@@ -23,6 +23,7 @@ Counter& Registry::counter(const std::string& name, Labels labels) {
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
+    ++version_;
   }
   return *it->second;
 }
@@ -32,6 +33,7 @@ Gauge& Registry::gauge(const std::string& name, Labels labels) {
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
+    ++version_;
   }
   return *it->second;
 }
@@ -44,6 +46,7 @@ HistogramSeries& Registry::histogram(const std::string& name, Labels labels,
     auto series = std::make_unique<HistogramSeries>(
         bounds ? *bounds : FixedBucketHistogram::default_latency_bounds());
     it = histograms_.emplace(std::move(key), std::move(series)).first;
+    ++version_;
   }
   return *it->second;
 }

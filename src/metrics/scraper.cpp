@@ -5,7 +5,10 @@
 namespace l3::metrics {
 
 void Scraper::add_target(std::string name, const Registry& registry) {
-  targets_.push_back(Target{std::move(name), &registry, true});
+  Target target;
+  target.name = std::move(name);
+  target.registry = &registry;
+  targets_.push_back(std::move(target));
 }
 
 bool Scraper::set_target_enabled(const std::string& name, bool enabled) {
@@ -25,23 +28,44 @@ void Scraper::start(SimDuration interval) {
   task_ = sim_.schedule_every(interval, [this] { scrape_once(); }, interval);
 }
 
+void Scraper::build_plan(Target& target) {
+  target.counters.clear();
+  target.gauges.clear();
+  target.histograms.clear();
+  target.registry->for_each_entry(
+      [&](const std::string& key, const Counter* c) {
+        target.counters.emplace_back(c, tsdb_.series(key));
+      },
+      [&](const std::string& key, const Gauge* g) {
+        target.gauges.emplace_back(g, tsdb_.series(key));
+      },
+      [&](const std::string& key, const HistogramSeries* h) {
+        target.histograms.emplace_back(h, tsdb_.histogram_series(key));
+      });
+  target.planned_version = target.registry->version();
+}
+
 void Scraper::scrape_once() {
   const SimTime now = sim_.now();
-  for (const auto& target : targets_) {
+  for (auto& target : targets_) {
     if (!target.enabled) continue;
-    target.registry->for_each(
-        [&](const std::string& key, double value) {
-          tsdb_.append(key, now, value);
-        },
-        [&](const std::string& key, double value) {
-          tsdb_.append(key, now, value);
-        },
-        [&](const std::string& key, const HistogramSeries& h) {
-          tsdb_.append_histogram(key, now, h.bounds(), h.cumulative_counts());
-        });
+    if (target.planned_version != target.registry->version()) {
+      build_plan(target);
+    }
+    for (const auto& [counter, id] : target.counters) {
+      tsdb_.append(id, now, counter->value());
+    }
+    for (const auto& [gauge, id] : target.gauges) {
+      tsdb_.append(id, now, gauge->value());
+    }
+    for (const auto& [histogram, id] : target.histograms) {
+      tsdb_.append_histogram(id, now, histogram->bounds(),
+                             histogram->cumulative_counts());
+    }
   }
   // Series belonging to disabled targets receive no appends (which is where
-  // per-series trimming happens), so sweep the whole store each scrape.
+  // per-series trimming happens); the compact call reaps them. It is O(1)
+  // while nothing in the store has aged past the retention horizon.
   tsdb_.compact(now);
   ++scrapes_;
 }

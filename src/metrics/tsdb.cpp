@@ -4,52 +4,107 @@
 #include "l3/common/histogram.h"
 
 #include <algorithm>
-#include <iterator>
 
 namespace l3::metrics {
 namespace {
 
+/// First logical index in `samples` with t >= start (samples are
+/// time-ordered, so this is a lower bound by binary search).
+template <typename Ring>
+std::size_t lower_bound_time(const Ring& samples, SimTime start) {
+  std::size_t lo = 0;
+  std::size_t hi = samples.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (samples[mid].t < start) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First logical index with t > now (i.e. one past the window end).
+template <typename Ring>
+std::size_t upper_bound_time(const Ring& samples, SimTime now) {
+  std::size_t lo = 0;
+  std::size_t hi = samples.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (samples[mid].t <= now) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 /// First and last sample index within [now - window, now], or nullopt if
 /// fewer than `min_samples` fall inside.
-template <typename Deque>
+template <typename Ring>
 std::optional<std::pair<std::size_t, std::size_t>> window_span(
-    const Deque& samples, SimDuration window, SimTime now,
+    const Ring& samples, SimDuration window, SimTime now,
     std::size_t min_samples) {
-  const SimTime start = now - window;
-  std::size_t first = samples.size();
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (samples[i].t >= start && samples[i].t <= now) {
-      first = i;
-      break;
-    }
-  }
-  if (first == samples.size()) return std::nullopt;
-  std::size_t last = first;
-  for (std::size_t i = samples.size(); i-- > first;) {
-    if (samples[i].t <= now) {
-      last = i;
-      break;
-    }
-  }
-  if (last - first + 1 < min_samples) return std::nullopt;
-  return std::make_pair(first, last);
+  const std::size_t first = lower_bound_time(samples, now - window);
+  const std::size_t end = upper_bound_time(samples, now);
+  if (end <= first || end - first < min_samples) return std::nullopt;
+  return std::make_pair(first, end - 1);
 }
 
 }  // namespace
 
-void TimeSeriesDb::append(const std::string& key, SimTime t, double value) {
-  auto& series = scalars_[key];
-  L3_EXPECTS(series.empty() || t >= series.back().t);
-  series.push_back({t, value});
-  while (!series.empty() && series.front().t < t - retention_) {
-    series.pop_front();
-  }
+SeriesId TimeSeriesDb::series(std::string_view name) {
+  const auto it = scalar_index_.find(name);
+  if (it != scalar_index_.end()) return SeriesId(it->second);
+  const auto index = static_cast<std::uint32_t>(scalars_.size());
+  L3_EXPECTS(index != SeriesId::kInvalid);
+  scalars_.push_back(ScalarSeries{std::string(name), {}});
+  scalar_index_.emplace(std::string(name), index);
+  return SeriesId(index);
 }
 
-void TimeSeriesDb::append_histogram(const std::string& key, SimTime t,
+HistogramId TimeSeriesDb::histogram_series(std::string_view name) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return HistogramId(it->second);
+  const auto index = static_cast<std::uint32_t>(histograms_.size());
+  L3_EXPECTS(index != HistogramId::kInvalid);
+  histograms_.push_back(HistoSeries{std::string(name), {}, {}});
+  histogram_index_.emplace(std::string(name), index);
+  return HistogramId(index);
+}
+
+SeriesId TimeSeriesDb::find_series(std::string_view name) const {
+  const auto it = scalar_index_.find(name);
+  return it == scalar_index_.end() ? SeriesId() : SeriesId(it->second);
+}
+
+HistogramId TimeSeriesDb::find_histogram_series(std::string_view name) const {
+  const auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? HistogramId()
+                                      : HistogramId(it->second);
+}
+
+void TimeSeriesDb::append(SeriesId id, SimTime t, double value) {
+  L3_EXPECTS(id.valid() && id.index_ < scalars_.size());
+  auto& samples = scalars_[id.index_].samples;
+  L3_EXPECTS(samples.empty() || t >= samples.back().t);
+  if (samples.empty()) {
+    ++nonempty_scalars_;
+    note_new_front(t);
+  }
+  samples.push_back({t, value});
+  // Trim-on-append: the just-pushed sample (t >= t - retention) survives,
+  // so this can never empty the series.
+  while (samples.front().t < t - retention_) samples.pop_front();
+}
+
+void TimeSeriesDb::append_histogram(HistogramId id, SimTime t,
                                     const std::vector<double>& bounds,
                                     std::vector<double> cumulative_counts) {
-  auto& series = histograms_[key];
+  L3_EXPECTS(id.valid() && id.index_ < histograms_.size());
+  auto& series = histograms_[id.index_];
   if (series.bounds.empty()) {
     series.bounds = bounds;
   } else {
@@ -57,93 +112,116 @@ void TimeSeriesDb::append_histogram(const std::string& key, SimTime t,
   }
   L3_EXPECTS(cumulative_counts.size() == bounds.size() + 1);
   L3_EXPECTS(series.samples.empty() || t >= series.samples.back().t);
+  if (series.samples.empty()) {
+    ++nonempty_histograms_;
+    note_new_front(t);
+  }
   series.samples.push_back({t, std::move(cumulative_counts)});
-  while (!series.samples.empty() &&
-         series.samples.front().t < t - retention_) {
+  while (series.samples.front().t < t - retention_) {
     series.samples.pop_front();
   }
 }
 
 void TimeSeriesDb::compact(SimTime now) {
   const SimTime cutoff = now - retention_;
-  for (auto it = scalars_.begin(); it != scalars_.end();) {
-    auto& series = it->second;
-    while (!series.empty() && series.front().t < cutoff) {
-      series.pop_front();
+  // Fast path: nothing in the store can be older than the cutoff.
+  if (oldest_sample_ >= cutoff) return;
+
+  SimTime oldest = kNoSamples;
+  for (auto& series : scalars_) {
+    auto& samples = series.samples;
+    if (samples.empty()) continue;
+    if (samples.front().t < cutoff) {  // already-fresh series skip here
+      while (!samples.empty() && samples.front().t < cutoff) {
+        samples.pop_front();
+      }
+      if (samples.empty()) {
+        --nonempty_scalars_;
+        continue;
+      }
     }
-    it = series.empty() ? scalars_.erase(it) : std::next(it);
+    oldest = std::min(oldest, samples.front().t);
   }
-  for (auto it = histograms_.begin(); it != histograms_.end();) {
-    auto& series = it->second.samples;
-    while (!series.empty() && series.front().t < cutoff) {
-      series.pop_front();
+  for (auto& series : histograms_) {
+    auto& samples = series.samples;
+    if (samples.empty()) continue;
+    if (samples.front().t < cutoff) {
+      while (!samples.empty() && samples.front().t < cutoff) {
+        samples.pop_front();
+      }
+      if (samples.empty()) {
+        --nonempty_histograms_;
+        continue;
+      }
     }
-    it = series.empty() ? histograms_.erase(it) : std::next(it);
+    oldest = std::min(oldest, samples.front().t);
   }
+  oldest_sample_ = oldest;
 }
 
-std::size_t TimeSeriesDb::sample_count(const std::string& key) const {
-  const auto it = scalars_.find(key);
-  return it == scalars_.end() ? 0 : it->second.size();
+std::size_t TimeSeriesDb::sample_count(SeriesId id) const {
+  if (!id.valid()) return 0;
+  L3_EXPECTS(id.index_ < scalars_.size());
+  return scalars_[id.index_].samples.size();
 }
 
-std::size_t TimeSeriesDb::histogram_sample_count(const std::string& key) const {
-  const auto it = histograms_.find(key);
-  return it == histograms_.end() ? 0 : it->second.samples.size();
+std::size_t TimeSeriesDb::histogram_sample_count(HistogramId id) const {
+  if (!id.valid()) return 0;
+  L3_EXPECTS(id.index_ < histograms_.size());
+  return histograms_[id.index_].samples.size();
 }
 
-std::optional<double> TimeSeriesDb::rate(const std::string& key,
-                                         SimDuration window,
+std::optional<double> TimeSeriesDb::rate(SeriesId id, SimDuration window,
                                          SimTime now) const {
-  const auto it = scalars_.find(key);
-  if (it == scalars_.end()) return std::nullopt;
-  const auto span = window_span(it->second, window, now, 2);
+  if (!id.valid()) return std::nullopt;
+  L3_EXPECTS(id.index_ < scalars_.size());
+  const auto& samples = scalars_[id.index_].samples;
+  const auto span = window_span(samples, window, now, 2);
   if (!span) return std::nullopt;
-  const auto& first = it->second[span->first];
-  const auto& last = it->second[span->second];
+  const auto& first = samples[span->first];
+  const auto& last = samples[span->second];
   const double elapsed = last.t - first.t;
   if (elapsed <= 0.0) return std::nullopt;
   return (last.v - first.v) / elapsed;
 }
 
-std::optional<double> TimeSeriesDb::increase(const std::string& key,
-                                             SimDuration window,
+std::optional<double> TimeSeriesDb::increase(SeriesId id, SimDuration window,
                                              SimTime now) const {
-  const auto r = rate(key, window, now);
+  const auto r = rate(id, window, now);
   if (!r) return std::nullopt;
   return *r * window;
 }
 
-std::optional<double> TimeSeriesDb::avg(const std::string& key,
-                                        SimDuration window,
+std::optional<double> TimeSeriesDb::avg(SeriesId id, SimDuration window,
                                         SimTime now) const {
-  const auto it = scalars_.find(key);
-  if (it == scalars_.end()) return std::nullopt;
-  const auto span = window_span(it->second, window, now, 1);
+  if (!id.valid()) return std::nullopt;
+  L3_EXPECTS(id.index_ < scalars_.size());
+  const auto& samples = scalars_[id.index_].samples;
+  const auto span = window_span(samples, window, now, 1);
   if (!span) return std::nullopt;
   double sum = 0.0;
   for (std::size_t i = span->first; i <= span->second; ++i) {
-    sum += it->second[i].v;
+    sum += samples[i].v;
   }
   return sum / static_cast<double>(span->second - span->first + 1);
 }
 
-std::optional<double> TimeSeriesDb::last(const std::string& key,
-                                         SimDuration window,
+std::optional<double> TimeSeriesDb::last(SeriesId id, SimDuration window,
                                          SimTime now) const {
-  const auto it = scalars_.find(key);
-  if (it == scalars_.end()) return std::nullopt;
-  const auto span = window_span(it->second, window, now, 1);
+  if (!id.valid()) return std::nullopt;
+  L3_EXPECTS(id.index_ < scalars_.size());
+  const auto& samples = scalars_[id.index_].samples;
+  const auto span = window_span(samples, window, now, 1);
   if (!span) return std::nullopt;
-  return it->second[span->second].v;
+  return samples[span->second].v;
 }
 
-std::optional<double> TimeSeriesDb::quantile(const std::string& key, double q,
+std::optional<double> TimeSeriesDb::quantile(HistogramId id, double q,
                                              SimDuration window,
                                              SimTime now) const {
-  const auto it = histograms_.find(key);
-  if (it == histograms_.end()) return std::nullopt;
-  const auto& series = it->second;
+  if (!id.valid()) return std::nullopt;
+  L3_EXPECTS(id.index_ < histograms_.size());
+  const auto& series = histograms_[id.index_];
   const auto span = window_span(series.samples, window, now, 2);
   if (!span) return std::nullopt;
   const auto& first = series.samples[span->first];

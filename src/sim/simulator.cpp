@@ -1,35 +1,58 @@
 #include "l3/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace l3::sim {
 
 void Simulator::schedule_at(SimTime t, EventFn fn) {
   L3_EXPECTS(t >= now_);
-  L3_EXPECTS(fn != nullptr);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  L3_EXPECTS(static_cast<bool>(fn));
+  queue_.push(t, next_seq_++, std::move(fn));
 }
 
 PeriodicHandle Simulator::schedule_every(SimDuration interval, EventFn fn,
                                          SimDuration initial_delay) {
   L3_EXPECTS(interval > 0.0);
   L3_EXPECTS(initial_delay >= 0.0);
-  auto cancelled = std::make_shared<bool>(false);
-  schedule_periodic(interval, std::move(fn), cancelled, now_ + initial_delay);
-  return PeriodicHandle(cancelled);
+  auto task = std::make_shared<detail::PeriodicTask>();
+  task->fn = std::move(fn);
+  task->interval = interval;
+  task->first = now_ + initial_delay;
+  PeriodicHandle handle(task);
+  schedule_periodic_firing(std::move(task), handle.task_->first);
+  return handle;
 }
 
-void Simulator::schedule_periodic(SimDuration interval, EventFn fn,
-                                  std::shared_ptr<bool> cancelled,
-                                  SimTime first) {
-  schedule_at(first, [this, interval, fn = std::move(fn), cancelled,
-                      first]() mutable {
-    if (*cancelled) return;
-    fn();
-    if (*cancelled) return;
-    schedule_periodic(interval, std::move(fn), std::move(cancelled),
-                      first + interval);
-  });
+void Simulator::schedule_periodic_firing(
+    std::shared_ptr<detail::PeriodicTask> task, SimTime at) {
+  // The event captures only the shared control block (16 bytes + `this`),
+  // so every firing of every periodic task stays within EventFn's inline
+  // buffer regardless of what the user callback captured.
+  schedule_at(at, [this, task = std::move(task)] { fire_periodic(task); });
+}
+
+void Simulator::fire_periodic(
+    const std::shared_ptr<detail::PeriodicTask>& task) {
+  if (task->cancelled) {
+    // Release the user callback (and whatever it captured) as soon as the
+    // cancellation is observed; outstanding handles only read the flag.
+    task->fn.reset();
+    return;
+  }
+  task->fn();
+  if (task->cancelled) {
+    task->fn.reset();
+    return;
+  }
+  ++task->fired;
+  // Drift-free: the nth firing is first + n*interval, NOT an accumulated
+  // `time += interval` (which lets rounding error build up and 5 s control
+  // ticks float away from 5 s scrape ticks over 20-minute runs). The
+  // max() guards the pathological case where n*interval rounds below now.
+  const SimTime next =
+      task->first + static_cast<double>(task->fired) * task->interval;
+  schedule_periodic_firing(task, std::max(next, now_));
 }
 
 std::size_t Simulator::run_until(SimTime end) {
@@ -37,11 +60,9 @@ std::size_t Simulator::run_until(SimTime end) {
   stop_requested_ = false;
   std::size_t processed = 0;
   while (!queue_.empty() && !stop_requested_) {
-    const Event& top = queue_.top();
-    if (top.time > end) break;
-    // Move the event out before popping so re-entrant scheduling is safe.
-    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
+    if (queue_.min_time() > end) break;
+    // Move the event out before invoking so re-entrant scheduling is safe.
+    Event ev = queue_.pop_min();
     now_ = ev.time;
     ev.fn();
     ++processed;
@@ -53,9 +74,7 @@ std::size_t Simulator::run_until(SimTime end) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  const Event& top = queue_.top();
-  Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
-  queue_.pop();
+  Event ev = queue_.pop_min();
   now_ = ev.time;
   ev.fn();
   ++executed_;

@@ -106,5 +106,25 @@ TEST_F(ScraperTest, StopHaltsScraping) {
   EXPECT_EQ(scraper.scrape_count(), count);
 }
 
+TEST_F(ScraperTest, PicksUpSeriesCreatedMidRun) {
+  // The snapshot plan is cached per target and rebuilt only on registry
+  // version bumps — a series created between scrapes must still appear.
+  Scraper scraper(sim, tsdb);
+  scraper.add_target("t", registry);
+  registry.counter("a", {}).add(1.0);
+  scraper.start(5.0);
+  sim.run_until(6.0);  // scrape at t=5 plans only "a"
+  EXPECT_FALSE(tsdb.last("b{}", 100.0, sim.now()).has_value());
+
+  registry.counter("b", {}).add(3.0);
+  sim.run_until(11.0);  // scrape at t=10 must rebuild the plan
+  const auto b = tsdb.last("b{}", 100.0, sim.now());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(*b, 3.0);
+  const auto a = tsdb.last("a{}", 100.0, sim.now());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(*a, 1.0);
+}
+
 }  // namespace
 }  // namespace l3::metrics

@@ -177,5 +177,54 @@ TEST(Tsdb, FiveSecondScrapeTenSecondWindowAlwaysHasTwoSamples) {
   }
 }
 
+TEST(Tsdb, SeriesIdInterningIsStable) {
+  TimeSeriesDb db;
+  const SeriesId a = db.series("req{dst=\"c1\"}");
+  const SeriesId a2 = db.series("req{dst=\"c1\"}");
+  const SeriesId b = db.series("req{dst=\"c2\"}");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, a2);
+  EXPECT_FALSE(a == b);
+  // Scalar and histogram namespaces are independent.
+  const HistogramId h = db.histogram_series("req{dst=\"c1\"}");
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h, db.histogram_series("req{dst=\"c1\"}"));
+}
+
+TEST(Tsdb, FindSeriesDoesNotCreate) {
+  TimeSeriesDb db;
+  EXPECT_FALSE(db.find_series("missing{}").valid());
+  EXPECT_EQ(db.series_count(), 0u);
+  const SeriesId id = db.series("present{}");
+  EXPECT_EQ(db.find_series("present{}"), id);
+}
+
+TEST(Tsdb, IdAndStringQueriesAgree) {
+  TimeSeriesDb db;
+  const SeriesId id = db.series("lat{}");
+  db.append(id, 5.0, 1.0);
+  db.append(id, 10.0, 4.0);
+  ASSERT_TRUE(db.rate(id, 10.0, 10.0).has_value());
+  EXPECT_EQ(db.rate(id, 10.0, 10.0), db.rate("lat{}", 10.0, 10.0));
+  EXPECT_EQ(db.avg(id, 10.0, 10.0), db.avg("lat{}", 10.0, 10.0));
+  EXPECT_EQ(db.last(id, 10.0, 10.0), db.last("lat{}", 10.0, 10.0));
+  EXPECT_EQ(db.sample_count(id), db.sample_count("lat{}"));
+}
+
+TEST(Tsdb, InternedIdStaysUsableAfterCompactEmptiesSeries) {
+  TimeSeriesDb db(/*retention=*/30.0);
+  const SeriesId id = db.series("c{}");
+  db.append(id, 0.0, 1.0);
+  EXPECT_EQ(db.series_count(), 1u);
+  db.compact(100.0);  // all samples aged out
+  EXPECT_EQ(db.series_count(), 0u);
+  EXPECT_EQ(db.sample_count(id), 0u);
+  db.append(id, 100.0, 2.0);  // the handle survives the compact
+  EXPECT_EQ(db.series_count(), 1u);
+  const auto v = db.last(id, 10.0, 100.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 2.0);
+}
+
 }  // namespace
 }  // namespace l3::metrics

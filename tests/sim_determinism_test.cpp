@@ -1,0 +1,129 @@
+// Determinism regression tests for the event core and metrics pipeline.
+//
+// The simulator contract is that a fixed (topology, scenario, seed) triple
+// reproduces the identical request trace — event order, routing decisions,
+// recorded latencies, weight updates, everything. These tests digest a full
+// end-to-end scenario run into a single FNV-1a hash and pin it against a
+// golden value recorded before the allocation-free event-core / interned-
+// series TSDB refactor, proving the hot-path rewrite preserved the trace
+// bit-for-bit. They also run each configuration twice in-process to verify
+// run-to-run reproducibility independently of the golden constants.
+//
+// If an INTENTIONAL behaviour change shifts the trace (e.g. a new event in
+// the pipeline), re-record the constants from the failure output — but never
+// to paper over an unintended divergence.
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace l3::workload {
+namespace {
+
+/// FNV-1a over raw bytes.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+std::uint64_t mix_f64(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix_u64(h, bits);
+}
+
+/// Digests everything a RunResult exposes about the request trace: the
+/// per-second timeline (count, percentiles, success rate, RPS), the overall
+/// latency summary, per-cluster traffic shares and control-plane activity.
+/// Any reordering of events, any changed routing decision and any shifted
+/// timestamp in the pipeline perturbs at least one of these.
+std::uint64_t trace_hash(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = mix_u64(h, r.requests);
+  h = mix_u64(h, r.weight_updates);
+  h = mix_f64(h, r.mean_attempts);
+  h = mix_u64(h, r.summary.count);
+  h = mix_f64(h, r.summary.success_rate);
+  h = mix_f64(h, r.summary.latency.mean);
+  h = mix_f64(h, r.summary.latency.p50);
+  h = mix_f64(h, r.summary.latency.p99);
+  h = mix_f64(h, r.summary.latency.max);
+  h = mix_f64(h, r.summary.success_latency.mean);
+  h = mix_f64(h, r.summary.success_latency.p99);
+  for (const double share : r.traffic_share) h = mix_f64(h, share);
+  for (const auto& bucket : r.timeline) {
+    h = mix_f64(h, bucket.start);
+    h = mix_u64(h, bucket.count);
+    h = mix_f64(h, bucket.p50);
+    h = mix_f64(h, bucket.p99);
+    h = mix_f64(h, bucket.success_rate);
+    h = mix_f64(h, bucket.rps);
+  }
+  return h;
+}
+
+RunnerConfig short_config() {
+  RunnerConfig config;
+  config.seed = 42;
+  config.warmup = 20.0;
+  config.duration = 40.0;
+  return config;
+}
+
+// Golden hashes recorded from the pre-refactor (seed) build of this test on
+// the reference toolchain. See the file comment before re-recording.
+constexpr std::uint64_t kGoldenScenario1L3 = 0x1c6a1a5fa2809b1bull;
+constexpr std::uint64_t kGoldenFailure1C3 = 0xfa4d7b14c44fe850ull;
+
+TEST(Determinism, Scenario1L3MatchesGoldenTrace) {
+  const ScenarioTrace trace = make_scenario1(1);
+  const RunResult result = run_scenario(trace, PolicyKind::kL3,
+                                        short_config());
+  EXPECT_EQ(trace_hash(result), kGoldenScenario1L3)
+      << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, Failure1C3WithRetriesMatchesGoldenTrace) {
+  const ScenarioTrace trace = make_failure1(6);
+  RunnerConfig config = short_config();
+  config.poisson_arrivals = true;
+  config.client_retries = 1;
+  const RunResult result = run_scenario(trace, PolicyKind::kC3, config);
+  EXPECT_EQ(trace_hash(result), kGoldenFailure1C3)
+      << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, RepeatedRunsReproduceIdenticalTraces) {
+  const ScenarioTrace trace = make_scenario2(2);
+  RunnerConfig config = short_config();
+  config.poisson_arrivals = true;
+  const RunResult a = run_scenario(trace, PolicyKind::kL3, config);
+  const RunResult b = run_scenario(trace, PolicyKind::kL3, config);
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.weight_updates, b.weight_updates);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
+  const ScenarioTrace trace = make_scenario1(1);
+  RunnerConfig config = short_config();
+  const RunResult a = run_scenario(trace, PolicyKind::kL3, config);
+  config.seed = 43;
+  const RunResult b = run_scenario(trace, PolicyKind::kL3, config);
+  EXPECT_NE(trace_hash(a), trace_hash(b));
+}
+
+}  // namespace
+}  // namespace l3::workload

@@ -158,5 +158,21 @@ TEST(Simulator, StepProcessesOneEvent) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulator, PeriodicFiringsAreDriftFree) {
+  // 0.1 is not exactly representable in binary; an accumulating
+  // `t += interval` drifts off the n*interval grid after enough firings.
+  // The nth firing must land at exactly first + n*interval.
+  Simulator sim;
+  std::vector<double> times;
+  const double interval = 0.1;
+  sim.schedule_every(interval, [&] { times.push_back(sim.now()); }, interval);
+  sim.run_until(100.0);
+  ASSERT_GE(times.size(), 990u);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_EQ(times[k], interval + static_cast<double>(k) * interval)
+        << "firing " << k << " drifted";
+  }
+}
+
 }  // namespace
 }  // namespace l3::sim
