@@ -11,6 +11,7 @@
 //   * dynamic penalty factor from failed-request latency (§7)
 #include "bench_util.h"
 
+#include "l3/exp/runner.h"
 #include "l3/workload/runner.h"
 #include "l3/workload/scenarios.h"
 
@@ -27,57 +28,51 @@ int main(int argc, char** argv) {
   workload::RunnerConfig base;
   if (args.fast) base.duration = 180.0;
 
-  struct Variant {
-    std::string name;
-    workload::RunnerConfig config;
-  };
-  std::vector<Variant> variants;
-  variants.push_back({"L3 (paper config)", base});
-  {
-    auto c = base;
-    c.l3.rate_control_enabled = false;
-    variants.push_back({"  - rate controller", c});
-  }
-  {
-    auto c = base;
-    c.l3.weighting.penalty = 0.0;
-    variants.push_back({"  - success penalty (P=0)", c});
-  }
-  {
-    auto c = base;
-    c.l3.weighting.inflight_exponent = 1.0;
-    variants.push_back({"  linear (Ri+1)", c});
-  }
-  {
-    auto c = base;
-    c.controller.quantile = 0.98;
-    variants.push_back({"  P98 instead of P99", c});
-  }
-  {
-    auto c = base;
-    c.controller.quantile = 0.999;
-    variants.push_back({"  P99.9 instead of P99", c});
-  }
-  {
-    auto c = base;
-    c.controller.dynamic_penalty = true;
-    variants.push_back({"  dynamic penalty (§7)", c});
-  }
+  std::vector<exp::ConfigVariant> variants;
+  variants.push_back({"L3 (paper config)", {}});
+  variants.push_back({"  - rate controller", [](workload::RunnerConfig& c) {
+                        c.l3.rate_control_enabled = false;
+                      }});
+  variants.push_back(
+      {"  - success penalty (P=0)",
+       [](workload::RunnerConfig& c) { c.l3.weighting.penalty = 0.0; }});
+  variants.push_back({"  linear (Ri+1)", [](workload::RunnerConfig& c) {
+                        c.l3.weighting.inflight_exponent = 1.0;
+                      }});
+  variants.push_back(
+      {"  P98 instead of P99",
+       [](workload::RunnerConfig& c) { c.controller.quantile = 0.98; }});
+  variants.push_back(
+      {"  P99.9 instead of P99",
+       [](workload::RunnerConfig& c) { c.controller.quantile = 0.999; }});
+  variants.push_back(
+      {"  dynamic penalty (§7)",
+       [](workload::RunnerConfig& c) { c.controller.dynamic_penalty = true; }});
 
-  // Round-robin reference for context.
-  const auto rr = workload::run_scenario_repeated(
-      trace, workload::PolicyKind::kRoundRobin, base, reps);
-  const double rr_p99 = workload::mean_p99(rr);
+  // Round-robin reference for context (its own grid: no point running the
+  // policy-independent baseline once per L3 variant).
+  auto rr_spec =
+      exp::scenario_grid("ablation-components-rr", {trace},
+                         {workload::PolicyKind::kRoundRobin}, base, reps);
+  const auto rr_results = exp::run_experiment(rr_spec, {.jobs = args.jobs});
+  const exp::ResultGrid rr_grid(rr_spec, rr_results);
+  const double rr_p99 = exp::mean_p99(rr_grid.at(0, 0));
+
+  auto spec = exp::scenario_grid("ablation-components", {trace},
+                                 {workload::PolicyKind::kL3}, base, reps,
+                                 variants);
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
 
   Table table({"variant", "P99 (ms)", "success (%)", "vs RR (%)"});
   table.add_row({"round-robin (reference)", fmt_ms(rr_p99),
-                 fmt_percent(workload::mean_success_rate(rr), 2), "0.0"});
-  for (const auto& variant : variants) {
-    const auto results = workload::run_scenario_repeated(
-        trace, workload::PolicyKind::kL3, variant.config, reps);
-    const double p99 = workload::mean_p99(results);
-    table.add_row({variant.name, fmt_ms(p99),
-                   fmt_percent(workload::mean_success_rate(results), 2),
+                 fmt_percent(exp::mean_success_rate(rr_grid.at(0, 0)), 2),
+                 "0.0"});
+  for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+    const auto cells = grid.at(0, 0, v);
+    const double p99 = exp::mean_p99(cells);
+    table.add_row({spec.variants[v], fmt_ms(p99),
+                   fmt_percent(exp::mean_success_rate(cells), 2),
                    fmt_double(bench::percent_decrease(rr_p99, p99))});
   }
   table.print(std::cout);
@@ -86,5 +81,11 @@ int main(int argc, char** argv) {
                "rate controller costs little here (no overload in this "
                "scenario) but see ablation_rate_control for its protective "
                "role.\n";
+
+  exp::Report report("Ablation: components");
+  report.add_grid(rr_spec, rr_results);
+  report.add_grid(spec, results);
+  report.add_table("component study on failure-1", table);
+  bench::finish_report(args, report);
   return 0;
 }

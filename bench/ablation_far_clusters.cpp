@@ -14,10 +14,12 @@
 //   * locality-failover + outlier detection (the paper's suggestion)
 #include "bench_util.h"
 
+#include "l3/exp/runner.h"
 #include "l3/workload/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
+#include <memory>
 
 int main(int argc, char** argv) {
   using namespace l3;
@@ -27,7 +29,8 @@ int main(int argc, char** argv) {
   bench::print_header("Extension",
                       "far clusters (70 ms one-way WAN) on failure-1");
 
-  const auto trace = workload::make_failure1();
+  auto trace = std::make_shared<const workload::ScenarioTrace>(
+      workload::make_failure1());
   workload::RunnerConfig base;
   base.wan_one_way = 0.070;
   if (args.fast) base.duration = 180.0;
@@ -39,35 +42,48 @@ int main(int argc, char** argv) {
   outlier.window = 10.0;
   outlier.ejection_duration = 30.0;
 
-  struct Row {
+  struct Strategy {
     std::string name;
     workload::PolicyKind kind;
     bool with_outlier;
   };
-  const std::vector<Row> rows = {
-      {"round-robin", workload::PolicyKind::kRoundRobin, false},
-      {"round-robin + outlier", workload::PolicyKind::kRoundRobin, true},
-      {"L3", workload::PolicyKind::kL3, false},
-      {"locality-failover", workload::PolicyKind::kLocalityFailover, false},
-      {"locality + outlier", workload::PolicyKind::kLocalityFailover, true},
+  auto strategies = std::make_shared<const std::vector<Strategy>>(
+      std::vector<Strategy>{
+          {"round-robin", workload::PolicyKind::kRoundRobin, false},
+          {"round-robin + outlier", workload::PolicyKind::kRoundRobin, true},
+          {"L3", workload::PolicyKind::kL3, false},
+          {"locality-failover", workload::PolicyKind::kLocalityFailover,
+           false},
+          {"locality + outlier", workload::PolicyKind::kLocalityFailover,
+           true},
+      });
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation-far-clusters";
+  spec.scenarios = {trace->name()};
+  spec.policies.clear();
+  for (const auto& s : *strategies) spec.policies.push_back(s.name);
+  spec.repetitions = reps;
+  spec.seed = base.seed;
+  spec.cell = [trace, base, outlier, strategies](
+                  const exp::Cell& cell, std::uint64_t seed) -> exp::CellData {
+    const auto& strategy = (*strategies)[cell.policy];
+    workload::RunnerConfig config = base;
+    config.seed = seed;
+    if (strategy.with_outlier) config.outlier = outlier;
+    return workload::run_scenario(*trace, strategy.kind, config);
   };
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
 
   Table table({"strategy", "P50 (ms)", "P99 (ms)", "success (%)",
                "local traffic (%)"});
-  for (const auto& row : rows) {
-    workload::RunnerConfig config = base;
-    if (row.with_outlier) config.outlier = outlier;
-    const auto results =
-        workload::run_scenario_repeated(trace, row.kind, config, reps);
-    double p50 = 0.0, p99 = 0.0, local = 0.0;
-    for (const auto& r : results) {
-      p50 += r.summary.latency.p50;
-      p99 += r.summary.latency.p99;
-      local += r.traffic_share[0];
-    }
-    table.add_row({row.name, fmt_ms(p50 / reps), fmt_ms(p99 / reps),
-                   fmt_percent(workload::mean_success_rate(results), 2),
-                   fmt_percent(local / reps)});
+  for (std::size_t k = 0; k < spec.policies.size(); ++k) {
+    const auto cells = grid.at(0, k);
+    table.add_row({spec.policies[k], fmt_ms(exp::mean_p50(cells)),
+                   fmt_ms(exp::mean_p99(cells)),
+                   fmt_percent(exp::mean_success_rate(cells), 2),
+                   fmt_percent(exp::mean_traffic_share(cells, 0))});
   }
   table.print(std::cout);
   std::cout << "\nexpected: with 140 ms RTT between clusters, anything that "
@@ -75,5 +91,10 @@ int main(int argc, char** argv) {
                "breaker recovers the success rate that pure locality "
                "sacrifices during local failures — the trade-off §5.1 "
                "alludes to.\n";
+
+  exp::Report report("Extension: far clusters");
+  report.add_grid(spec, results);
+  report.add_table("strategies under 70 ms one-way WAN", table);
+  bench::finish_report(args, report);
   return 0;
 }

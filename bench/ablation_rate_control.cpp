@@ -14,6 +14,7 @@
 #include "bench_util.h"
 
 #include "l3/core/controller.h"
+#include "l3/exp/runner.h"
 #include "l3/lb/l3_policy.h"
 #include "l3/mesh/autoscaler.h"
 #include "l3/mesh/mesh.h"
@@ -136,23 +137,40 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation",
                       "rate controller + autoscaler under an RPS surge");
 
+  exp::ExperimentSpec spec;
+  spec.name = "ablation-rate-control";
+  spec.scenarios = {"surge"};
+  spec.policies = {"L3 with Algorithm 2", "L3 without"};
+  spec.repetitions = reps;
+  spec.seed = 42;
+  spec.cell = [](const exp::Cell& cell, std::uint64_t seed) -> exp::CellData {
+    const auto r = run(cell.policy == 0, seed);
+    exp::CellData data;
+    data.metrics = {{"p99_steady", r.p99_steady},
+                    {"p99_surge", r.p99_surge},
+                    {"scale_ups", static_cast<double>(r.scale_ups)}};
+    return data;
+  };
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
+
   Table table({"variant", "steady P99 (ms)", "surge-window worst P99 (ms)",
                "autoscaler scale-ups"});
-  for (const bool rate_control : {true, false}) {
-    double steady = 0.0, surge = 0.0, ups = 0.0;
-    for (int i = 0; i < reps; ++i) {
-      const auto r = run(rate_control, 42 + static_cast<std::uint64_t>(i));
-      steady += r.p99_steady;
-      surge += r.p99_surge;
-      ups += static_cast<double>(r.scale_ups);
-    }
-    table.add_row({rate_control ? "L3 with Algorithm 2" : "L3 without",
-                   fmt_ms(steady / reps), fmt_ms(surge / reps),
-                   fmt_double(ups / reps, 1)});
+  for (std::size_t k = 0; k < spec.policies.size(); ++k) {
+    const auto cells = grid.at(0, k);
+    table.add_row({spec.policies[k],
+                   fmt_ms(exp::mean_metric(cells, "p99_steady")),
+                   fmt_ms(exp::mean_metric(cells, "p99_surge")),
+                   fmt_double(exp::mean_metric(cells, "scale_ups"), 1)});
   }
   table.print(std::cout);
   std::cout << "\nexpected: identical steady-state tails; during the surge "
                "Algorithm 2 spreads load while replicas provision, keeping "
                "the worst 10 s window far below the concentrated variant.\n";
+
+  exp::Report report("Ablation: rate control");
+  report.add_grid(spec, results);
+  report.add_table("surge response with and without Algorithm 2", table);
+  bench::finish_report(args, report);
   return 0;
 }

@@ -6,6 +6,7 @@
 // buys tail latency.
 #include "bench_util.h"
 
+#include "l3/exp/runner.h"
 #include "l3/workload/runner.h"
 #include "l3/workload/scenarios.h"
 
@@ -22,27 +23,32 @@ int main(int argc, char** argv) {
   workload::RunnerConfig base;
   if (args.fast) base.duration = 180.0;
 
+  const std::vector<int> retry_counts = {0, 2};
+  std::vector<exp::ConfigVariant> variants;
+  for (const int retries : retry_counts) {
+    variants.push_back({"retries=" + std::to_string(retries),
+                        [retries](workload::RunnerConfig& c) {
+                          c.client_retries = retries;
+                          c.retry_backoff = 0.050;
+                        }});
+  }
+
+  auto spec = exp::scenario_grid(
+      "ablation-retries", {trace},
+      {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kL3}, base,
+      reps, variants);
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
+
   Table table({"retries", "algorithm", "success (%)", "P50 (ms)", "P99 (ms)",
                "mean attempts"});
-  for (const int retries : {0, 2}) {
-    for (const auto kind :
-         {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kL3}) {
-      workload::RunnerConfig config = base;
-      config.client_retries = retries;
-      config.retry_backoff = 0.050;
-      const auto results =
-          workload::run_scenario_repeated(trace, kind, config, reps);
-      double attempts = 0.0, p50 = 0.0, p99 = 0.0;
-      for (const auto& r : results) {
-        p50 += r.summary.latency.p50;
-        p99 += r.summary.latency.p99;
-        attempts += r.mean_attempts;
-      }
-      const double success = workload::mean_success_rate(results);
-      table.add_row({std::to_string(retries),
-                     std::string(workload::policy_name(kind)),
-                     fmt_percent(success, 2), fmt_ms(p50 / reps),
-                     fmt_ms(p99 / reps), fmt_double(attempts / reps, 2)});
+  for (std::size_t v = 0; v < retry_counts.size(); ++v) {
+    for (std::size_t k = 0; k < spec.policies.size(); ++k) {
+      const auto cells = grid.at(0, k, v);
+      table.add_row({std::to_string(retry_counts[v]), spec.policies[k],
+                     fmt_percent(exp::mean_success_rate(cells), 2),
+                     fmt_ms(exp::mean_p50(cells)), fmt_ms(exp::mean_p99(cells)),
+                     fmt_double(exp::mean_attempts(cells), 2)});
     }
   }
   table.print(std::cout);
@@ -50,5 +56,10 @@ int main(int argc, char** argv) {
                "algorithms but convert failures into latency; L3's advantage "
                "over round-robin grows because avoiding failing backends now "
                "avoids retry round trips too.\n";
+
+  exp::Report report("Extension: client retries");
+  report.add_grid(spec, results);
+  report.add_table("retries on failure-1", table);
+  bench::finish_report(args, report);
   return 0;
 }

@@ -1,39 +1,29 @@
-// Shared helpers for the figure-reproduction bench binaries: repetition
-// control from the command line and uniform table output.
+// Shared helpers for the figure-reproduction bench binaries: the common
+// command-line surface (strict parsing, see l3/exp/args.h) and uniform
+// table output.
 //
-// Every bench accepts:   [--reps N] [--fast]
-//   --reps N   repetitions per configuration (default: the paper's count)
-//   --fast     shrink durations/repetitions for smoke runs
+// Every bench accepts:   [--reps N] [--fast] [--jobs N] [--json PATH]
+//   --reps N     repetitions per configuration (default: the paper's count)
+//   --fast       shrink durations/repetitions for smoke runs
+//   --jobs N     parallel simulation cells (default: hardware concurrency);
+//                stdout and the JSON report are byte-identical for every N
+//   --json PATH  write the unified machine-readable report
 #pragma once
 
 #include "l3/common/table.h"
 #include "l3/common/time.h"
+#include "l3/exp/args.h"
+#include "l3/exp/report.h"
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
 namespace l3::bench {
 
-/// Parsed command-line options.
-struct BenchArgs {
-  int reps = -1;     ///< -1: use the bench's default
-  bool fast = false;
-};
+using BenchArgs = exp::BenchArgs;
 
 inline BenchArgs parse_args(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fast") == 0) {
-      args.fast = true;
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      args.reps = std::atoi(argv[++i]);
-    } else {
-      std::cerr << "usage: " << argv[0] << " [--reps N] [--fast]\n";
-      std::exit(2);
-    }
-  }
-  return args;
+  return exp::parse_bench_args(argc, argv);
 }
 
 /// Prints the standard bench header naming the reproduced figure.
@@ -46,6 +36,15 @@ inline void print_header(const std::string& figure,
 inline double percent_decrease(double baseline, double value) {
   if (baseline <= 0.0) return 0.0;
   return (baseline - value) / baseline * 100.0;
+}
+
+/// Writes the unified JSON report if --json was given; complains on I/O
+/// failure but doesn't fail the bench (the tables already printed).
+inline void finish_report(const BenchArgs& args, const exp::Report& report) {
+  if (args.json.empty()) return;
+  if (!report.write_file(args.json)) {
+    std::cerr << "warning: could not write " << args.json << "\n";
+  }
 }
 
 }  // namespace l3::bench

@@ -5,6 +5,9 @@
 // Expected shape: scenario-1 medians 50–100 ms with cluster-2 spikes toward
 // ~350 ms and P99 fluctuating into the 100–950 ms band; scenario-2 medians
 // 3–9 ms with P99 mostly 10–100 ms and intermittent spikes >2000 ms.
+//
+// No simulation grid: the trace statistics are a pure function of the
+// scenario seeds, so --jobs has nothing to parallelise here.
 #include "bench_util.h"
 
 #include "l3/workload/scenarios.h"
@@ -14,7 +17,8 @@
 
 namespace {
 
-void print_trace(const l3::workload::ScenarioTrace& trace) {
+void print_trace(const l3::workload::ScenarioTrace& trace,
+                 l3::exp::Report& report) {
   using namespace l3;
   std::cout << "\n--- " << trace.name() << " ---\n";
   Table table({"t (min)", "c1 P50", "c1 P99", "c2 P50", "c2 P99", "c3 P50",
@@ -30,8 +34,10 @@ void print_trace(const l3::workload::ScenarioTrace& trace) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  report.add_table(trace.name() + " P50/P99 per cluster", table);
 
   // Range summary per cluster (the bands Fig. 1's prose quotes).
+  Table ranges({"cluster", "median lo..hi (ms)", "P99 lo..hi (ms)"});
   for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
     double med_lo = 1e9, med_hi = 0, p99_lo = 1e9, p99_hi = 0;
     for (std::size_t s = 0; s < trace.steps(); ++s) {
@@ -44,20 +50,26 @@ void print_trace(const l3::workload::ScenarioTrace& trace) {
     std::cout << "cluster-" << c + 1 << ": median " << fmt_ms(med_lo) << ".."
               << fmt_ms(med_hi) << " ms, P99 " << fmt_ms(p99_lo) << ".."
               << fmt_ms(p99_hi) << " ms\n";
+    ranges.add_row({"cluster-" + std::to_string(c + 1),
+                    fmt_ms(med_lo) + ".." + fmt_ms(med_hi),
+                    fmt_ms(p99_lo) + ".." + fmt_ms(p99_hi)});
   }
+  report.add_table(trace.name() + " per-cluster bands", ranges);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace l3;
-  (void)bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
   bench::print_header("Figure 1",
                       "latency variation of scenario-1 and scenario-2");
-  print_trace(workload::make_scenario1());
-  print_trace(workload::make_scenario2());
+  exp::Report report("Figure 1");
+  print_trace(workload::make_scenario1(), report);
+  print_trace(workload::make_scenario2(), report);
   std::cout << "\npaper: s1 median 50–100 ms (spikes ~350 ms on cluster-2), "
                "P99 100–950 ms; s2 median 3–9 ms, P99 10–100 ms with spikes "
                ">2000 ms\n";
+  bench::finish_report(args, report);
   return 0;
 }

@@ -3,6 +3,9 @@
 //
 // Expected shape: scenario-1 stays near 300 RPS with slight variation;
 // scenario-2 fluctuates between ~45 and ~200 RPS.
+//
+// No simulation grid: the RPS series are a pure function of the scenario
+// seeds, so --jobs has nothing to parallelise here.
 #include "bench_util.h"
 
 #include "l3/workload/scenarios.h"
@@ -12,11 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace l3;
-  (void)bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
   bench::print_header("Figure 2", "RPS variation of scenario-1 and scenario-2");
 
   const auto s1 = workload::make_scenario1();
   const auto s2 = workload::make_scenario2();
+  exp::Report report("Figure 2");
 
   Table table({"t (min)", "scenario-1 RPS", "scenario-2 RPS"});
   for (std::size_t step = 0; step < s1.steps(); step += 30) {
@@ -25,7 +29,9 @@ int main(int argc, char** argv) {
                    fmt_double(s2.rps_at(t), 0)});
   }
   table.print(std::cout);
+  report.add_table("RPS series", table);
 
+  Table ranges({"scenario", "RPS lo..hi", "mean RPS"});
   for (const auto* trace : {&s1, &s2}) {
     double lo = 1e9, hi = 0;
     for (std::size_t s = 0; s < trace->steps(); ++s) {
@@ -34,10 +40,15 @@ int main(int argc, char** argv) {
       hi = std::max(hi, r);
     }
     std::cout << trace->name() << ": RPS " << fmt_double(lo, 0) << ".."
-              << fmt_double(hi, 0) << ", mean " << fmt_double(trace->mean_rps(), 0)
-              << "\n";
+              << fmt_double(hi, 0) << ", mean "
+              << fmt_double(trace->mean_rps(), 0) << "\n";
+    ranges.add_row({trace->name(),
+                    fmt_double(lo, 0) + ".." + fmt_double(hi, 0),
+                    fmt_double(trace->mean_rps(), 0)});
   }
+  report.add_table("RPS bands", ranges);
   std::cout << "\npaper: s1 ≈ 300 RPS with slight variation; s2 fluctuates "
                "between ~45 and 200 RPS\n";
+  bench::finish_report(args, report);
   return 0;
 }

@@ -5,6 +5,9 @@
 //      converges asymptotically down toward w_µ.
 //  (b) w_b = 500 < w_µ = 1000: decreases shrink the weight, increases pull
 //      it up toward w_µ.
+//
+// No simulation grid: the curves are a pure function of Algorithm 2, so
+// --jobs has nothing to parallelise here.
 #include "bench_util.h"
 
 #include "l3/lb/rate_control.h"
@@ -13,7 +16,7 @@
 
 namespace {
 
-void print_curve(double w_b, double w_mu) {
+void print_curve(double w_b, double w_mu, l3::exp::Report& report) {
   using namespace l3;
   std::cout << "\n--- w_b = " << w_b << ", w_mu = " << w_mu << " ---\n";
   Table table({"relative change c", "output weight"});
@@ -22,17 +25,21 @@ void print_curve(double w_b, double w_mu) {
                    fmt_double(lb::rate_control_weight(w_b, w_mu, c), 1)});
   }
   table.print(std::cout);
+  report.add_table("w_b=" + fmt_double(w_b, 0) + " w_mu=" + fmt_double(w_mu, 0),
+                   table);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace l3;
-  (void)bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
   bench::print_header("Figure 4", "rate-control weight-adjustment curves");
-  print_curve(2000.0, 1000.0);  // Fig. 4a
-  print_curve(500.0, 1000.0);   // Fig. 4b
+  exp::Report report("Figure 4");
+  print_curve(2000.0, 1000.0, report);  // Fig. 4a
+  print_curve(500.0, 1000.0, report);   // Fig. 4b
   std::cout << "\nanchors from the paper: c = -0.5 lifts w_b = 2000 to >2800; "
                "c -> +inf converges every weight to w_mu; c = 0 is identity\n";
+  bench::finish_report(args, report);
   return 0;
 }

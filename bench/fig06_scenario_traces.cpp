@@ -4,6 +4,9 @@
 // Expected shape: stable medians with irregular P99 peaks — up to ~2000 ms
 // (s3), ~5000 ms (s4, the wildest fluctuation), and ~100–300 ms (s5, the
 // calmest).
+//
+// No simulation grid: the P99 series are a pure function of the scenario
+// seeds, so --jobs has nothing to parallelise here.
 #include "bench_util.h"
 
 #include "l3/workload/scenarios.h"
@@ -13,7 +16,8 @@
 
 namespace {
 
-void print_trace(const l3::workload::ScenarioTrace& trace) {
+void print_trace(const l3::workload::ScenarioTrace& trace,
+                 l3::exp::Report& report) {
   using namespace l3;
   std::cout << "\n--- " << trace.name() << " (P99 per cluster, ms) ---\n";
   Table table({"t (min)", "cluster-1", "cluster-2", "cluster-3"});
@@ -33,17 +37,22 @@ void print_trace(const l3::workload::ScenarioTrace& trace) {
     }
   }
   std::cout << "peak P99: " << fmt_ms(hi, 0) << " ms\n";
+  report.add_table(trace.name() + " P99 per cluster (peak " + fmt_ms(hi, 0) +
+                       " ms)",
+                   table);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace l3;
-  (void)bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
   bench::print_header("Figure 6", "P99 traces of scenario-3/4/5");
-  print_trace(workload::make_scenario3());
-  print_trace(workload::make_scenario4());
-  print_trace(workload::make_scenario5());
+  exp::Report report("Figure 6");
+  print_trace(workload::make_scenario3(), report);
+  print_trace(workload::make_scenario4(), report);
+  print_trace(workload::make_scenario5(), report);
   std::cout << "\npaper: peaks ~2000 ms (s3), ~5000 ms (s4), ~300 ms (s5)\n";
+  bench::finish_report(args, report);
   return 0;
 }

@@ -7,7 +7,7 @@
 //      picks P = 0.6 s as the compromise; each point is run twice.
 #include "bench_util.h"
 
-#include "l3/workload/runner.h"
+#include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
@@ -24,68 +24,77 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
 
+  exp::Report report("Figure 7");
+
   // (a) the scenario's success-rate profile.
   std::cout << "\n--- (a) failure-2 success rate per cluster (%, sampled every "
                "60 s) ---\n";
   {
     Table table({"t (min)", "cluster-1", "cluster-2", "cluster-3"});
     for (std::size_t step = 0; step < trace.steps(); step += 60) {
-      std::vector<std::string> row{fmt_double(static_cast<double>(step) / 60.0, 0)};
+      std::vector<std::string> row{
+          fmt_double(static_cast<double>(step) / 60.0, 0)};
       for (std::size_t c = 0; c < trace.cluster_count(); ++c) {
         row.push_back(fmt_percent(trace.at(c, step).success_rate));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
+    report.add_table("(a) failure-2 success rate per cluster", table);
   }
 
-  // Round-robin baseline for the latency-decrease columns.
-  const auto rr =
-      workload::run_scenario_repeated(trace, workload::PolicyKind::kRoundRobin,
-                                      config, reps);
-  double rr_p50 = 0, rr_p90 = 0, rr_p99 = 0;
-  for (const auto& r : rr) {
-    rr_p50 += r.summary.latency.p50;
-    rr_p90 += r.summary.latency.p90;
-    rr_p99 += r.summary.latency.p99;
+  // (b) the P sweep, with a round-robin baseline for the decrease columns.
+  const std::vector<double> penalties =
+      args.fast ? std::vector<double>{0.1, 0.6, 1.5}
+                : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                      0.9, 1.0, 1.5};
+  std::vector<exp::ConfigVariant> variants;
+  for (const double p : penalties) {
+    variants.push_back({"P=" + fmt_double(p, 1), [p](workload::RunnerConfig& c) {
+                          c.l3.weighting.penalty = p;
+                        }});
   }
-  rr_p50 /= reps;
-  rr_p90 /= reps;
-  rr_p99 /= reps;
-  const double rr_success = workload::mean_success_rate(rr);
+
+  auto rr_spec = exp::scenario_grid(
+      "fig07-rr-baseline", {trace}, {workload::PolicyKind::kRoundRobin},
+      config, reps);
+  auto sweep_spec = exp::scenario_grid("fig07-penalty-sweep", {trace},
+                                       {workload::PolicyKind::kL3}, config,
+                                       reps, std::move(variants));
+  const auto rr_results = exp::run_experiment(rr_spec, {.jobs = args.jobs});
+  const auto sweep_results =
+      exp::run_experiment(sweep_spec, {.jobs = args.jobs});
+  const exp::ResultGrid rr(rr_spec, rr_results);
+  const exp::ResultGrid sweep(sweep_spec, sweep_results);
+
+  const double rr_p50 = exp::mean_p50(rr.at(0, 0));
+  const double rr_p90 = exp::mean_p90(rr.at(0, 0));
+  const double rr_p99 = exp::mean_p99(rr.at(0, 0));
+  const double rr_success = exp::mean_success_rate(rr.at(0, 0));
 
   std::cout << "\n--- (b) sweep of P (round-robin success rate: "
             << fmt_percent(rr_success) << " %) ---\n";
   Table table({"P (s)", "success rate (%)", "P50 decrease (%)",
                "P90 decrease (%)", "P99 decrease (%)"});
-  std::vector<double> penalties = args.fast
-                                      ? std::vector<double>{0.1, 0.6, 1.5}
-                                      : std::vector<double>{0.1, 0.2, 0.3, 0.4,
-                                                            0.5, 0.6, 0.7, 0.8,
-                                                            0.9, 1.0, 1.5};
-  for (double p : penalties) {
-    workload::RunnerConfig cfg = config;
-    cfg.l3.weighting.penalty = p;
-    const auto results = workload::run_scenario_repeated(
-        trace, workload::PolicyKind::kL3, cfg, reps);
-    double p50 = 0, p90 = 0, p99 = 0;
-    for (const auto& r : results) {
-      p50 += r.summary.latency.p50;
-      p90 += r.summary.latency.p90;
-      p99 += r.summary.latency.p99;
-    }
-    p50 /= reps;
-    p90 /= reps;
-    p99 /= reps;
-    table.add_row({fmt_double(p, 1),
-                   fmt_percent(workload::mean_success_rate(results), 2),
-                   fmt_double(bench::percent_decrease(rr_p50, p50)),
-                   fmt_double(bench::percent_decrease(rr_p90, p90)),
-                   fmt_double(bench::percent_decrease(rr_p99, p99))});
+  for (std::size_t v = 0; v < penalties.size(); ++v) {
+    const auto cells = sweep.at(0, 0, v);
+    table.add_row({fmt_double(penalties[v], 1),
+                   fmt_percent(exp::mean_success_rate(cells), 2),
+                   fmt_double(bench::percent_decrease(rr_p50,
+                                                      exp::mean_p50(cells))),
+                   fmt_double(bench::percent_decrease(rr_p90,
+                                                      exp::mean_p90(cells))),
+                   fmt_double(bench::percent_decrease(rr_p99,
+                                                      exp::mean_p99(cells)))});
   }
   table.print(std::cout);
   std::cout << "\npaper: success rate climbs toward a ~99.0 % ceiling with "
                "larger P while the latency decrease diminishes; P = 0.6 s "
                "chosen as the compromise (RR success 98.59 %)\n";
+
+  report.add_grid(rr_spec, rr_results);
+  report.add_grid(sweep_spec, sweep_results);
+  report.add_table("(b) penalty-factor sweep", table);
+  bench::finish_report(args, report);
   return 0;
 }

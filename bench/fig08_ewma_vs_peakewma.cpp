@@ -7,7 +7,7 @@
 // ~2.3 %, which is why the paper uses EWMA everywhere else.
 #include "bench_util.h"
 
-#include "l3/workload/runner.h"
+#include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
@@ -19,39 +19,41 @@ int main(int argc, char** argv) {
 
   bench::print_header("Figure 8", "EWMA vs PeakEWMA on scenario-4");
 
-  const auto trace = workload::make_scenario4();
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
 
-  Table table({"variant", "P99 (ms)", "vs round-robin (%)"});
-  double rr_p99 = 0.0;
+  auto spec = exp::scenario_grid(
+      "fig08", {workload::make_scenario4()},
+      {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kL3}, config,
+      reps,
+      {{"PeakEWMA",
+        [](workload::RunnerConfig& c) {
+          c.controller.latency_filter = metrics::FilterKind::kPeakEwma;
+        }},
+       {"EWMA", [](workload::RunnerConfig& c) {
+          c.controller.latency_filter = metrics::FilterKind::kEwma;
+        }}});
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
 
-  {
-    const auto rr = workload::run_scenario_repeated(
-        trace, workload::PolicyKind::kRoundRobin, config, reps);
-    rr_p99 = workload::mean_p99(rr);
-    table.add_row({"round-robin", fmt_ms(rr_p99), "0.0"});
-  }
-  {
-    workload::RunnerConfig cfg = config;
-    cfg.controller.latency_filter = metrics::FilterKind::kPeakEwma;
-    const auto results = workload::run_scenario_repeated(
-        trace, workload::PolicyKind::kL3, cfg, reps);
-    const double p99 = workload::mean_p99(results);
-    table.add_row({"L3 (PeakEWMA)", fmt_ms(p99),
-                   fmt_double(bench::percent_decrease(rr_p99, p99))});
-  }
-  {
-    workload::RunnerConfig cfg = config;
-    cfg.controller.latency_filter = metrics::FilterKind::kEwma;
-    const auto results = workload::run_scenario_repeated(
-        trace, workload::PolicyKind::kL3, cfg, reps);
-    const double p99 = workload::mean_p99(results);
-    table.add_row({"L3 (EWMA)", fmt_ms(p99),
+  // The filter variant is irrelevant for round-robin (no controller input);
+  // report its first variant as the baseline.
+  const double rr_p99 = exp::mean_p99(grid.at(0, 0, 0));
+
+  Table table({"variant", "P99 (ms)", "vs round-robin (%)"});
+  table.add_row({"round-robin", fmt_ms(rr_p99), "0.0"});
+  for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+    const double p99 = exp::mean_p99(grid.at(0, 1, v));
+    table.add_row({"L3 (" + spec.variants[v] + ")", fmt_ms(p99),
                    fmt_double(bench::percent_decrease(rr_p99, p99))});
   }
   table.print(std::cout);
   std::cout << "\npaper: RR 805.7 ms, PeakEWMA 590.4 ms (−26.7 %), EWMA "
                "577.1 ms (−28.4 %)\n";
+
+  exp::Report report("Figure 8");
+  report.add_grid(spec, results);
+  report.add_table("latency filter comparison", table);
+  bench::finish_report(args, report);
   return 0;
 }

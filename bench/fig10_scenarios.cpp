@@ -8,7 +8,7 @@
 // relative gains on scenarios 1–2 and the smallest on scenario 5.
 #include "bench_util.h"
 
-#include "l3/workload/runner.h"
+#include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
@@ -24,21 +24,20 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
 
+  auto spec = exp::scenario_grid(
+      "fig10", workload::all_latency_scenarios(),
+      {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
+       workload::PolicyKind::kL3},
+      config, reps);
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
+
   Table table({"scenario", "round-robin P99 (ms)", "C3 P99 (ms)",
                "L3 P99 (ms)", "L3 vs RR (%)", "L3 vs C3 (%)"});
-
-  const auto scenarios = workload::all_latency_scenarios();
-  for (const auto& trace : scenarios) {
-    double p99[3] = {0, 0, 0};
-    const workload::PolicyKind kinds[3] = {workload::PolicyKind::kRoundRobin,
-                                           workload::PolicyKind::kC3,
-                                           workload::PolicyKind::kL3};
-    for (int k = 0; k < 3; ++k) {
-      const auto results =
-          workload::run_scenario_repeated(trace, kinds[k], config, reps);
-      p99[k] = workload::mean_p99(results);
-    }
-    table.add_row({trace.name(), fmt_ms(p99[0]), fmt_ms(p99[1]),
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    double p99[3];
+    for (std::size_t k = 0; k < 3; ++k) p99[k] = exp::mean_p99(grid.at(s, k));
+    table.add_row({spec.scenarios[s], fmt_ms(p99[0]), fmt_ms(p99[1]),
                    fmt_ms(p99[2]),
                    fmt_double(bench::percent_decrease(p99[0], p99[2])),
                    fmt_double(bench::percent_decrease(p99[1], p99[2]))});
@@ -46,5 +45,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\npaper: L3 improves on RR by 21.7/35/19/9/9 % and on C3 by "
                "8/9/11/5/3 % (s1..s5)\n";
+
+  exp::Report report("Figure 10");
+  report.add_grid(spec, results);
+  report.add_table("P99 per scenario and policy", table);
+  bench::finish_report(args, report);
   return 0;
 }

@@ -5,7 +5,7 @@
 // C3 84.6, L3 76.2 (L3 −35 % vs RR).
 #include "bench_util.h"
 
-#include "l3/workload/runner.h"
+#include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
@@ -20,24 +20,30 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
 
+  auto spec = exp::scenario_grid(
+      "fig11", {workload::make_failure1(), workload::make_failure2()},
+      {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
+       workload::PolicyKind::kL3},
+      config, reps);
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
+
   Table table({"scenario", "round-robin P99 (ms)", "C3 P99 (ms)",
                "L3 P99 (ms)", "L3 vs RR (%)"});
-  for (const auto& trace :
-       {workload::make_failure1(), workload::make_failure2()}) {
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
     double p99[3];
-    const workload::PolicyKind kinds[3] = {workload::PolicyKind::kRoundRobin,
-                                           workload::PolicyKind::kC3,
-                                           workload::PolicyKind::kL3};
-    for (int k = 0; k < 3; ++k) {
-      p99[k] = workload::mean_p99(
-          workload::run_scenario_repeated(trace, kinds[k], config, reps));
-    }
-    table.add_row({trace.name(), fmt_ms(p99[0]), fmt_ms(p99[1]),
+    for (std::size_t k = 0; k < 3; ++k) p99[k] = exp::mean_p99(grid.at(s, k));
+    table.add_row({spec.scenarios[s], fmt_ms(p99[0]), fmt_ms(p99[1]),
                    fmt_ms(p99[2]),
                    fmt_double(bench::percent_decrease(p99[0], p99[2]))});
   }
   table.print(std::cout);
   std::cout << "\npaper: f1 447.5/364.2/364.9 ms (L3 −18.5 % vs RR); "
                "f2 117.2/84.6/76.2 ms (L3 −35 % vs RR)\n";
+
+  exp::Report report("Figure 11");
+  report.add_grid(spec, results);
+  report.add_table("P99 per failure scenario and policy", table);
+  bench::finish_report(args, report);
   return 0;
 }

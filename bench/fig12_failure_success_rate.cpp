@@ -5,7 +5,7 @@
 // around 98.5–98.6 % (too little headroom to differ).
 #include "bench_util.h"
 
-#include "l3/workload/runner.h"
+#include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
 #include <iostream>
@@ -20,22 +20,30 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
 
+  auto spec = exp::scenario_grid(
+      "fig12", {workload::make_failure1(), workload::make_failure2()},
+      {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
+       workload::PolicyKind::kL3},
+      config, reps);
+  const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
+  const exp::ResultGrid grid(spec, results);
+
   Table table({"scenario", "round-robin (%)", "C3 (%)", "L3 (%)"});
-  for (const auto& trace :
-       {workload::make_failure1(), workload::make_failure2()}) {
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
     double sr[3];
-    const workload::PolicyKind kinds[3] = {workload::PolicyKind::kRoundRobin,
-                                           workload::PolicyKind::kC3,
-                                           workload::PolicyKind::kL3};
-    for (int k = 0; k < 3; ++k) {
-      sr[k] = workload::mean_success_rate(
-          workload::run_scenario_repeated(trace, kinds[k], config, reps));
+    for (std::size_t k = 0; k < 3; ++k) {
+      sr[k] = exp::mean_success_rate(grid.at(s, k));
     }
-    table.add_row({trace.name(), fmt_percent(sr[0], 2), fmt_percent(sr[1], 2),
-                   fmt_percent(sr[2], 2)});
+    table.add_row({spec.scenarios[s], fmt_percent(sr[0], 2),
+                   fmt_percent(sr[1], 2), fmt_percent(sr[2], 2)});
   }
   table.print(std::cout);
   std::cout << "\npaper: f1 91.4/91.1/92.4 % (L3 highest, C3 lowest); "
                "f2 ~98.6/98.5/98.6 %\n";
+
+  exp::Report report("Figure 12");
+  report.add_grid(spec, results);
+  report.add_table("success rate per failure scenario and policy", table);
+  bench::finish_report(args, report);
   return 0;
 }

@@ -10,12 +10,16 @@
 //   * tsdb        — scrape-shaped appends + controller-shaped window
 //     queries through interned SeriesIds vs a replica of the legacy
 //     string-keyed map-of-deques store with linear window scans;
-//   * scenario    — wall-clock of a full run_scenario() (scenario 1, L3).
+//   * scenario    — wall-clock of a full run_scenario() (scenario 1, L3);
+//   * sweep       — a fig10-shaped experiment grid through the parallel
+//     harness at --jobs 1 vs --jobs 4 (cells/sec and the parallel speedup;
+//     on a single-core host the speedup is honestly ~1x).
 //
 // Results print as a table and are written to BENCH_sim_core.json
 // (machine-readable) for longitudinal tracking.
 //
 // Usage: sim_core [--fast] [--reps N] [--out PATH]
+#include "l3/exp/runner.h"
 #include "l3/metrics/tsdb.h"
 #include "l3/sim/simulator.h"
 #include "l3/workload/runner.h"
@@ -321,6 +325,52 @@ ScenarioResult bench_scenario(double duration, int reps) {
   return best;
 }
 
+struct SweepResult {
+  std::size_t cells = 0;
+  double serial_wall = 0.0;    // --jobs 1
+  double parallel_wall = 0.0;  // --jobs 4
+  double serial_cells_per_sec = 0.0;
+  double parallel_cells_per_sec = 0.0;
+  double speedup = 0.0;
+  int hardware_jobs = 0;
+};
+
+/// Times the fig10-shaped grid (scenarios × RR/C3/L3 × reps) through the
+/// experiment harness at jobs=1 and jobs=4. The byte-identity of the two
+/// runs' results is covered by exp_runner_test; here we record throughput.
+SweepResult bench_sweep(double duration, int grid_reps) {
+  auto scenarios = l3::workload::all_latency_scenarios();
+  l3::workload::RunnerConfig config;
+  config.duration = duration;
+  const auto spec = l3::exp::scenario_grid(
+      "sweep", std::move(scenarios),
+      {l3::workload::PolicyKind::kRoundRobin, l3::workload::PolicyKind::kC3,
+       l3::workload::PolicyKind::kL3},
+      config, grid_reps);
+
+  SweepResult result;
+  result.cells = spec.cell_count();
+  result.hardware_jobs = l3::exp::effective_jobs(0);
+  {
+    const auto start = Clock::now();
+    const auto cells = l3::exp::run_experiment(spec, {.jobs = 1});
+    result.serial_wall = seconds_since(start);
+    if (cells.size() != result.cells) std::cerr << "sweep: short run\n";
+  }
+  {
+    const auto start = Clock::now();
+    const auto cells = l3::exp::run_experiment(spec, {.jobs = 4});
+    result.parallel_wall = seconds_since(start);
+    if (cells.size() != result.cells) std::cerr << "sweep: short run\n";
+  }
+  result.serial_cells_per_sec =
+      static_cast<double>(result.cells) / result.serial_wall;
+  result.parallel_cells_per_sec =
+      static_cast<double>(result.cells) / result.parallel_wall;
+  result.speedup = result.serial_wall / result.parallel_wall;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +398,8 @@ int main(int argc, char** argv) {
   const int tsdb_series = 64;
   const int tsdb_cycles = fast ? 2000 : 20000;
   const double scenario_duration = fast ? 60.0 : 240.0;
+  const double sweep_duration = fast ? 30.0 : 120.0;
+  const int sweep_reps = fast ? 1 : 2;
 
   std::cout << "== sim_core — event core + TSDB hot-path benchmark ==\n";
 
@@ -370,6 +422,13 @@ int main(int argc, char** argv) {
             << " requests, "
             << scenario.sim_seconds / scenario.wall_seconds
             << "x realtime)\n";
+
+  const SweepResult sweep = bench_sweep(sweep_duration, sweep_reps);
+  std::cout << "sweep        : " << sweep.cells << " cells — jobs=1 "
+            << sweep.serial_cells_per_sec << " cells/s, jobs=4 "
+            << sweep.parallel_cells_per_sec << " cells/s (speedup "
+            << sweep.speedup << "x on " << sweep.hardware_jobs
+            << " hardware threads)\n";
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -401,6 +460,17 @@ int main(int argc, char** argv) {
        << "    \"requests\": " << scenario.requests << ",\n"
        << "    \"realtime_factor\": "
        << scenario.sim_seconds / scenario.wall_seconds << "\n"
+       << "  },\n"
+       << "  \"sweep\": {\n"
+       << "    \"cells\": " << sweep.cells << ",\n"
+       << "    \"hardware_threads\": " << sweep.hardware_jobs << ",\n"
+       << "    \"jobs1_wall_seconds\": " << sweep.serial_wall << ",\n"
+       << "    \"jobs4_wall_seconds\": " << sweep.parallel_wall << ",\n"
+       << "    \"jobs1_cells_per_sec\": " << sweep.serial_cells_per_sec
+       << ",\n"
+       << "    \"jobs4_cells_per_sec\": " << sweep.parallel_cells_per_sec
+       << ",\n"
+       << "    \"jobs4_speedup\": " << sweep.speedup << "\n"
        << "  }\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -1,7 +1,17 @@
-// Minimal leveled logger. The simulator is single-threaded by design, so no
-// synchronisation is needed; output goes to stderr so bench tables on stdout
-// stay machine-parsable. An optional time provider stamps each line with the
-// current sim time, and a pluggable sink lets tests capture output.
+// Per-simulation leveled logging. There is no process singleton: every
+// sim::Simulator owns a LogContext and binds it to the constructing thread
+// for its lifetime (ScopedLogBind), so two Simulators running on different
+// threads log through fully isolated contexts — levels, time providers and
+// sinks never bleed between concurrent simulation cells. Code that logs
+// outside any simulation falls back to a process-default context.
+//
+// The L3_LOG macro short-circuits on a disabled level BEFORE the streaming
+// operands are evaluated and before the LogLine's ostringstream is built,
+// so disabled logging costs one level comparison on the hot path.
+//
+// Output goes to stderr so bench tables on stdout stay machine-parsable;
+// the default sink formats each record into a single buffered write, so
+// concurrent contexts never interleave characters within a line.
 #pragma once
 
 #include "l3/common/time.h"
@@ -27,20 +37,38 @@ struct LogRecord {
   std::string_view message;
 };
 
-/// Process-wide logging configuration and sink.
-class Logger {
+/// Logging configuration and sink for one simulation (or for the process
+/// default). A context is not internally synchronised: it must only be used
+/// from the thread it is bound on. Isolation between concurrent simulations
+/// comes from each Simulator binding its own context to its own thread.
+class LogContext {
  public:
   using TimeProvider = std::function<SimTime()>;
   using Sink = std::function<void(const LogRecord&)>;
 
-  static Logger& instance();
+  LogContext() = default;
+  LogContext(const LogContext&) = delete;
+  LogContext& operator=(const LogContext&) = delete;
+
+  /// The context bound to the current thread (innermost ScopedLogBind),
+  /// falling back to `process_default()` when nothing is bound.
+  static LogContext& current();
+
+  /// The fallback context used by threads with no active binding.
+  static LogContext& process_default();
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Whether a line at `level` would be emitted.
+  bool enabled(LogLevel level) const {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
   /// Installs a sim-time source (e.g. [&sim] { return sim.now(); }); lines
   /// then carry a `t=...s` stamp. Pass nullptr to remove. The provider must
-  /// be cleared before the simulator it captures is destroyed.
+  /// not outlive what it captures; sim::Simulator wires its own clock into
+  /// the context it owns, so their lifetimes coincide.
   void set_time_provider(TimeProvider provider) {
     time_provider_ = std::move(provider);
   }
@@ -58,13 +86,27 @@ class Logger {
   Sink sink_;
 };
 
+/// RAII binding of a LogContext to the current thread. Bindings nest like
+/// scopes: destruction restores whatever was bound before.
+class ScopedLogBind {
+ public:
+  explicit ScopedLogBind(LogContext& context);
+  ~ScopedLogBind();
+  ScopedLogBind(const ScopedLogBind&) = delete;
+  ScopedLogBind& operator=(const ScopedLogBind&) = delete;
+
+ private:
+  LogContext* previous_;
+};
+
 namespace detail {
-/// Builds a message with ostream syntax and emits it on destruction.
+/// Builds a message with ostream syntax and emits it on destruction. Only
+/// constructed when the level passed the filter (see L3_LOG).
 class LogLine {
  public:
-  LogLine(LogLevel level, std::string_view component)
-      : level_(level), component_(component) {}
-  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+  LogLine(LogContext& context, LogLevel level, std::string_view component)
+      : context_(context), level_(level), component_(component) {}
+  ~LogLine() { context_.log(level_, component_, stream_.str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
@@ -75,14 +117,27 @@ class LogLine {
   }
 
  private:
+  LogContext& context_;
   LogLevel level_;
-  std::string component_;
+  std::string_view component_;
   std::ostringstream stream_;
+};
+
+/// Swallows a LogLine inside the ternary of L3_LOG so both branches have
+/// type void. operator& binds looser than <<, so the whole chain streams
+/// into the line before it is voided.
+struct LogVoidify {
+  void operator&(const LogLine&) const {}
 };
 }  // namespace detail
 
 }  // namespace l3
 
 /// Usage: L3_LOG(kInfo, "core") << "weights updated: " << n;
-#define L3_LOG(level, component) \
-  ::l3::detail::LogLine(::l3::LogLevel::level, component)
+/// A disabled level skips the stream construction and every operand.
+#define L3_LOG(level, component)                                         \
+  !::l3::LogContext::current().enabled(::l3::LogLevel::level)            \
+      ? (void)0                                                          \
+      : ::l3::detail::LogVoidify{} &                                     \
+            ::l3::detail::LogLine(::l3::LogContext::current(),           \
+                                  ::l3::LogLevel::level, component)

@@ -24,6 +24,9 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,54 @@
+// The unified machine-readable report every bench binary writes with
+// --json PATH: the experiment grids with their per-cell results, plus the
+// printed tables (the figure reproduction) in structured form. Everything
+// serialized is a deterministic function of the experiment specs and seeds
+// — no timestamps, no wall-clock, no thread counts — so a report is
+// byte-identical for every --jobs value.
+#pragma once
+
+#include "l3/common/table.h"
+#include "l3/exp/runner.h"
+#include "l3/exp/spec.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace l3::exp {
+
+/// Accumulates the grids and tables of one bench invocation.
+class Report {
+ public:
+  explicit Report(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  /// Records a completed grid (axis labels, seeds, per-cell summaries).
+  void add_grid(const ExperimentSpec& spec,
+                const std::vector<CellResult>& results);
+
+  /// Records one printed table under an optional section title.
+  void add_table(std::string title, const Table& table);
+
+  /// Serializes the report as JSON.
+  void write(std::ostream& os) const;
+
+  /// Writes to `path`; returns false (with no partial file guarantee) on
+  /// I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Grid {
+    ExperimentSpec spec;  ///< cell function cleared; labels/seed kept
+    std::vector<CellResult> results;
+  };
+  struct TableSection {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string experiment_;
+  std::vector<Grid> grids_;
+  std::vector<TableSection> tables_;
+};
+
+}  // namespace l3::exp

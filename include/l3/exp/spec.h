@@ -1,0 +1,100 @@
+// Declarative experiment grids. An ExperimentSpec names the axes of a
+// sweep — scenarios × policies × config-variants × repetitions — and a cell
+// function that runs one coordinate. Every figure/ablation bench is one (or
+// two) such grids.
+//
+// Determinism contract: the seed of a cell is derived from the experiment
+// seed and the cell's grid coordinates alone (via SplitRng), never from
+// execution order — so results are identical no matter how many worker
+// threads run the grid, and adding an axis value never perturbs the seeds
+// of existing coordinates' tags.
+#pragma once
+
+#include "l3/workload/runner.h"
+#include "l3/workload/scenario.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l3::exp {
+
+/// Grid coordinates of one simulation cell.
+struct Cell {
+  std::size_t scenario = 0;
+  std::size_t policy = 0;
+  std::size_t variant = 0;
+  int rep = 0;
+};
+
+/// What one cell run produces: the standard run summary plus optional
+/// bench-specific named metrics (for cells that measure something the
+/// RunResult shape doesn't cover, e.g. surge-window percentiles).
+struct CellData {
+  workload::RunResult run;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  CellData() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): cells usually just return
+  // the RunResult of run_scenario and friends.
+  CellData(workload::RunResult r) : run(std::move(r)) {}
+};
+
+/// Runs one cell. Must be thread-safe: it is called concurrently from
+/// worker threads, so it must only read shared state and derive all
+/// randomness from `seed` (build the Simulator, mesh, registry and tracer
+/// inside — never share them between cells).
+using CellFn = std::function<CellData(const Cell&, std::uint64_t seed)>;
+
+/// A labelled RunnerConfig mutation (one value of the variant axis).
+struct ConfigVariant {
+  std::string label;
+  std::function<void(workload::RunnerConfig&)> apply;  ///< may be null
+};
+
+/// One experiment: axis labels, repetition count, root seed, cell function.
+struct ExperimentSpec {
+  std::string name;
+  std::vector<std::string> scenarios = {""};
+  std::vector<std::string> policies = {""};
+  std::vector<std::string> variants = {""};
+  int repetitions = 1;
+  std::uint64_t seed = 42;
+  CellFn cell;
+
+  /// Total number of cells in the grid.
+  std::size_t cell_count() const {
+    return scenarios.size() * policies.size() * variants.size() *
+           static_cast<std::size_t>(repetitions);
+  }
+
+  /// Flat index of a coordinate. Grid order: scenario-major, then policy,
+  /// then variant, with repetitions innermost (so all reps of a coordinate
+  /// are contiguous).
+  std::size_t index_of(const Cell& cell) const {
+    return ((cell.scenario * policies.size() + cell.policy) * variants.size() +
+            cell.variant) *
+               static_cast<std::size_t>(repetitions) +
+           static_cast<std::size_t>(cell.rep);
+  }
+
+  /// Inverse of index_of.
+  Cell cell_at(std::size_t index) const;
+};
+
+/// Derives the seed of a cell from the experiment seed and the cell's grid
+/// coordinates (stable under any execution order or thread count).
+std::uint64_t cell_seed(std::uint64_t experiment_seed, const Cell& cell);
+
+/// Builds the standard trace-scenario grid: run_scenario() over
+/// scenarios × policies × variants × reps with per-cell derived seeds.
+/// `variants` may be empty (a single unlabelled identity variant is used).
+ExperimentSpec scenario_grid(std::string name,
+                             std::vector<workload::ScenarioTrace> scenarios,
+                             std::vector<workload::PolicyKind> policies,
+                             workload::RunnerConfig base, int repetitions,
+                             std::vector<ConfigVariant> variants = {});
+
+}  // namespace l3::exp

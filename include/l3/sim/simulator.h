@@ -16,6 +16,7 @@
 #pragma once
 
 #include "l3/common/assert.h"
+#include "l3/common/logging.h"
 #include "l3/common/time.h"
 #include "l3/sim/event.h"
 
@@ -62,9 +63,17 @@ class Simulator {
  public:
   using EventFn = sim::EventFn;
 
-  Simulator() = default;
+  /// Construction binds this simulator's LogContext to the current thread
+  /// (restored on destruction), and wires the sim clock in as its time
+  /// provider. A Simulator must be constructed, run and destroyed on the
+  /// same thread; concurrent Simulators on different threads are fully
+  /// isolated — no shared mutable state, including logging.
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// This simulation's logging configuration (level, sink, time stamps).
+  LogContext& log() { return log_context_; }
 
   /// Current simulated time in seconds.
   SimTime now() const { return now_; }
@@ -108,6 +117,8 @@ class Simulator {
   void schedule_periodic_firing(std::shared_ptr<detail::PeriodicTask> task,
                                 SimTime at);
 
+  LogContext log_context_;
+  ScopedLogBind log_bind_;
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;

@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Builds the test suite under AddressSanitizer and UndefinedBehaviorSanitizer
-# and runs ctest for each, then the plain RelWithDebInfo build, then a
-# Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json).
+# and runs ctest for each, runs the concurrency-sensitive tests (experiment
+# runner, simulator, logging) under ThreadSanitizer, then the plain
+# RelWithDebInfo build, a jobs-invariance smoke diff on a figure bench, and
+# a Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json).
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
-#   With no arguments, runs: asan ubsan default.
+#   With no arguments, runs: asan ubsan tsan default.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [[ ${#presets[@]} -eq 0 ]]; then
-  presets=(asan ubsan default)
+  presets=(asan ubsan tsan default)
 fi
 
 for preset in "${presets[@]}"; do
@@ -21,8 +23,30 @@ for preset in "${presets[@]}"; do
   echo "==> [$preset] build"
   cmake --build --preset "$preset" -j "$(nproc)"
   echo "==> [$preset] test"
-  ctest --preset "$preset"
+  if [[ "$preset" == tsan ]]; then
+    # TSan is ~10x slower; cover the code that actually runs threads —
+    # the parallel experiment runner, the simulator's context binding and
+    # the concurrent-logging tests — rather than the whole suite.
+    ctest --preset "$preset" -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext'
+  else
+    ctest --preset "$preset"
+  fi
 done
+
+# Jobs-invariance smoke: a parallel sweep must produce byte-identical
+# stdout and JSON to the serial one (the harness's core guarantee).
+if [[ " ${presets[*]} " == *" default "* ]]; then
+  echo "==> [default] jobs-invariance smoke (fig10_scenarios)"
+  smoke_dir=$(mktemp -d)
+  trap 'rm -rf "$smoke_dir"' EXIT
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 1 \
+      --json "$smoke_dir/j1.json" > "$smoke_dir/j1.out"
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 2 \
+      --json "$smoke_dir/j2.json" > "$smoke_dir/j2.out"
+  diff "$smoke_dir/j1.out" "$smoke_dir/j2.out"
+  diff "$smoke_dir/j1.json" "$smoke_dir/j2.json"
+  echo "    byte-identical at --jobs 1 and --jobs 2"
+fi
 
 # Hot-path perf smoke: build the sim_core bench in Release and refresh
 # BENCH_sim_core.json so regressions in events/s or TSDB throughput show

@@ -1,18 +1,31 @@
 #include "l3/common/logging.h"
 
 #include <cstdio>
-#include <iostream>
 
 namespace l3 {
 
-Logger& Logger::instance() {
-  static Logger logger;
-  return logger;
+namespace {
+thread_local LogContext* tls_bound = nullptr;
+}  // namespace
+
+LogContext& LogContext::current() {
+  return tls_bound != nullptr ? *tls_bound : process_default();
 }
 
-void Logger::log(LogLevel level, std::string_view component,
-                 std::string_view msg) {
-  if (level < level_ || level_ == LogLevel::kOff) return;
+LogContext& LogContext::process_default() {
+  static LogContext context;
+  return context;
+}
+
+ScopedLogBind::ScopedLogBind(LogContext& context) : previous_(tls_bound) {
+  tls_bound = &context;
+}
+
+ScopedLogBind::~ScopedLogBind() { tls_bound = previous_; }
+
+void LogContext::log(LogLevel level, std::string_view component,
+                     std::string_view msg) {
+  if (!enabled(level)) return;
   LogRecord record;
   record.level = level;
   record.component = component;
@@ -25,14 +38,24 @@ void Logger::log(LogLevel level, std::string_view component,
     sink_(record);
     return;
   }
+  // Format the whole line first and emit it with one write, so lines from
+  // contexts on other threads never interleave mid-line.
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::cerr << "[" << kNames[static_cast<int>(level)] << "] ";
+  std::string line;
+  line.reserve(component.size() + msg.size() + 32);
+  line += '[';
+  line += kNames[static_cast<int>(level)];
+  line += "] ";
   if (record.has_time) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "[t=%.6fs] ", record.time);
-    std::cerr << buf;
+    line += buf;
   }
-  std::cerr << component << ": " << msg << '\n';
+  line += component;
+  line += ": ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace l3

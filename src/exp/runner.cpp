@@ -1,0 +1,197 @@
+#include "l3/exp/runner.h"
+
+#include "l3/common/assert.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace l3::exp {
+
+namespace {
+
+CellResult run_cell(const ExperimentSpec& spec, std::size_t index) {
+  CellResult result;
+  result.cell = spec.cell_at(index);
+  result.seed = cell_seed(spec.seed, result.cell);
+  result.data = spec.cell(result.cell, result.seed);
+  return result;
+}
+
+/// Work-stealing cell scheduler: every worker owns a deque of cell indices
+/// (dealt round-robin up front) and pops from its own front; a worker that
+/// runs dry steals from the back of a sibling's deque. Cells are coarse
+/// (whole simulations), so the per-pop mutex is noise.
+class CellScheduler {
+ public:
+  CellScheduler(std::size_t cells, int workers) : queues_(workers) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      queues_[i % queues_.size()].indices.push_back(i);
+    }
+  }
+
+  std::optional<std::size_t> next(int worker) {
+    if (auto index = pop_front(worker)) return index;
+    // Steal from the busiest sibling's back.
+    for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+      const auto victim =
+          (static_cast<std::size_t>(worker) + offset) % queues_.size();
+      if (auto index = pop_back(static_cast<int>(victim))) return index;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> indices;
+  };
+
+  std::optional<std::size_t> pop_front(int worker) {
+    auto& queue = queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.indices.empty()) return std::nullopt;
+    const std::size_t index = queue.indices.front();
+    queue.indices.pop_front();
+    return index;
+  }
+
+  std::optional<std::size_t> pop_back(int worker) {
+    auto& queue = queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.indices.empty()) return std::nullopt;
+    const std::size_t index = queue.indices.back();
+    queue.indices.pop_back();
+    return index;
+  }
+
+  std::deque<Queue> queues_;
+};
+
+}  // namespace
+
+int effective_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<CellResult> run_experiment(const ExperimentSpec& spec,
+                                       const RunnerOptions& opts) {
+  L3_EXPECTS(static_cast<bool>(spec.cell));
+  L3_EXPECTS(spec.repetitions >= 1);
+  const std::size_t cells = spec.cell_count();
+  std::vector<CellResult> results(cells);
+  const int jobs = std::min<int>(effective_jobs(opts.jobs),
+                                 static_cast<int>(std::max<std::size_t>(
+                                     cells, 1)));
+  if (cells == 0) return results;
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) results[i] = run_cell(spec, i);
+    return results;
+  }
+
+  CellScheduler scheduler(cells, jobs);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto worker = [&](int id) {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error) return;  // abandon remaining cells on failure
+      }
+      const auto index = scheduler.next(id);
+      if (!index) return;
+      try {
+        results[*index] = run_cell(spec, *index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs));
+  for (int id = 0; id < jobs; ++id) threads.emplace_back(worker, id);
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+double mean_of(std::span<const CellResult> cells,
+               double (*accessor)(const workload::RunResult&)) {
+  if (cells.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& cell : cells) sum += accessor(cell.data.run);
+  return sum / static_cast<double>(cells.size());
+}
+
+double mean_p50(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.summary.latency.p50;
+  });
+}
+
+double mean_p90(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.summary.latency.p90;
+  });
+}
+
+double mean_p99(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.summary.latency.p99;
+  });
+}
+
+double mean_latency(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.summary.latency.mean;
+  });
+}
+
+double mean_success_rate(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.summary.success_rate;
+  });
+}
+
+double mean_attempts(std::span<const CellResult> cells) {
+  return mean_of(cells, +[](const workload::RunResult& r) {
+    return r.mean_attempts;
+  });
+}
+
+double mean_traffic_share(std::span<const CellResult> cells,
+                          std::size_t cluster) {
+  if (cells.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& cell : cells) {
+    const auto& share = cell.data.run.traffic_share;
+    if (cluster < share.size()) sum += share[cluster];
+  }
+  return sum / static_cast<double>(cells.size());
+}
+
+double mean_metric(std::span<const CellResult> cells, std::string_view name) {
+  if (cells.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& cell : cells) {
+    for (const auto& [key, value] : cell.data.metrics) {
+      if (key == name) {
+        sum += value;
+        break;
+      }
+    }
+  }
+  return sum / static_cast<double>(cells.size());
+}
+
+}  // namespace l3::exp

@@ -1,0 +1,80 @@
+#include "l3/exp/spec.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+
+#include <memory>
+
+namespace l3::exp {
+
+Cell ExperimentSpec::cell_at(std::size_t index) const {
+  L3_EXPECTS(index < cell_count());
+  const auto reps = static_cast<std::size_t>(repetitions);
+  Cell cell;
+  cell.rep = static_cast<int>(index % reps);
+  index /= reps;
+  cell.variant = index % variants.size();
+  index /= variants.size();
+  cell.policy = index % policies.size();
+  cell.scenario = index / policies.size();
+  return cell;
+}
+
+std::uint64_t cell_seed(std::uint64_t experiment_seed, const Cell& cell) {
+  // One string tag encoding all coordinates: SplitRng's tag split hashes it
+  // sequentially (FNV-1a), so distinct coordinates can't collide the way
+  // chained commutative index-splits could.
+  std::string tag = "cell/s";
+  tag += std::to_string(cell.scenario);
+  tag += "/p";
+  tag += std::to_string(cell.policy);
+  tag += "/v";
+  tag += std::to_string(cell.variant);
+  tag += "/r";
+  tag += std::to_string(cell.rep);
+  return SplitRng(experiment_seed).split(tag).seed();
+}
+
+ExperimentSpec scenario_grid(std::string name,
+                             std::vector<workload::ScenarioTrace> scenarios,
+                             std::vector<workload::PolicyKind> policies,
+                             workload::RunnerConfig base, int repetitions,
+                             std::vector<ConfigVariant> variants) {
+  L3_EXPECTS(!scenarios.empty());
+  L3_EXPECTS(!policies.empty());
+  L3_EXPECTS(repetitions >= 1);
+  if (variants.empty()) variants.push_back({"", nullptr});
+
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.repetitions = repetitions;
+  spec.seed = base.seed;
+  spec.scenarios.clear();
+  for (const auto& trace : scenarios) spec.scenarios.push_back(trace.name());
+  spec.policies.clear();
+  for (const auto kind : policies) {
+    spec.policies.emplace_back(workload::policy_name(kind));
+  }
+  spec.variants.clear();
+  for (const auto& variant : variants) spec.variants.push_back(variant.label);
+
+  // The cell closure shares the immutable inputs across worker threads.
+  auto traces = std::make_shared<const std::vector<workload::ScenarioTrace>>(
+      std::move(scenarios));
+  auto kinds = std::make_shared<const std::vector<workload::PolicyKind>>(
+      std::move(policies));
+  auto vars = std::make_shared<const std::vector<ConfigVariant>>(
+      std::move(variants));
+  spec.cell = [traces, kinds, vars, base](const Cell& cell,
+                                          std::uint64_t seed) -> CellData {
+    workload::RunnerConfig config = base;
+    config.seed = seed;
+    const auto& variant = (*vars)[cell.variant];
+    if (variant.apply) variant.apply(config);
+    return workload::run_scenario((*traces)[cell.scenario],
+                                  (*kinds)[cell.policy], config);
+  };
+  return spec;
+}
+
+}  // namespace l3::exp

@@ -1,28 +1,18 @@
-// Tests for the Logger's sim-time context and pluggable sink. The logger is
-// a process-wide singleton, so every test restores level / sink / time
-// provider on exit.
+// Tests for the per-simulation LogContext: scoped thread binding, level
+// filtering (including the short-circuit before operand evaluation), time
+// stamping, and isolation between contexts bound on different threads.
 #include "l3/common/logging.h"
+
+#include "l3/sim/simulator.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace l3 {
 namespace {
-
-/// Restores global logger state after each test.
-class LoggingTest : public ::testing::Test {
- protected:
-  void SetUp() override { saved_level_ = Logger::instance().level(); }
-  void TearDown() override {
-    Logger::instance().set_level(saved_level_);
-    Logger::instance().set_sink(nullptr);
-    Logger::instance().set_time_provider(nullptr);
-  }
-
-  LogLevel saved_level_ = LogLevel::kWarn;
-};
 
 struct Captured {
   LogLevel level;
@@ -32,14 +22,20 @@ struct Captured {
   std::string message;
 };
 
-TEST_F(LoggingTest, SinkCapturesRecords) {
+LogContext::Sink capture_into(std::vector<Captured>& out) {
+  return [&out](const LogRecord& record) {
+    out.push_back({record.level, record.time, record.has_time,
+                   std::string(record.component),
+                   std::string(record.message)});
+  };
+}
+
+TEST(LogContextTest, SinkCapturesRecords) {
+  LogContext context;
+  ScopedLogBind bind(context);
   std::vector<Captured> captured;
-  Logger::instance().set_level(LogLevel::kInfo);
-  Logger::instance().set_sink([&](const LogRecord& record) {
-    captured.push_back({record.level, record.time, record.has_time,
-                        std::string(record.component),
-                        std::string(record.message)});
-  });
+  context.set_level(LogLevel::kInfo);
+  context.set_sink(capture_into(captured));
   L3_LOG(kInfo, "test") << "hello " << 42;
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0].level, LogLevel::kInfo);
@@ -48,30 +44,47 @@ TEST_F(LoggingTest, SinkCapturesRecords) {
   EXPECT_FALSE(captured[0].has_time);
 }
 
-TEST_F(LoggingTest, LevelFilterAppliesBeforeTheSink) {
+TEST(LogContextTest, LevelFilterAppliesBeforeTheSink) {
+  LogContext context;
+  ScopedLogBind bind(context);
   int calls = 0;
-  Logger::instance().set_level(LogLevel::kWarn);
-  Logger::instance().set_sink([&](const LogRecord&) { ++calls; });
+  context.set_level(LogLevel::kWarn);
+  context.set_sink([&](const LogRecord&) { ++calls; });
   L3_LOG(kDebug, "test") << "filtered";
   L3_LOG(kInfo, "test") << "filtered";
   L3_LOG(kWarn, "test") << "passes";
   L3_LOG(kError, "test") << "passes";
   EXPECT_EQ(calls, 2);
-  Logger::instance().set_level(LogLevel::kOff);
+  context.set_level(LogLevel::kOff);
   L3_LOG(kError, "test") << "off";
   EXPECT_EQ(calls, 2);
 }
 
-TEST_F(LoggingTest, TimeProviderStampsRecords) {
+TEST(LogContextTest, DisabledLevelShortCircuitsOperandEvaluation) {
+  LogContext context;
+  ScopedLogBind bind(context);
+  context.set_level(LogLevel::kWarn);
+  context.set_sink([](const LogRecord&) {});
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string(1024, 'x');
+  };
+  L3_LOG(kDebug, "test") << expensive();
+  L3_LOG(kInfo, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);  // operands of dropped lines never run
+  L3_LOG(kWarn, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogContextTest, TimeProviderStampsRecords) {
+  LogContext context;
+  ScopedLogBind bind(context);
   std::vector<Captured> captured;
   double now = 12.5;
-  Logger::instance().set_level(LogLevel::kInfo);
-  Logger::instance().set_time_provider([&now] { return now; });
-  Logger::instance().set_sink([&](const LogRecord& record) {
-    captured.push_back({record.level, record.time, record.has_time,
-                        std::string(record.component),
-                        std::string(record.message)});
-  });
+  context.set_level(LogLevel::kInfo);
+  context.set_time_provider([&now] { return now; });
+  context.set_sink(capture_into(captured));
   L3_LOG(kInfo, "sim") << "tick";
   now = 20.0;
   L3_LOG(kInfo, "sim") << "tock";
@@ -81,13 +94,76 @@ TEST_F(LoggingTest, TimeProviderStampsRecords) {
   EXPECT_DOUBLE_EQ(captured[1].time, 20.0);
 }
 
-TEST_F(LoggingTest, NullSinkRestoresDefaultOutput) {
-  int calls = 0;
-  Logger::instance().set_level(LogLevel::kOff);  // keep stderr quiet
-  Logger::instance().set_sink([&](const LogRecord&) { ++calls; });
-  Logger::instance().set_sink(nullptr);
-  L3_LOG(kError, "test") << "to stderr (filtered by kOff)";
-  EXPECT_EQ(calls, 0);
+TEST(LogContextTest, UnboundThreadFallsBackToProcessDefault) {
+  // No binding active in this scope beyond what gtest set up: current()
+  // must be the process-wide default context.
+  EXPECT_EQ(&LogContext::current(), &LogContext::process_default());
+  {
+    LogContext context;
+    ScopedLogBind bind(context);
+    EXPECT_EQ(&LogContext::current(), &context);
+  }
+  EXPECT_EQ(&LogContext::current(), &LogContext::process_default());
+}
+
+TEST(LogContextTest, BindingsNestAndRestore) {
+  LogContext outer;
+  LogContext inner;
+  ScopedLogBind bind_outer(outer);
+  EXPECT_EQ(&LogContext::current(), &outer);
+  {
+    ScopedLogBind bind_inner(inner);
+    EXPECT_EQ(&LogContext::current(), &inner);
+  }
+  EXPECT_EQ(&LogContext::current(), &outer);
+}
+
+TEST(LogContextTest, SimulatorOwnsAndBindsItsContext) {
+  std::vector<Captured> captured;
+  {
+    sim::Simulator sim;
+    EXPECT_EQ(&LogContext::current(), &sim.log());
+    sim.log().set_level(LogLevel::kInfo);
+    sim.log().set_sink(capture_into(captured));
+    sim.schedule_at(3.5, [] { L3_LOG(kInfo, "event") << "fired"; });
+    sim.run_until(10.0);
+  }
+  // Destruction restored the previous (default) binding.
+  EXPECT_EQ(&LogContext::current(), &LogContext::process_default());
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].message, "fired");
+  EXPECT_TRUE(captured[0].has_time);  // the sim clock is the time provider
+  EXPECT_DOUBLE_EQ(captured[0].time, 3.5);
+}
+
+TEST(LogContextTest, ConcurrentSimulatorsAreIsolated) {
+  // Two simulators on two threads, each logging through its own context:
+  // every record must land in its own sink, tagged with its own sim time.
+  constexpr int kLines = 500;
+  auto worker = [](const std::string& tag, std::vector<Captured>& out) {
+    sim::Simulator sim;
+    sim.log().set_level(LogLevel::kInfo);
+    sim.log().set_sink(capture_into(out));
+    for (int i = 0; i < kLines; ++i) {
+      sim.schedule_at(static_cast<SimTime>(i), [&tag, i] {
+        L3_LOG(kInfo, "worker") << tag << ":" << i;
+      });
+    }
+    sim.run_until(1e9);
+  };
+  std::vector<Captured> a_records;
+  std::vector<Captured> b_records;
+  std::thread a([&] { worker("a", a_records); });
+  std::thread b([&] { worker("b", b_records); });
+  a.join();
+  b.join();
+  ASSERT_EQ(a_records.size(), static_cast<std::size_t>(kLines));
+  ASSERT_EQ(b_records.size(), static_cast<std::size_t>(kLines));
+  for (int i = 0; i < kLines; ++i) {
+    EXPECT_EQ(a_records[i].message, "a:" + std::to_string(i));
+    EXPECT_EQ(b_records[i].message, "b:" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(a_records[i].time, static_cast<double>(i));
+  }
 }
 
 }  // namespace

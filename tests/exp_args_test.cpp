@@ -1,0 +1,98 @@
+// Tests for the shared bench argument parser: strict numeric validation
+// (no raw atoi), the --jobs/--json flags, and error reporting.
+#include "l3/exp/args.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace l3::exp {
+namespace {
+
+std::optional<BenchArgs> parse(std::vector<std::string> tokens,
+                               std::string* error = nullptr) {
+  std::vector<char*> argv;
+  static std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (auto& token : tokens) argv.push_back(token.data());
+  std::string local;
+  return try_parse_bench_args(static_cast<int>(argv.size()), argv.data(),
+                              error ? error : &local);
+}
+
+TEST(ParseUintTest, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_uint("0"), 0u);
+  EXPECT_EQ(parse_uint("42"), 42u);
+  EXPECT_EQ(parse_uint("1000000"), 1000000u);
+}
+
+TEST(ParseUintTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_uint("").has_value());
+  EXPECT_FALSE(parse_uint("-3").has_value());
+  EXPECT_FALSE(parse_uint("3.5").has_value());
+  EXPECT_FALSE(parse_uint("12abc").has_value());
+  EXPECT_FALSE(parse_uint("abc").has_value());
+  EXPECT_FALSE(parse_uint(" 7").has_value());
+  EXPECT_FALSE(parse_uint("99999999999999999999999").has_value());
+}
+
+TEST(BenchArgsTest, Defaults) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->reps, -1);
+  EXPECT_FALSE(args->fast);
+  EXPECT_EQ(args->jobs, 0);
+  EXPECT_TRUE(args->json.empty());
+}
+
+TEST(BenchArgsTest, ParsesAllFlags) {
+  const auto args =
+      parse({"--fast", "--reps", "3", "--jobs", "8", "--json", "out.json"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->fast);
+  EXPECT_EQ(args->reps, 3);
+  EXPECT_EQ(args->jobs, 8);
+  EXPECT_EQ(args->json, "out.json");
+}
+
+TEST(BenchArgsTest, RejectsNonNumericReps) {
+  std::string error;
+  EXPECT_FALSE(parse({"--reps", "foo"}, &error).has_value());
+  EXPECT_NE(error.find("--reps"), std::string::npos);
+}
+
+TEST(BenchArgsTest, RejectsNegativeAndZeroReps) {
+  EXPECT_FALSE(parse({"--reps", "-2"}).has_value());
+  EXPECT_FALSE(parse({"--reps", "0"}).has_value());
+}
+
+TEST(BenchArgsTest, RejectsMissingValues) {
+  EXPECT_FALSE(parse({"--reps"}).has_value());
+  EXPECT_FALSE(parse({"--jobs"}).has_value());
+  EXPECT_FALSE(parse({"--json"}).has_value());
+}
+
+TEST(BenchArgsTest, RejectsInvalidJobs) {
+  EXPECT_FALSE(parse({"--jobs", "zero"}).has_value());
+  EXPECT_FALSE(parse({"--jobs", "0"}).has_value());
+  EXPECT_FALSE(parse({"--jobs", "-1"}).has_value());
+}
+
+TEST(BenchArgsTest, RejectsUnknownFlags) {
+  std::string error;
+  EXPECT_FALSE(parse({"--frobnicate"}, &error).has_value());
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(BenchArgsTest, UsageMentionsEveryFlag) {
+  const std::string usage = bench_usage("bench");
+  EXPECT_NE(usage.find("--reps"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("--json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace l3::exp
