@@ -20,6 +20,7 @@
 //
 // Usage: sim_core [--fast] [--reps N] [--out PATH]
 #include "l3/exp/runner.h"
+#include "l3/mesh/mesh.h"
 #include "l3/metrics/tsdb.h"
 #include "l3/sim/simulator.h"
 #include "l3/workload/runner.h"
@@ -33,6 +34,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <string>
@@ -325,6 +327,59 @@ ScenarioResult bench_scenario(double duration, int reps) {
   return best;
 }
 
+struct RequestPathResult {
+  int picks = 0;
+  double weighted_picks_per_sec = 0.0;
+  double p2c_picks_per_sec = 0.0;
+  double requests_per_sec = 0.0;  // end-to-end, from the scenario bench
+};
+
+/// Backend-selection throughput on a realistic 3-backend proxy: weighted
+/// picks exercise the cached cumulative-weight table, P2C picks the cached
+/// availability mask + scratch candidate buffer. Pure pick loop — no
+/// events, no WAN — so this isolates the picker from the rest of the path.
+double bench_picks(l3::mesh::RoutingMode mode, int picks) {
+  l3::sim::Simulator sim;
+  l3::mesh::MeshConfig config;
+  config.local_delay = 0.0;
+  config.local_jitter_frac = 0.0;
+  config.health_probe_interval = 0.0;
+  config.routing = mode;
+  l3::mesh::Mesh mesh(sim, l3::SplitRng(42), config);
+  const auto c0 = mesh.add_cluster("c0");
+  const auto c1 = mesh.add_cluster("c1");
+  const auto c2 = mesh.add_cluster("c2");
+  for (auto c : {c0, c1, c2}) {
+    mesh.deploy("svc", c, {},
+                std::make_unique<l3::mesh::FixedLatencyBehavior>(0.010,
+                                                                 0.030));
+  }
+  l3::mesh::Proxy& proxy = mesh.proxy(c0, "svc");
+  mesh.find_split(c0, "svc")
+      ->set_weights(std::vector<std::uint64_t>{6000, 3000, 1000});
+  std::uint64_t sink = 0;
+  const auto start = Clock::now();
+  for (int i = 0; i < picks; ++i) sink += proxy.pick_backend();
+  const double rate = static_cast<double>(picks) / seconds_since(start);
+  if (sink == 1u) std::cerr << "";  // keep the picks observable
+  return rate;
+}
+
+RequestPathResult bench_request_path(int picks, int reps) {
+  RequestPathResult result;
+  result.picks = picks;
+  for (int r = 0; r < reps; ++r) {
+    const double weighted =
+        bench_picks(l3::mesh::RoutingMode::kWeighted, picks);
+    if (weighted > result.weighted_picks_per_sec) {
+      result.weighted_picks_per_sec = weighted;
+    }
+    const double p2c = bench_picks(l3::mesh::RoutingMode::kPeakEwmaP2C, picks);
+    if (p2c > result.p2c_picks_per_sec) result.p2c_picks_per_sec = p2c;
+  }
+  return result;
+}
+
 struct SweepResult {
   std::size_t cells = 0;
   double serial_wall = 0.0;    // --jobs 1
@@ -398,6 +453,7 @@ int main(int argc, char** argv) {
   const int tsdb_series = 64;
   const int tsdb_cycles = fast ? 2000 : 20000;
   const double scenario_duration = fast ? 60.0 : 240.0;
+  const int pick_count = fast ? 2000000 : 10000000;
   const double sweep_duration = fast ? 30.0 : 120.0;
   const int sweep_reps = fast ? 1 : 2;
 
@@ -422,6 +478,14 @@ int main(int argc, char** argv) {
             << " requests, "
             << scenario.sim_seconds / scenario.wall_seconds
             << "x realtime)\n";
+
+  RequestPathResult rp = bench_request_path(pick_count, reps);
+  rp.requests_per_sec =
+      static_cast<double>(scenario.requests) / scenario.wall_seconds;
+  std::cout << "request path : weighted " << rp.weighted_picks_per_sec / 1e6
+            << " M picks/s, p2c " << rp.p2c_picks_per_sec / 1e6
+            << " M picks/s, end-to-end " << rp.requests_per_sec / 1e6
+            << " M req/s\n";
 
   const SweepResult sweep = bench_sweep(sweep_duration, sweep_reps);
   std::cout << "sweep        : " << sweep.cells << " cells — jobs=1 "
@@ -460,6 +524,13 @@ int main(int argc, char** argv) {
        << "    \"requests\": " << scenario.requests << ",\n"
        << "    \"realtime_factor\": "
        << scenario.sim_seconds / scenario.wall_seconds << "\n"
+       << "  },\n"
+       << "  \"request_path\": {\n"
+       << "    \"picks\": " << rp.picks << ",\n"
+       << "    \"weighted_picks_per_sec\": " << rp.weighted_picks_per_sec
+       << ",\n"
+       << "    \"p2c_picks_per_sec\": " << rp.p2c_picks_per_sec << ",\n"
+       << "    \"requests_per_sec\": " << rp.requests_per_sec << "\n"
        << "  },\n"
        << "  \"sweep\": {\n"
        << "    \"cells\": " << sweep.cells << ",\n"

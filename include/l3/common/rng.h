@@ -36,7 +36,11 @@ class SplitRng {
     return SplitRng(seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
   }
 
-  /// Uniform double in [0, 1).
+  /// Uniform double in the half-open interval [0, 1): 0.0 is a possible
+  /// return value, 1.0 is not (generate_canonical with 53 bits draws from
+  /// {k·2⁻⁵³ : 0 ≤ k < 2⁵³}). Callers mapping onto an index range of size n
+  /// via `uniform() * n` must still clamp the result to n-1: the
+  /// multiplication can round up to n when n is not a power of two.
   double uniform() { return std::generate_canonical<double, 53>(engine_); }
 
   /// Uniform double in [lo, hi).

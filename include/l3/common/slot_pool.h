@@ -1,0 +1,102 @@
+// SlotPool: a chunked slab allocator with generation-tagged handles — the
+// ownership model of the per-request hot path. Call state that used to live
+// in a shared_ptr (one allocation + refcount traffic per request) lives in
+// a pooled slot instead; in-flight callbacks carry a copyable 8-byte Handle
+// and re-validate it on every dereference, so a stale callback (e.g. a
+// timeout firing after the response already completed and the slot was
+// recycled) resolves to nullptr instead of touching the new occupant.
+//
+// Slots are allocated in fixed-size chunks that are never moved or freed
+// while the pool lives: growth allocates a new chunk, so a `T*` obtained
+// from get() stays valid across acquire() calls from re-entrant code. The
+// free list recycles indices LIFO; steady state runs allocation-free with
+// the pool high-watermarked at the maximum number of live slots.
+#pragma once
+
+#include "l3/common/assert.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace l3::common {
+
+template <typename T>
+class SlotPool {
+ public:
+  /// Copyable, trivially-destructible reference to one slot incarnation.
+  /// A default-constructed Handle (generation 0) never resolves: live slot
+  /// generations start at 1.
+  struct Handle {
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
+  };
+
+  SlotPool() = default;
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  /// Takes a free slot (recycled or newly grown) and returns its handle.
+  /// The slot's T keeps whatever value it last held — callers initialize
+  /// the fields they use. Never invalidates other slots' pointers.
+  Handle acquire() {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = next_unused_++;
+      if (index / kChunkSize == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+    }
+    ++live_;
+    return Handle{index, slot(index).generation};
+  }
+
+  /// The slot's value, or nullptr when the handle is stale (the slot was
+  /// released — and possibly re-acquired — since the handle was issued).
+  T* get(Handle h) noexcept {
+    if (h.index >= next_unused_) return nullptr;
+    Slot& s = slot(h.index);
+    return s.generation == h.generation ? &s.value : nullptr;
+  }
+
+  /// Returns the slot to the free list and bumps its generation, making
+  /// every outstanding handle to this incarnation stale. The value is NOT
+  /// cleared — move heavy members out before releasing.
+  void release(Handle h) {
+    L3_EXPECTS(h.index < next_unused_);
+    Slot& s = slot(h.index);
+    L3_EXPECTS(s.generation == h.generation);
+    ++s.generation;
+    free_.push_back(h.index);
+    L3_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  /// Number of currently acquired slots.
+  std::size_t live() const noexcept { return live_; }
+
+  /// Total slots ever created (the high-water mark, in slots).
+  std::size_t capacity() const noexcept { return next_unused_; }
+
+ private:
+  static constexpr std::uint32_t kChunkSize = 256;
+
+  struct Slot {
+    T value{};
+    std::uint32_t generation = 1;
+  };
+
+  Slot& slot(std::uint32_t index) noexcept {
+    return chunks_[index / kChunkSize][index % kChunkSize];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_unused_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace l3::common

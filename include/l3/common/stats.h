@@ -12,6 +12,12 @@ namespace l3 {
 /// is sorted. Returns 0 for an empty sample.
 double percentile(std::span<const double> values, double q);
 
+/// As percentile(), but `sorted` must already be in ascending order — no
+/// copy, no sort. Lets callers that need several quantiles of the same
+/// sample sort once; the result is identical to percentile() on the
+/// unsorted sample.
+double percentile_sorted(std::span<const double> sorted, double q);
+
 /// Arithmetic mean, or 0 for an empty sample.
 double mean(std::span<const double> values);
 

@@ -73,11 +73,11 @@ class DsbBehavior : public mesh::ServiceBehavior {
   bool sample_success(const mesh::BehaviorContext& ctx) const;
 
   /// Runs the stage list (parallel within, sequential across), then
-  /// `done(all_calls_succeeded)`.
+  /// `done(Outcome{all_calls_succeeded})`.
   static void run_stages(const mesh::BehaviorContext& ctx,
                          std::shared_ptr<const std::vector<Stage>> stages,
                          std::size_t index, bool ok_so_far,
-                         std::function<void(bool)> done);
+                         mesh::OutcomeFn done);
 
  private:
   const ClusterLoadModel& load_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "l3/common/rng.h"
+#include "l3/common/slot_pool.h"
 #include "l3/common/time.h"
 #include "l3/mesh/replica.h"
 #include "l3/mesh/types.h"
@@ -133,9 +134,30 @@ class ServiceDeployment {
   ServiceBehavior& behavior() { return *behavior_; }
 
  private:
+  /// Pooled per-request server-side state: the completion callback, trace
+  /// context and the replica slot's release token. The replica job and the
+  /// behavior-done continuation each capture only {this, handle}, so both
+  /// stay inline in their SmallFn wrappers; the rejection path reads `done`
+  /// straight out of the pool (no defensive copy).
+  struct PendingCall {
+    OutcomeFn done;
+    trace::SpanContext server{};
+    SimTime enqueued = 0.0;
+    int depth = 0;
+    ReleaseToken release;
+  };
+  using CallHandle = common::SlotPool<PendingCall>::Handle;
+
+  /// Runs the behavior for a call whose replica slot was just granted.
+  void run_call(CallHandle handle, ReleaseToken release);
+  /// Fires the behavior-done tail: release the slot, close the span,
+  /// recycle the pool entry and complete the caller.
+  void complete_call(CallHandle handle, const Outcome& outcome);
+
   std::string service_;
   ClusterId cluster_;
   std::string cluster_name_;  ///< span label, resolved at construction
+  std::string server_span_name_;  ///< interned "server:<service>"
   DeploymentConfig config_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<ServiceBehavior> behavior_;
@@ -146,6 +168,7 @@ class ServiceDeployment {
   bool down_ = false;
   std::uint64_t rejected_ = 0;
   std::size_t rr_cursor_ = 0;  // tie-break rotation among equally loaded
+  common::SlotPool<PendingCall> calls_;
 };
 
 }  // namespace mesh

@@ -37,10 +37,17 @@ class HealthChecker {
   /// Unwatched deployments are reported healthy.
   bool is_available(const ServiceDeployment& deployment) const;
 
+  /// Monotone counter bumped whenever the view may have changed (a probe
+  /// observed a different state, or a new deployment was watched). Proxies
+  /// cache their availability mask against it instead of consulting the
+  /// view map per request.
+  std::uint64_t version() const { return version_; }
+
  private:
   sim::Simulator& sim_;
   std::map<const ServiceDeployment*, bool> view_;
   sim::PeriodicHandle task_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace l3::mesh

@@ -47,6 +47,17 @@ class OutlierDetector {
   /// Lifetime ejection count (observability/tests).
   std::uint64_t ejections() const { return ejections_; }
 
+  /// Monotone counter bumped on every new ejection. Together with
+  /// next_transition() it lets proxies cache their availability mask:
+  /// ejection *starts* bump the version, ejection *expiries* are pure
+  /// functions of time and are covered by the transition bound.
+  std::uint64_t version() const { return version_; }
+
+  /// The earliest future time at which a currently-ejected backend returns
+  /// to rotation (+infinity when none is ejected) — the cached availability
+  /// mask stays exact until then, barring a version() bump.
+  SimTime next_transition(SimTime now) const;
+
   const OutlierDetectionConfig& config() const { return config_; }
 
  private:
@@ -63,6 +74,7 @@ class OutlierDetector {
   OutlierDetectionConfig config_;
   std::vector<BackendState> backends_;
   std::uint64_t ejections_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace l3::mesh

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "l3/common/rng.h"
+#include "l3/common/slot_pool.h"
 #include "l3/common/time.h"
 #include "l3/mesh/deployment.h"
 #include "l3/mesh/health.h"
@@ -98,10 +99,24 @@ class Proxy {
 
   RoutingMode routing_mode() const { return config_.routing; }
 
+  /// Picks a backend exactly as send() would, without sending — consumes
+  /// the proxy's RNG stream. Exposed for the request_path bench and the
+  /// picker distribution tests.
+  std::size_t pick_backend() { return pick(); }
+
+  /// Pooled call states currently in flight. A finished call's slot is
+  /// recycled as soon as its deadline entry reaches the front of the
+  /// timeout ring (usually immediately — entries finish roughly FIFO), so
+  /// this tracks the in-flight count rather than the armed-timeout count.
+  /// Observability for the pool-reuse tests.
+  std::size_t live_calls() const { return calls_.live(); }
+
  private:
   struct BackendSlot {
     ServiceDeployment* deployment;
-    std::string dst_name;  ///< backend cluster name (span label)
+    std::string dst_name;      ///< backend cluster name (span label)
+    std::string wan_out_name;  ///< interned "wan:src->dst" span name
+    std::string wan_in_name;   ///< interned "wan:dst->src" span name
     metrics::Counter* requests;
     metrics::Counter* success;
     metrics::Counter* failure;
@@ -111,35 +126,87 @@ class Proxy {
     metrics::Counter* latency_failure_sum;
     metrics::Gauge* inflight;
     /// Client-side latency filter + outstanding count for kPeakEwmaP2C.
-    std::unique_ptr<metrics::PeakEwma> p2c_latency;
+    metrics::PeakEwma p2c_latency;
     std::uint32_t outstanding = 0;
   };
 
-  struct CallState;
+  /// Per-request state, pooled (l3/common/slot_pool.h). In-flight events
+  /// reference it by handle; `pending` counts the visitors that still hold
+  /// the slot (the response chain, plus the deadline-ring entry when a
+  /// timeout is armed) and the slot is recycled only when the last one
+  /// settles — so the timeout path can never observe a recycled slot, and
+  /// the handle's generation check backstops even that invariant.
+  struct CallState {
+    SimTime start = 0.0;
+    std::uint32_t backend = 0;
+    std::uint8_t pending = 0;
+    bool finished = false;
+    trace::SpanContext span{};
+    ResponseFn done;
+  };
+  using CallHandle = common::SlotPool<CallState>::Handle;
 
   /// Picks a backend according to the routing mode, skipping unhealthy and
   /// ejected backends when possible.
   std::size_t pick();
-  std::size_t pick_weighted(const std::vector<bool>& available);
-  std::size_t pick_p2c(const std::vector<bool>& available);
+  std::size_t pick_weighted();
+  std::size_t pick_p2c();
 
-  /// Availability mask (health view ∧ not ejected); all-true fallback when
-  /// nothing is available.
-  std::vector<bool> availability() const;
+  /// Recomputes avail_mask_ when a health/outlier version bump or an
+  /// ejection expiry invalidated it (no-op otherwise).
+  void refresh_availability();
+
+  /// Rebuilds the cumulative-weight picker table when the TrafficSplit
+  /// generation or the availability mask changed (no-op otherwise).
+  void refresh_picker();
 
   /// P2C cost: PeakEWMA latency × (outstanding + 1) — Linkerd's score.
   double p2c_cost(const BackendSlot& slot) const;
 
-  void on_response(const std::shared_ptr<CallState>& state,
-                   const Outcome& outcome);
-  void on_timeout(const std::shared_ptr<CallState>& state);
-  void finish(const std::shared_ptr<CallState>& state, bool success,
-              SimDuration latency, bool timed_out);
+  void on_response(CallHandle handle, const Outcome& outcome);
+  void finish(CallState& state, bool success, SimDuration latency,
+              bool timed_out);
+  /// Drops one pending visitor; releases the slot when none remain.
+  void settle(CallHandle handle, CallState& state);
+
+  // -- Timeout machinery ----------------------------------------------------
+  //
+  // The proxy's timeout is a single constant, so deadlines are FIFO: the
+  // ring below holds {deadline, handle} in arrival order and ONE armed
+  // timer event stands in for all of them — instead of scheduling (and
+  // dispatching) one timeout event per request, which dominated the event
+  // queue at 1 of every 5 events. Invariant: whenever the ring is
+  // non-empty, a timer is armed at or before the front deadline, and a
+  // re-arm lands exactly on the front deadline — so a call that really
+  // times out is still processed at exactly start + timeout, same as a
+  // per-request event. The timeout path draws no RNG, so the draw
+  // sequence is untouched either way.
+
+  /// One armed deadline: the request's call-state handle plus when it
+  /// times out. Entries are pushed at send() in deadline order.
+  struct TimeoutEntry {
+    SimTime deadline = 0.0;
+    CallHandle handle{};
+  };
+
+  void push_timeout(SimTime deadline, CallHandle handle);
+  void pop_timeout() {
+    timeout_head_ = (timeout_head_ + 1) & (timeout_ring_.size() - 1);
+    --timeout_count_;
+  }
+  void arm_timeout_timer(SimTime deadline);
+  /// The shared timer: settles finished front entries, times out due ones,
+  /// then re-arms at the next live front deadline.
+  void on_timeout_timer();
+  /// Settles + pops front entries whose calls already finished, so their
+  /// slots recycle promptly instead of idling until the deadline.
+  void drain_finished_timeouts();
 
   sim::Simulator& sim_;
   const WanModel& wan_;
   ClusterId source_;
   std::string src_name_;  ///< source cluster name (span label)
+  std::string proxy_span_name_;  ///< interned "proxy:<service>"
   trace::Tracer* tracer_ = nullptr;
   TrafficSplit& split_;
   std::vector<BackendSlot> backends_;
@@ -149,6 +216,36 @@ class Proxy {
   OutlierDetector outlier_;
   std::uint64_t inflight_total_ = 0;
   std::uint64_t sent_ = 0;
+
+  common::SlotPool<CallState> calls_;
+
+  // Availability cache: bit i set = backend i in rotation (all-true
+  // fallback when nothing is available). Exact until a health/outlier
+  // version bump or the next ejection expiry.
+  std::uint64_t avail_mask_ = 0;
+  SimTime avail_valid_until_ = 0.0;
+  std::uint64_t health_version_seen_ = 0;
+  std::uint64_t outlier_version_seen_ = 0;
+  bool avail_valid_ = false;
+
+  // Weighted-picker cache: cumulative weights over the available backends,
+  // rebuilt only when (split generation, avail_mask_) changes.
+  std::vector<std::uint64_t> cum_weights_;
+  std::vector<std::uint32_t> cum_index_;
+  std::uint64_t cum_total_ = 0;
+  std::uint64_t picker_generation_ = 0;
+  std::uint64_t picker_mask_ = 0;
+  bool picker_valid_ = false;
+
+  std::vector<std::uint32_t> p2c_scratch_;  ///< reusable candidate buffer
+
+  // Deadline ring buffer (power-of-two capacity, indexed from
+  // timeout_head_) plus the armed-timer flag. Steady-state size tracks the
+  // in-flight count, so it never reallocates once warm.
+  std::vector<TimeoutEntry> timeout_ring_;
+  std::size_t timeout_head_ = 0;
+  std::size_t timeout_count_ = 0;
+  bool timeout_timer_armed_ = false;
 };
 
 }  // namespace l3::mesh

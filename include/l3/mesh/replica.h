@@ -7,18 +7,55 @@
 #pragma once
 
 #include "l3/common/assert.h"
+#include "l3/common/function.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <utility>
 
 namespace l3::mesh {
 
-/// Work submitted to a replica. The job receives a `release` callback and
-/// MUST invoke it exactly once when the request has finished (successfully
-/// or not) so the slot is returned.
-using ReplicaJob = std::function<void(std::function<void()> release)>;
+class Replica;
+
+/// Move-only proof that one concurrency slot is held. The job (or whatever
+/// continuation it hands the token to) MUST invoke it exactly once when the
+/// request has finished, successfully or not, so the slot is returned and
+/// the queue pumps. Exactly-once is structural: the token cannot be copied,
+/// invoking consumes it, and a second invocation of the same (now empty)
+/// token trips the precondition — all without the shared heap flag the
+/// std::function-based release callback needed.
+class ReleaseToken {
+ public:
+  ReleaseToken() noexcept = default;
+
+  ReleaseToken(ReleaseToken&& other) noexcept
+      : replica_(std::exchange(other.replica_, nullptr)) {}
+  ReleaseToken& operator=(ReleaseToken&& other) noexcept {
+    L3_EXPECTS(replica_ == nullptr);  // overwriting would leak a slot
+    replica_ = std::exchange(other.replica_, nullptr);
+    return *this;
+  }
+  ReleaseToken(const ReleaseToken&) = delete;
+  ReleaseToken& operator=(const ReleaseToken&) = delete;
+
+  /// Releases the slot (and pumps the replica's queue). Consumes the token.
+  void operator()();
+
+  /// Whether the token still holds a slot.
+  explicit operator bool() const noexcept { return replica_ != nullptr; }
+
+ private:
+  friend class Replica;
+  explicit ReleaseToken(Replica* replica) noexcept : replica_(replica) {}
+
+  Replica* replica_ = nullptr;
+};
+
+/// Work submitted to a replica. The job receives the slot's ReleaseToken
+/// and must arrange for it to fire exactly once. Capacity fits the hot
+/// submit closure ({deployment, pool handle}) inline.
+using ReplicaJob = common::SmallFn<void(ReleaseToken), 24>;
 
 /// One service replica with `concurrency` slots and a FIFO queue of at most
 /// `queue_capacity` waiting requests.
@@ -52,7 +89,12 @@ class Replica {
   std::uint64_t rejected() const { return rejected_; }
 
  private:
+  friend class ReleaseToken;
+
   void run(ReplicaJob job);
+
+  /// ReleaseToken's target: frees one slot and pumps the queue.
+  void release_one();
 
   std::size_t concurrency_;
   std::size_t queue_capacity_;
@@ -61,5 +103,10 @@ class Replica {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
 };
+
+inline void ReleaseToken::operator()() {
+  L3_EXPECTS(replica_ != nullptr);  // double release / empty token
+  std::exchange(replica_, nullptr)->release_one();
+}
 
 }  // namespace l3::mesh

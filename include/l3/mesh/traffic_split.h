@@ -42,11 +42,13 @@ class TrafficSplit {
 
   /// Applies new weights immediately (the ControlPlane calls this; tests
   /// may too). Size must match; weights may be zero (a backend with zero
-  /// weight receives no traffic).
+  /// weight receives no traffic). A call that changes nothing leaves the
+  /// generation untouched.
   void set_weights(std::span<const std::uint64_t> weights);
 
-  /// Monotone counter bumped on every weight change — lets observers (and
-  /// tests) detect propagation.
+  /// Monotone counter bumped on every *effective* weight change — lets
+  /// observers (proxies' cached pickers, tests) detect propagation without
+  /// reacting to no-op re-publications.
   std::uint64_t generation() const { return generation_; }
 
  private:

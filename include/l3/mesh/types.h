@@ -3,10 +3,10 @@
 // deployments and behaviors.
 #pragma once
 
+#include "l3/common/function.h"
 #include "l3/common/time.h"
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 namespace l3::mesh {
@@ -51,10 +51,15 @@ struct Response {
   bool timed_out = false;
 };
 
-/// Completion callback for asynchronous calls through the mesh.
-using ResponseFn = std::function<void(const Response&)>;
+/// Completion callback for asynchronous calls through the mesh. Move-only
+/// with inline storage (see l3/common/function.h); capacities are budgeted
+/// so the layers nest without heap fallback: an OutcomeFn capturing
+/// {this, pool handle} fits its 32 bytes, a ResponseFn capturing the
+/// client's continuation fits 40, and either plus a scalar still fits the
+/// 48-byte sim::EventFn that carries it across the event queue.
+using ResponseFn = common::SmallFn<void(const Response&), 40>;
 
 /// Completion callback for server-side behaviors.
-using OutcomeFn = std::function<void(const Outcome&)>;
+using OutcomeFn = common::SmallFn<void(const Outcome&), 32>;
 
 }  // namespace l3::mesh

@@ -19,166 +19,25 @@
 #pragma once
 
 #include "l3/common/assert.h"
+#include "l3/common/function.h"
 #include "l3/common/time.h"
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <new>
-#include <type_traits>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace l3::sim {
 
 /// Move-only `void()` callable with inline storage for small captures.
-class EventFn {
- public:
-  /// Captures up to this many bytes are stored inline (no heap). Sized for
-  /// the common event shapes: `this` + a shared_ptr + a few scalars.
-  static constexpr std::size_t kInlineCapacity = 48;
-
-  EventFn() noexcept = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
-                    // std::function at schedule_at() call sites.
-    using D = std::decay_t<F>;
-    if constexpr (fits_inline<D>()) {
-      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
-      ops_ = &kInlineOps<D>;
-    } else {
-      storage_.ptr = new D(std::forward<F>(f));
-      ops_ = &kHeapOps<D>;
-    }
-    static_assert(sizeof(D) > 0, "callable must be complete");
-  }
-
-  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
-    relocate_from(other);
-  }
-
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      reset();
-      ops_ = other.ops_;
-      relocate_from(other);
-    }
-    return *this;
-  }
-
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-
-  ~EventFn() { reset(); }
-
-  /// Destroys the held callable (if any), leaving the EventFn empty.
-  void reset() noexcept {
-    if (ops_ != nullptr) {
-      if (!ops_->trivial) ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
-  void operator()() {
-    L3_EXPECTS(ops_ != nullptr);
-    ops_->invoke(storage_);
-  }
-
-  explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-  /// Whether the held callable lives in the inline buffer (introspection
-  /// for tests and benches; empty EventFns report false).
-  bool stored_inline() const noexcept {
-    return ops_ != nullptr && ops_->inline_storage;
-  }
-
-  /// Whether a callable of type F would be stored inline.
-  template <typename F>
-  static constexpr bool fits_inline() {
-    using D = std::decay_t<F>;
-    return sizeof(D) <= kInlineCapacity &&
-           alignof(D) <= alignof(std::max_align_t) &&
-           std::is_nothrow_move_constructible_v<D>;
-  }
-
- private:
-  union Storage {
-    alignas(std::max_align_t) unsigned char buf[kInlineCapacity];
-    void* ptr;
-  };
-
-  struct Ops {
-    void (*invoke)(Storage&);
-    /// Move-constructs `dst` from `src` and destroys the source object
-    /// (for heap storage: steals the pointer).
-    void (*relocate)(Storage& dst, Storage& src) noexcept;
-    void (*destroy)(Storage&) noexcept;
-    bool inline_storage;
-    /// Trivially copyable + trivially destructible inline callables take a
-    /// fast path: relocation is a raw Storage copy (no indirect call) and
-    /// destruction is a no-op — the common case for hot-path lambdas that
-    /// capture pointers and scalars.
-    bool trivial;
-  };
-
-  /// Shared tail of move construction/assignment; assumes ops_ was copied
-  /// from `other` and own storage holds no live object.
-  void relocate_from(EventFn& other) noexcept {
-    if (ops_ != nullptr) {
-      if (ops_->trivial) {
-        storage_ = other.storage_;
-      } else {
-        ops_->relocate(storage_, other.storage_);
-      }
-      other.ops_ = nullptr;
-    }
-  }
-
-  template <typename D>
-  static D* inline_object(Storage& s) noexcept {
-    return std::launder(reinterpret_cast<D*>(s.buf));
-  }
-
-  template <typename D>
-  static constexpr Ops make_inline_ops() {
-    return Ops{
-        [](Storage& s) { (*inline_object<D>(s))(); },
-        [](Storage& dst, Storage& src) noexcept {
-          D* obj = inline_object<D>(src);
-          ::new (static_cast<void*>(dst.buf)) D(std::move(*obj));
-          obj->~D();
-        },
-        [](Storage& s) noexcept { inline_object<D>(s)->~D(); },
-        true,
-        std::is_trivially_copyable_v<D> &&
-            std::is_trivially_destructible_v<D>,
-    };
-  }
-
-  template <typename D>
-  static constexpr Ops make_heap_ops() {
-    return Ops{
-        [](Storage& s) { (*static_cast<D*>(s.ptr))(); },
-        [](Storage& dst, Storage& src) noexcept { dst.ptr = src.ptr; },
-        [](Storage& s) noexcept { delete static_cast<D*>(s.ptr); },
-        false,
-        false,
-    };
-  }
-
-  template <typename D>
-  static constexpr Ops kInlineOps = make_inline_ops<D>();
-  template <typename D>
-  static constexpr Ops kHeapOps = make_heap_ops<D>();
-
-  const Ops* ops_ = nullptr;
-  Storage storage_;
-};
+/// Capacity is sized for the common event shapes — `this` + a pool handle +
+/// a few scalars — and, deliberately, one byte-budget step above the mesh
+/// callback types (l3/mesh/types.h) so a completion callback plus a scalar
+/// still schedules inline.
+using EventFn = common::SmallFn<void(), 48>;
 
 /// One queued event. `seq` breaks timestamp ties FIFO, which is what makes
 /// equal-time events fire in scheduling order (the determinism contract).
@@ -211,11 +70,12 @@ struct Event {
 ///
 /// Heap entries are 16 bytes — the timestamp plus the sequence number and
 /// slot index packed into one u64 — so the four children of a node share a
-/// single cache line. The EventFns sit in a slot pool on the side, their
-/// indices recycled through a free list; callables never move between
-/// tiers, and are moved exactly twice in their queue lifetime (in at push,
-/// out at pop). Steady state runs allocation-free: pool and buffers
-/// high-watermark at the maximum number of concurrently pending events.
+/// single cache line. The EventFns sit in a chunked slot pool on the side,
+/// their indices recycled through a free list; callables never move between
+/// tiers, and are moved exactly once in their queue lifetime (in at push —
+/// dispatch_min() invokes them in place; only pop_min() moves them out).
+/// Steady state runs allocation-free: pool and buffers high-watermark at
+/// the maximum number of concurrently pending events.
 ///
 /// Determinism: the pop order is exactly ascending (time, seq). Within the
 /// heap that is the sift order; across tiers it follows from the
@@ -242,14 +102,17 @@ class EventQueue {
     L3_EXPECTS(seq <= kMaxSeq);
     std::uint32_t slot;
     if (free_slots_.empty()) {
-      slot = static_cast<std::uint32_t>(slots_.size());
+      slot = slot_count_;
       L3_EXPECTS(slot <= kSlotMask);
-      slots_.push_back(std::move(fn));
+      if ((slot_count_ >> kChunkShift) == chunks_.size()) {
+        chunks_.emplace_back(new EventFn[kChunkSize]);
+      }
+      ++slot_count_;
     } else {
       slot = free_slots_.back();
       free_slots_.pop_back();
-      slots_[slot] = std::move(fn);
     }
+    slot_ref(slot) = std::move(fn);
     const Entry entry{time, (seq << kSlotBits) | slot};
     if (time < horizon_) {
       entries_.push_back(entry);
@@ -273,14 +136,40 @@ class EventQueue {
 #if defined(__GNUC__)
     // The slot pool is randomly accessed; start the load now so it overlaps
     // with the sift below instead of stalling the move-out.
-    __builtin_prefetch(&slots_[slot]);
+    __builtin_prefetch(&slot_ref(slot));
 #endif
     entries_.front() = entries_.back();
     entries_.pop_back();
     if (!entries_.empty()) sift_down(0);
     free_slots_.push_back(slot);
     return Event{top.time, top.seq_slot >> kSlotBits,
-                 std::move(slots_[slot])};
+                 std::move(slot_ref(slot))};
+  }
+
+  /// Pops the earliest event and invokes `sink(time, fn)` with the callable
+  /// still in its pool slot — no move-out. The slot is reclaimed only after
+  /// the sink returns, and chunked slot storage guarantees the reference
+  /// stays valid even when the sink re-enters push() (new pushes may add a
+  /// chunk but never relocate existing ones). This is the dispatch loop's
+  /// fast path: pop_min() pays a full SmallFn relocation per event, which
+  /// for closures holding nested callbacks is an indirect relocate chain.
+  template <typename Sink>
+  void dispatch_min(Sink&& sink) {
+    L3_EXPECTS(!empty());
+    if (entries_.empty()) refill();
+    const Entry top = entries_.front();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(top.seq_slot & kSlotMask);
+    EventFn& fn = slot_ref(slot);
+#if defined(__GNUC__)
+    __builtin_prefetch(&fn);
+#endif
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    sink(top.time, fn);
+    fn.reset();
+    free_slots_.push_back(slot);
   }
 
   void clear() noexcept {
@@ -289,7 +178,8 @@ class EventQueue {
     run_head_ = 0;
     staging_.clear();
     staging_min_time_ = kEmptyStagingMin;
-    slots_.clear();
+    chunks_.clear();
+    slot_count_ = 0;
     free_slots_.clear();
     horizon_ = kInitialHorizon;
   }
@@ -374,7 +264,8 @@ class EventQueue {
     // cold; touching all of them here lets the misses overlap each other
     // instead of stalling one pop at a time over the coming epoch.
     for (const Entry& e : entries_) {
-      __builtin_prefetch(&slots_[e.seq_slot & kSlotMask], 0, 2);
+      __builtin_prefetch(
+          &slot_ref(static_cast<std::uint32_t>(e.seq_slot & kSlotMask)), 0, 2);
     }
 #endif
     horizon_ = run_[take_end - 1].time;
@@ -438,9 +329,22 @@ class EventQueue {
   std::vector<Entry> entries_;        // the 4-ary heap front (time < horizon_)
   std::vector<Entry> run_;            // sorted ascending; consumed from run_head_
   std::size_t run_head_ = 0;
+  // Slot pool for the EventFns, stored in fixed-size chunks so a slot's
+  // address never changes once allocated. That stability is what lets
+  // dispatch_min() hand out a reference into the pool while the callable
+  // runs: re-entrant pushes can grow the pool by appending a chunk, but
+  // never relocate live slots the way a flat vector's reallocation would.
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = 1u << kChunkShift;
+
+  EventFn& slot_ref(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
   std::vector<Entry> staging_;        // unsorted pushes with time >= horizon_
   SimTime staging_min_time_ = kEmptyStagingMin;
-  std::vector<EventFn> slots_;
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
   std::vector<std::uint32_t> free_slots_;
   SimTime horizon_ = kInitialHorizon;
 };

@@ -96,6 +96,10 @@ class OpenLoopClient {
   SimTime end_ = 0.0;
   std::uint64_t sent_ = 0;
   std::vector<RequestRecord> records_;
+  /// Resolved on first use (the mesh's routing tables are map lookups; the
+  /// client sends every request to the same target).
+  mesh::Proxy* proxy_ = nullptr;
+  mesh::ServiceDeployment* local_deployment_ = nullptr;
 };
 
 /// One-second (by default) aggregation bucket of client records — the

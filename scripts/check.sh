@@ -26,8 +26,11 @@ for preset in "${presets[@]}"; do
   if [[ "$preset" == tsan ]]; then
     # TSan is ~10x slower; cover the code that actually runs threads —
     # the parallel experiment runner, the simulator's context binding and
-    # the concurrent-logging tests — rather than the whole suite.
-    ctest --preset "$preset" -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext'
+    # the concurrent-logging tests — plus the pooled call-state lifecycle
+    # tests (SlotPool/ProxyCallPool), whose handle-staleness races are the
+    # invariant the request-path overhaul leans on.
+    ctest --preset "$preset" \
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool'
   else
     ctest --preset "$preset"
   fi
@@ -54,6 +57,25 @@ fi
 echo "==> [release-bench] sim_core perf smoke"
 cmake --preset release-bench >/dev/null
 cmake --build --preset release-bench -j "$(nproc)" --target sim_core
+baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
+  | awk -F': ' '/"weighted_picks_per_sec"/ {gsub(/,/,"",$2); print $2}' || true)
 ./build-release/bench/sim_core --fast --out BENCH_sim_core.json
+
+# request_path regression gate: weighted picks/s must stay within 30% of
+# the committed baseline (noise on a shared box is well under that; a
+# cache-invalidation bug that rebuilds the picker per pick is ~10x under).
+current=$(awk -F': ' '/"weighted_picks_per_sec"/ {gsub(/,/,"",$2); print $2}' \
+  BENCH_sim_core.json)
+if [[ -n "${baseline:-}" && -n "${current:-}" ]]; then
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c + 0.0 < 0.7 * b) {
+      printf "FAIL: weighted picks/s %.4g < 70%% of committed baseline %.4g\n", c, b
+      exit 1
+    }
+    printf "    request_path ok: weighted picks/s %.4g (baseline %.4g)\n", c, b
+  }'
+else
+  echo "    no committed request_path baseline yet; comparison skipped"
+fi
 
 echo "All checks passed: ${presets[*]} + sim_core smoke"

@@ -1,6 +1,7 @@
 #include "l3/dsb/behaviors.h"
 
 #include "l3/common/assert.h"
+#include "l3/common/function.h"
 #include "l3/mesh/mesh.h"
 
 #include <cmath>
@@ -9,16 +10,21 @@
 namespace l3::dsb {
 namespace {
 
+/// Per-call completion callback. Every caller passes a lambda holding one
+/// shared_ptr (16 bytes), so 24 keeps it inline while the wrapper lambdas
+/// that re-capture it still fit the ResponseFn/EventFn budgets.
+using CallDoneFn = common::SmallFn<void(bool), 24>;
+
 /// Issues one call (mesh or local); `cb(ok)` fires exactly once.
 void issue_call(const mesh::BehaviorContext& ctx, const Call& call,
-                std::function<void(bool)> cb) {
+                CallDoneFn cb) {
   if (call.probability < 1.0 && !ctx.rng.bernoulli(call.probability)) {
     cb(true);  // gated off: counts as trivially successful
     return;
   }
   if (!call.local) {
     ctx.mesh.call(ctx.cluster, call.service, ctx.depth, ctx.trace,
-                  [cb = std::move(cb)](const mesh::Response& response) {
+                  [cb = std::move(cb)](const mesh::Response& response) mutable {
                     cb(response.success);
                   });
     return;
@@ -31,13 +37,17 @@ void issue_call(const mesh::BehaviorContext& ctx, const Call& call,
   L3_ASSERT(deployment != nullptr);
   const SimDuration out =
       ctx.mesh.wan().sample(ctx.cluster, ctx.cluster, ctx.sim.now(), ctx.rng);
-  ctx.sim.schedule_after(out, [ctx, deployment, cb = std::move(cb)] {
-    deployment->handle(ctx.depth + 1, ctx.trace,
-                       [ctx, cb](const mesh::Outcome& outcome) {
-      const SimDuration back = ctx.mesh.wan().sample(ctx.cluster, ctx.cluster,
-                                                     ctx.sim.now(), ctx.rng);
-      ctx.sim.schedule_after(back, [cb, ok = outcome.success] { cb(ok); });
-    });
+  ctx.sim.schedule_after(out, [ctx, deployment, cb = std::move(cb)]() mutable {
+    deployment->handle(
+        ctx.depth + 1, ctx.trace,
+        [ctx, cb = std::move(cb)](const mesh::Outcome& outcome) mutable {
+          const SimDuration back = ctx.mesh.wan().sample(
+              ctx.cluster, ctx.cluster, ctx.sim.now(), ctx.rng);
+          ctx.sim.schedule_after(
+              back, [cb = std::move(cb), ok = outcome.success]() mutable {
+                cb(ok);
+              });
+        });
   });
 }
 
@@ -71,9 +81,9 @@ bool DsbBehavior::sample_success(const mesh::BehaviorContext& ctx) const {
 void DsbBehavior::run_stages(const mesh::BehaviorContext& ctx,
                              std::shared_ptr<const std::vector<Stage>> stages,
                              std::size_t index, bool ok_so_far,
-                             std::function<void(bool)> done) {
+                             mesh::OutcomeFn done) {
   if (index >= stages->size()) {
-    done(ok_so_far);
+    done(mesh::Outcome{ok_so_far});
     return;
   }
   const Stage& stage = (*stages)[index];
@@ -87,7 +97,7 @@ void DsbBehavior::run_stages(const mesh::BehaviorContext& ctx,
     mesh::BehaviorContext ctx;
     std::shared_ptr<const std::vector<Stage>> stages;
     std::size_t index;
-    std::function<void(bool)> done;
+    mesh::OutcomeFn done;
   };
   auto join = std::make_shared<Join>(Join{stage.size(), ok_so_far, ctx,
                                           std::move(stages), index,
@@ -113,10 +123,9 @@ void StagedBehavior::invoke(const mesh::BehaviorContext& ctx,
                             mesh::OutcomeFn done) {
   const bool ok = sample_success(ctx);
   ctx.sim.schedule_after(
-      sample_exec(ctx), [ctx, ok, stages = stages_, done = std::move(done)] {
-        run_stages(ctx, stages, 0, ok, [done](bool all_ok) {
-          done(mesh::Outcome{all_ok});
-        });
+      sample_exec(ctx),
+      [ctx, ok, stages = stages_, done = std::move(done)]() mutable {
+        run_stages(ctx, std::move(stages), 0, ok, std::move(done));
       });
 }
 
@@ -152,10 +161,8 @@ void MixBehavior::invoke(const mesh::BehaviorContext& ctx,
   const bool ok = sample_success(ctx);
   ctx.sim.schedule_after(
       sample_exec(ctx),
-      [ctx, ok, stages = stages_[op], done = std::move(done)] {
-        run_stages(ctx, stages, 0, ok, [done](bool all_ok) {
-          done(mesh::Outcome{all_ok});
-        });
+      [ctx, ok, stages = stages_[op], done = std::move(done)]() mutable {
+        run_stages(ctx, std::move(stages), 0, ok, std::move(done));
       });
 }
 

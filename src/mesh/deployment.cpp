@@ -23,8 +23,8 @@ FixedLatencyBehavior::FixedLatencyBehavior(SimDuration median, SimDuration p99,
 void FixedLatencyBehavior::invoke(const BehaviorContext& ctx, OutcomeFn done) {
   const SimDuration exec = ctx.rng.lognormal(mu_, sigma_);
   const bool ok = ctx.rng.bernoulli(success_);
-  ctx.sim.schedule_after(exec,
-                         [done = std::move(done), ok] { done(Outcome{ok}); });
+  ctx.sim.schedule_after(
+      exec, [done = std::move(done), ok]() mutable { done(Outcome{ok}); });
 }
 
 ServiceDeployment::ServiceDeployment(std::string service, ClusterId cluster,
@@ -35,6 +35,7 @@ ServiceDeployment::ServiceDeployment(std::string service, ClusterId cluster,
     : service_(std::move(service)),
       cluster_(cluster),
       cluster_name_(mesh.cluster_names().at(cluster)),
+      server_span_name_("server:" + service_),
       config_(config),
       behavior_(std::move(behavior)),
       sim_(sim),
@@ -58,7 +59,7 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
   trace::SpanContext server{};
   if (tracer_ != nullptr && parent.sampled()) {
     server = tracer_->start_span(parent, trace::SpanKind::kService,
-                                 "server:" + service_, cluster_name_,
+                                 server_span_name_, cluster_name_,
                                  service_);
   }
   if (down_) {
@@ -82,37 +83,66 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
   }
   rr_cursor_ = (best + 1) % replicas_.size();
 
-  // `done` is captured by copy: if the replica rejects the job the original
-  // must still be callable on the rejection path below.
-  const SimTime enqueued = sim_.now();
+  // `done` parks in the pool before submit: if the replica rejects the job
+  // (the job is destroyed unrun) the callback is still reachable for the
+  // rejection path below — no defensive copy needed.
+  const CallHandle handle = calls_.acquire();
+  PendingCall& call = *calls_.get(handle);
+  call.done = std::move(done);
+  call.server = server;
+  call.enqueued = sim_.now();
+  call.depth = depth;
   const bool accepted = replicas_[best]->submit(
-      [this, depth, done, server, enqueued](std::function<void()> release) {
-        if (server.sampled() && sim_.now() > enqueued) {
-          // The job waited for a concurrency slot: the queueing component
-          // of the paper's tail-latency story, recorded as its own span.
-          tracer_->add_span(server, trace::SpanKind::kQueue, "queue",
-                            cluster_name_, service_, enqueued, sim_.now());
-        }
-        const BehaviorContext ctx{sim_, mesh_, cluster_, rng_, depth, server};
-        behavior_->invoke(ctx, [this, done, server,
-                                release = std::move(release)](
-                                   const Outcome& outcome) {
-          release();
-          if (server.sampled()) {
-            tracer_->end_span(server, outcome.success
-                                          ? trace::SpanStatus::kOk
-                                          : trace::SpanStatus::kError);
-          }
-          done(outcome);
-        });
+      [this, handle](ReleaseToken release) {
+        run_call(handle, std::move(release));
       });
   if (!accepted) {
     ++rejected_;
     if (server.sampled()) {
       tracer_->end_span(server, trace::SpanStatus::kError);
     }
-    done(Outcome{.success = false, .rejected = true});
+    PendingCall* call2 = calls_.get(handle);
+    OutcomeFn parked = std::move(call2->done);
+    calls_.release(handle);
+    parked(Outcome{.success = false, .rejected = true});
   }
+}
+
+void ServiceDeployment::run_call(CallHandle handle, ReleaseToken release) {
+  PendingCall* call = calls_.get(handle);
+  L3_ASSERT(call != nullptr);  // the slot is held until complete_call
+  call->release = std::move(release);
+  if (call->server.sampled() && sim_.now() > call->enqueued) {
+    // The job waited for a concurrency slot: the queueing component of the
+    // paper's tail-latency story, recorded as its own span.
+    tracer_->add_span(call->server, trace::SpanKind::kQueue, "queue",
+                      cluster_name_, service_, call->enqueued, sim_.now());
+  }
+  const BehaviorContext ctx{sim_,  mesh_,       cluster_,
+                            rng_,  call->depth, call->server};
+  behavior_->invoke(ctx, [this, handle](const Outcome& outcome) {
+    complete_call(handle, outcome);
+  });
+}
+
+void ServiceDeployment::complete_call(CallHandle handle,
+                                      const Outcome& outcome) {
+  PendingCall* call = calls_.get(handle);
+  // A behavior double-firing its done callback resolves to a stale handle
+  // here (the first firing released the slot) — caught loudly.
+  L3_EXPECTS(call != nullptr);
+  // Releasing the replica slot pumps its queue, which may re-enter
+  // run_call for the next waiting request; the chunked pool keeps `call`
+  // stable through that.
+  call->release();
+  if (call->server.sampled()) {
+    tracer_->end_span(call->server, outcome.success
+                                        ? trace::SpanStatus::kOk
+                                        : trace::SpanStatus::kError);
+  }
+  OutcomeFn done = std::move(call->done);
+  calls_.release(handle);
+  done(outcome);
 }
 
 void ServiceDeployment::add_replica() {

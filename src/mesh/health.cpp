@@ -6,6 +6,7 @@ namespace l3::mesh {
 
 void HealthChecker::watch(const ServiceDeployment& deployment) {
   view_.emplace(&deployment, true);
+  ++version_;
 }
 
 void HealthChecker::start(SimDuration interval) {
@@ -16,7 +17,11 @@ void HealthChecker::start(SimDuration interval) {
 
 void HealthChecker::probe_once() {
   for (auto& [deployment, healthy] : view_) {
-    healthy = !deployment->is_down();
+    const bool up = !deployment->is_down();
+    if (up != healthy) {
+      healthy = up;
+      ++version_;
+    }
   }
 }
 

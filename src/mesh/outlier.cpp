@@ -1,6 +1,7 @@
 #include "l3/mesh/outlier.h"
 
 #include <cmath>
+#include <limits>
 
 namespace l3::mesh {
 
@@ -54,6 +55,18 @@ void OutlierDetector::maybe_eject(std::size_t backend, SimTime now) {
   state.successes = 0;
   state.failures = 0;
   ++ejections_;
+  ++version_;
+}
+
+SimTime OutlierDetector::next_transition(SimTime now) const {
+  SimTime next = std::numeric_limits<SimTime>::infinity();
+  if (!config_.enabled) return next;
+  for (const auto& state : backends_) {
+    if (state.ejected_until > now && state.ejected_until < next) {
+      next = state.ejected_until;
+    }
+  }
+  return next;
 }
 
 bool OutlierDetector::is_ejected(std::size_t backend, SimTime now) const {

@@ -4,18 +4,11 @@
 #include "l3/mesh/metric_names.h"
 #include "l3/trace/tracer.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
 namespace l3::mesh {
-
-struct Proxy::CallState {
-  SimTime start = 0.0;
-  std::size_t backend = 0;
-  ResponseFn done;
-  trace::SpanContext span;  ///< the proxy span (unsampled when not traced)
-  bool finished = false;
-};
 
 Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
              TrafficSplit& split, std::vector<ServiceDeployment*> deployments,
@@ -26,14 +19,19 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
       wan_(wan),
       source_(source),
       src_name_(cluster_names.at(source)),
+      proxy_span_name_("proxy:" + split.service()),
       split_(split),
       health_(health),
       rng_(rng),
       config_(config),
       outlier_(deployments.size(), config.outlier) {
   L3_EXPECTS(deployments.size() == split.backend_count());
+  // The availability cache is a 64-bit mask; far above any realistic
+  // per-service cluster count (the paper runs 3).
+  L3_EXPECTS(deployments.size() <= 64);
   L3_EXPECTS(source < cluster_names.size());
   backends_.reserve(deployments.size());
+  p2c_scratch_.reserve(deployments.size());
   const std::string& src_name = cluster_names[source];
   for (std::size_t i = 0; i < deployments.size(); ++i) {
     ServiceDeployment* d = deployments[i];
@@ -45,6 +43,8 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
     BackendSlot slot{
         d,
         dst_name,
+        "wan:" + src_name + "->" + dst_name,
+        "wan:" + dst_name + "->" + src_name,
         &registry.counter(metric_names::kRequestTotal, labels),
         &registry.counter(metric_names::kSuccessTotal, labels),
         &registry.counter(metric_names::kFailureTotal, labels),
@@ -53,91 +53,120 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
         &registry.counter(metric_names::kLatencySuccessSum, labels),
         &registry.counter(metric_names::kLatencyFailureSum, labels),
         &registry.gauge(metric_names::kInflight, labels),
-        std::make_unique<metrics::PeakEwma>(config.p2c_default_latency,
-                                            config.p2c_half_life, sim.now()),
+        metrics::PeakEwma(config.p2c_default_latency, config.p2c_half_life,
+                          sim.now()),
         0,
     };
     backends_.push_back(std::move(slot));
   }
 }
 
-std::vector<bool> Proxy::availability() const {
+void Proxy::refresh_availability() {
   const SimTime now = sim_.now();
-  std::vector<bool> available(backends_.size());
-  bool any = false;
-  for (std::size_t i = 0; i < backends_.size(); ++i) {
+  const std::uint64_t health_version =
+      health_ == nullptr ? 0 : health_->version();
+  const std::uint64_t outlier_version = outlier_.version();
+  if (avail_valid_ && health_version == health_version_seen_ &&
+      outlier_version == outlier_version_seen_ && now < avail_valid_until_) {
+    return;
+  }
+  const std::size_t n = backends_.size();
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
     const bool healthy =
         health_ == nullptr || health_->is_available(*backends_[i].deployment);
-    available[i] = healthy && !outlier_.is_ejected(i, now);
-    any = any || available[i];
+    if (healthy && !outlier_.is_ejected(i, now)) mask |= 1ull << i;
   }
-  if (!any) {
+  if (mask == 0) {
     // Nothing available: fall back to trying everything so requests fail at
     // the backend rather than vanish.
-    std::fill(available.begin(), available.end(), true);
+    mask = n == 64 ? ~0ull : (1ull << n) - 1;
   }
-  return available;
+  avail_mask_ = mask;
+  health_version_seen_ = health_version;
+  outlier_version_seen_ = outlier_version;
+  avail_valid_until_ = outlier_.next_transition(now);
+  avail_valid_ = true;
 }
 
-std::size_t Proxy::pick_weighted(const std::vector<bool>& available) {
+void Proxy::refresh_picker() {
+  if (picker_valid_ && split_.generation() == picker_generation_ &&
+      avail_mask_ == picker_mask_) {
+    return;
+  }
   const auto backends = split_.backends();
+  cum_weights_.clear();
+  cum_index_.clear();
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < backends.size(); ++i) {
-    if (available[i]) total += backends[i].weight;
+    if ((avail_mask_ >> i & 1) == 0) continue;
+    total += backends[i].weight;
+    cum_weights_.push_back(total);
+    cum_index_.push_back(static_cast<std::uint32_t>(i));
   }
-  if (total == 0) {
+  cum_total_ = total;
+  picker_generation_ = split_.generation();
+  picker_mask_ = avail_mask_;
+  picker_valid_ = true;
+}
+
+std::size_t Proxy::pick_weighted() {
+  const std::size_t count = cum_index_.size();
+  L3_ASSERT(count > 0);
+  if (cum_total_ == 0) {
     // All available weights are zero: ignore weights among the available
-    // set (uniform pick).
-    std::size_t count = 0;
-    for (bool a : available) count += a ? 1 : 0;
+    // set (uniform pick). uniform() < 1 keeps the index below count; the
+    // clamp guards the floating-point edge so it can never reach count.
     auto nth = static_cast<std::size_t>(rng_.uniform() *
                                         static_cast<double>(count));
-    for (std::size_t i = 0; i < backends.size(); ++i) {
-      if (!available[i]) continue;
-      if (nth == 0) return i;
-      --nth;
-    }
-    return backends.size() - 1;
+    if (nth >= count) nth = count - 1;
+    return cum_index_[nth];
   }
-  std::uint64_t r =
-      static_cast<std::uint64_t>(rng_.uniform() * static_cast<double>(total));
-  for (std::size_t i = 0; i < backends.size(); ++i) {
-    if (!available[i]) continue;
-    if (r < backends[i].weight) return i;
-    r -= backends[i].weight;
-  }
-  return backends.size() - 1;
+  auto r = static_cast<std::uint64_t>(rng_.uniform() *
+                                      static_cast<double>(cum_total_));
+  if (r >= cum_total_) r = cum_total_ - 1;  // fp edge: clamp into the table
+  // First entry whose cumulative weight exceeds r. Zero-weight backends
+  // repeat the previous cumulative value and are skipped. The table covers
+  // available backends only, so the result is always one of them (the old
+  // open-coded walk could fall back to an unavailable last backend).
+  std::size_t i = 0;
+  while (cum_weights_[i] <= r) ++i;
+  return cum_index_[i];
 }
 
 double Proxy::p2c_cost(const BackendSlot& slot) const {
-  return slot.p2c_latency->value() *
+  return slot.p2c_latency.value() *
          static_cast<double>(slot.outstanding + 1);
 }
 
-std::size_t Proxy::pick_p2c(const std::vector<bool>& available) {
-  // Collect the candidate set, then power-of-two-choices by cost.
-  std::vector<std::size_t> candidates;
-  candidates.reserve(backends_.size());
+std::size_t Proxy::pick_p2c() {
+  // Collect the candidate set into the reusable scratch buffer, then
+  // power-of-two-choices by cost.
+  std::vector<std::uint32_t>& candidates = p2c_scratch_;
+  candidates.clear();
   for (std::size_t i = 0; i < backends_.size(); ++i) {
-    if (available[i]) candidates.push_back(i);
+    if (avail_mask_ >> i & 1) candidates.push_back(static_cast<std::uint32_t>(i));
   }
   L3_ASSERT(!candidates.empty());
   if (candidates.size() == 1) return candidates.front();
-  const auto a = candidates[static_cast<std::size_t>(
-      rng_.uniform() * static_cast<double>(candidates.size()))];
-  std::size_t b = a;
+  const double n = static_cast<double>(candidates.size());
+  auto first = static_cast<std::size_t>(rng_.uniform() * n);
+  if (first >= candidates.size()) first = candidates.size() - 1;
+  const std::uint32_t a = candidates[first];
+  std::uint32_t b = a;
   while (b == a) {
-    b = candidates[static_cast<std::size_t>(
-        rng_.uniform() * static_cast<double>(candidates.size()))];
+    auto second = static_cast<std::size_t>(rng_.uniform() * n);
+    if (second >= candidates.size()) second = candidates.size() - 1;
+    b = candidates[second];
   }
   return p2c_cost(backends_[a]) <= p2c_cost(backends_[b]) ? a : b;
 }
 
 std::size_t Proxy::pick() {
-  const auto available = availability();
-  return config_.routing == RoutingMode::kPeakEwmaP2C
-             ? pick_p2c(available)
-             : pick_weighted(available);
+  refresh_availability();
+  if (config_.routing == RoutingMode::kPeakEwmaP2C) return pick_p2c();
+  refresh_picker();
+  return pick_weighted();
 }
 
 void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
@@ -156,64 +185,147 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
   slot.outstanding += 1;
   ++inflight_total_;
 
-  auto state = std::make_shared<CallState>();
-  state->start = sim_.now();
-  state->backend = idx;
-  state->done = std::move(done);
+  const bool with_timeout = config_.timeout > 0.0;
+  const CallHandle handle = calls_.acquire();
+  CallState& state = *calls_.get(handle);
+  state.start = sim_.now();
+  state.backend = static_cast<std::uint32_t>(idx);
+  // Visitors that must settle before the slot recycles: the response chain,
+  // plus the timeout event when one is armed.
+  state.pending = with_timeout ? 2 : 1;
+  state.finished = false;
+  state.span = trace::SpanContext{};
+  state.done = std::move(done);
   if (tracer_ != nullptr && parent.sampled()) {
-    state->span =
-        tracer_->start_span(parent, trace::SpanKind::kProxy,
-                            "proxy:" + split_.service(), src_name_,
-                            split_.service());
+    state.span = tracer_->start_span(parent, trace::SpanKind::kProxy,
+                                     proxy_span_name_, src_name_,
+                                     split_.service());
   }
 
-  if (config_.timeout > 0.0) {
-    sim_.schedule_after(config_.timeout,
-                        [this, state] { on_timeout(state); });
+  if (with_timeout) {
+    const SimTime deadline = sim_.now() + config_.timeout;
+    push_timeout(deadline, handle);
+    if (!timeout_timer_armed_) arm_timeout_timer(deadline);
   }
 
   const SimDuration outbound =
       wan_.sample(source_, slot.deployment->cluster(), sim_.now(), rng_);
-  if (state->span.sampled()) {
-    tracer_->add_span(state->span, trace::SpanKind::kWan,
-                      "wan:" + src_name_ + "->" + slot.dst_name, src_name_,
-                      split_.service(), sim_.now(), sim_.now() + outbound);
+  if (state.span.sampled()) {
+    tracer_->add_span(state.span, trace::SpanKind::kWan, slot.wan_out_name,
+                      src_name_, split_.service(), sim_.now(),
+                      sim_.now() + outbound);
   }
-  sim_.schedule_after(outbound, [this, state, depth] {
-    BackendSlot& s = backends_[state->backend];
+  sim_.schedule_after(outbound, [this, handle, depth] {
+    CallState* st = calls_.get(handle);
+    L3_ASSERT(st != nullptr);  // the response chain holds the slot
+    BackendSlot& s = backends_[st->backend];
     s.deployment->handle(
-        depth + 1, state->span, [this, state](const Outcome& outcome) {
-          const BackendSlot& s2 = backends_[state->backend];
+        depth + 1, st->span, [this, handle](const Outcome& outcome) {
+          CallState* st2 = calls_.get(handle);
+          L3_ASSERT(st2 != nullptr);
+          const BackendSlot& s2 = backends_[st2->backend];
+          // Sampled even when a timeout already answered the caller: the
+          // draw sequence of the proxy's RNG stream must not depend on
+          // response/timeout ordering (determinism contract).
           const SimDuration inbound =
               wan_.sample(s2.deployment->cluster(), source_, sim_.now(), rng_);
-          if (state->span.sampled()) {
-            tracer_->add_span(state->span, trace::SpanKind::kWan,
-                              "wan:" + s2.dst_name + "->" + src_name_,
-                              src_name_, split_.service(), sim_.now(),
-                              sim_.now() + inbound);
+          if (st2->span.sampled()) {
+            tracer_->add_span(st2->span, trace::SpanKind::kWan,
+                              s2.wan_in_name, src_name_, split_.service(),
+                              sim_.now(), sim_.now() + inbound);
           }
-          sim_.schedule_after(inbound, [this, state, outcome] {
-            on_response(state, outcome);
+          sim_.schedule_after(inbound, [this, handle, outcome] {
+            on_response(handle, outcome);
           });
         });
   });
 }
 
-void Proxy::on_response(const std::shared_ptr<CallState>& state,
-                        const Outcome& outcome) {
-  if (state->finished) return;  // a timeout already answered the caller
-  finish(state, outcome.success, sim_.now() - state->start, false);
+void Proxy::on_response(CallHandle handle, const Outcome& outcome) {
+  CallState* state = calls_.get(handle);
+  L3_ASSERT(state != nullptr);  // the chain's visitor still holds the slot
+  if (!state->finished) {
+    finish(*state, outcome.success, sim_.now() - state->start, false);
+  }
+  settle(handle, *state);
+  drain_finished_timeouts();
 }
 
-void Proxy::on_timeout(const std::shared_ptr<CallState>& state) {
-  if (state->finished) return;
-  finish(state, false, config_.timeout, true);
+void Proxy::push_timeout(SimTime deadline, CallHandle handle) {
+  if (timeout_count_ == timeout_ring_.size()) {
+    // Grow to the next power of two, unrolling the ring so the live range
+    // is contiguous from index 0 again.
+    std::vector<TimeoutEntry> grown;
+    grown.reserve(std::max<std::size_t>(16, timeout_ring_.size() * 2));
+    for (std::size_t i = 0; i < timeout_count_; ++i) {
+      grown.push_back(timeout_ring_[(timeout_head_ + i) &
+                                    (timeout_ring_.size() - 1)]);
+    }
+    grown.resize(grown.capacity());
+    timeout_ring_ = std::move(grown);
+    timeout_head_ = 0;
+  }
+  timeout_ring_[(timeout_head_ + timeout_count_) &
+                (timeout_ring_.size() - 1)] = TimeoutEntry{deadline, handle};
+  ++timeout_count_;
 }
 
-void Proxy::finish(const std::shared_ptr<CallState>& state, bool success,
-                   SimDuration latency, bool timed_out) {
-  state->finished = true;
-  BackendSlot& slot = backends_[state->backend];
+void Proxy::arm_timeout_timer(SimTime deadline) {
+  timeout_timer_armed_ = true;
+  sim_.schedule_at(deadline, [this] { on_timeout_timer(); });
+}
+
+void Proxy::drain_finished_timeouts() {
+  while (timeout_count_ > 0) {
+    const TimeoutEntry& front = timeout_ring_[timeout_head_];
+    CallState* state = calls_.get(front.handle);
+    if (state != nullptr) {
+      if (!state->finished || state->pending != 1) break;  // still in flight
+      settle(front.handle, *state);
+    }
+    pop_timeout();
+  }
+}
+
+void Proxy::on_timeout_timer() {
+  timeout_timer_armed_ = false;
+  const SimTime now = sim_.now();
+  while (timeout_count_ > 0) {
+    const TimeoutEntry front = timeout_ring_[timeout_head_];
+    CallState* state = calls_.get(front.handle);
+    if (state == nullptr) {  // already recycled; nothing to settle
+      pop_timeout();
+      continue;
+    }
+    if (state->finished && state->pending == 1) {
+      // Response already answered the caller; the ring entry was the last
+      // visitor, so this settle recycles the slot.
+      settle(front.handle, *state);
+      pop_timeout();
+      continue;
+    }
+    if (front.deadline > now) break;
+    // Genuinely due: the caller gets the timeout response at exactly
+    // start + timeout. The response chain (still in flight) keeps its
+    // visitor and settles the slot when it lands.
+    if (!state->finished) finish(*state, false, config_.timeout, true);
+    settle(front.handle, *state);
+    pop_timeout();
+  }
+  if (timeout_count_ > 0) {
+    arm_timeout_timer(timeout_ring_[timeout_head_].deadline);
+  }
+}
+
+void Proxy::settle(CallHandle handle, CallState& state) {
+  L3_ASSERT(state.pending > 0);
+  if (--state.pending == 0) calls_.release(handle);
+}
+
+void Proxy::finish(CallState& state, bool success, SimDuration latency,
+                   bool timed_out) {
+  state.finished = true;
+  BackendSlot& slot = backends_[state.backend];
   slot.inflight->add(-1.0);
   L3_ASSERT(slot.outstanding > 0);
   slot.outstanding -= 1;
@@ -228,10 +340,14 @@ void Proxy::finish(const std::shared_ptr<CallState>& state, bool success,
     slot.latency_failure->record(latency);
     slot.latency_failure_sum->add(latency);
   }
-  slot.p2c_latency->observe(latency, sim_.now());
-  outlier_.record(state->backend, success, sim_.now());
-  if (state->span.sampled()) {
-    tracer_->end_span(state->span,
+  if (config_.routing == RoutingMode::kPeakEwmaP2C) {
+    // The PeakEWMA is only ever read by pick_p2c(); skipping the update in
+    // weighted mode saves an exp() per response on the hot path.
+    slot.p2c_latency.observe(latency, sim_.now());
+  }
+  outlier_.record(state.backend, success, sim_.now());
+  if (state.span.sampled()) {
+    tracer_->end_span(state.span,
                       timed_out ? trace::SpanStatus::kTimeout
                                 : (success ? trace::SpanStatus::kOk
                                            : trace::SpanStatus::kError));
@@ -241,7 +357,10 @@ void Proxy::finish(const std::shared_ptr<CallState>& state, bool success,
   response.latency = latency;
   response.backend_cluster = slot.deployment->cluster();
   response.timed_out = timed_out;
-  state->done(response);
+  // Moved out before invoking: the callback may re-enter send() and touch
+  // the pool; the slot itself stays put (chunked storage) until settled.
+  ResponseFn done = std::move(state.done);
+  done(response);
 }
 
 }  // namespace l3::mesh

@@ -1,6 +1,5 @@
 #include "l3/mesh/replica.h"
 
-#include <memory>
 #include <utility>
 
 namespace l3::mesh {
@@ -21,21 +20,18 @@ bool Replica::submit(ReplicaJob job) {
 
 void Replica::run(ReplicaJob job) {
   ++active_;
-  // The release callback must fire exactly once; a shared flag guards
-  // against buggy behaviors double-releasing.
-  auto released = std::make_shared<bool>(false);
-  job([this, released] {
-    L3_EXPECTS(!*released);
-    *released = true;
-    L3_ASSERT(active_ > 0);
-    --active_;
-    ++completed_;
-    if (!queue_.empty() && active_ < concurrency_) {
-      ReplicaJob next = std::move(queue_.front());
-      queue_.pop_front();
-      run(std::move(next));
-    }
-  });
+  job(ReleaseToken(this));
+}
+
+void Replica::release_one() {
+  L3_ASSERT(active_ > 0);
+  --active_;
+  ++completed_;
+  if (!queue_.empty() && active_ < concurrency_) {
+    ReplicaJob next = std::move(queue_.front());
+    queue_.pop_front();
+    run(std::move(next));
+  }
 }
 
 }  // namespace l3::mesh

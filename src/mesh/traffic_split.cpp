@@ -25,10 +25,16 @@ std::vector<std::uint64_t> TrafficSplit::weights() const {
 
 void TrafficSplit::set_weights(std::span<const std::uint64_t> weights) {
   L3_EXPECTS(weights.size() == backends_.size());
+  bool changed = false;
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    backends_[i].weight = weights[i];
+    if (backends_[i].weight != weights[i]) {
+      backends_[i].weight = weights[i];
+      changed = true;
+    }
   }
-  ++generation_;
+  // A no-op push keeps the generation stable so proxies' cached pickers
+  // survive the controller's periodic re-publication of unchanged weights.
+  if (changed) ++generation_;
 }
 
 void ControlPlane::apply(TrafficSplit& split,

@@ -65,10 +65,12 @@ std::size_t Simulator::run_until(SimTime end) {
   std::size_t processed = 0;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.min_time() > end) break;
-    // Move the event out before invoking so re-entrant scheduling is safe.
-    Event ev = queue_.pop_min();
-    now_ = ev.time;
-    ev.fn();
+    // Invoke the callable in place; the queue's chunked slot pool keeps it
+    // stable across re-entrant scheduling, so no move-out is needed.
+    queue_.dispatch_min([this](SimTime t, EventFn& fn) {
+      now_ = t;
+      fn();
+    });
     ++processed;
     ++executed_;
   }
@@ -78,9 +80,10 @@ std::size_t Simulator::run_until(SimTime end) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.pop_min();
-  now_ = ev.time;
-  ev.fn();
+  queue_.dispatch_min([this](SimTime t, EventFn& fn) {
+    now_ = t;
+    fn();
+  });
   ++executed_;
   return true;
 }

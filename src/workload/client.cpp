@@ -75,21 +75,24 @@ void OpenLoopClient::end_trace(trace::SpanContext root, bool success,
 
 void OpenLoopClient::send_attempt(SimTime first_sent, int attempt,
                                   trace::SpanContext root) {
-  mesh_.call(source_, service_, /*depth=*/0, root,
-             [this, first_sent, attempt, root](const mesh::Response& response) {
-               if (!response.success && attempt <= config_.max_retries) {
-                 mesh_.simulator().schedule_after(
-                     config_.retry_backoff, [this, first_sent, attempt, root] {
-                       send_attempt(first_sent, attempt + 1, root);
-                     });
-                 return;
-               }
-               end_trace(root, response.success, response.timed_out);
-               records_.push_back(RequestRecord{
-                   first_sent, mesh_.simulator().now() - first_sent,
-                   response.success, response.timed_out,
-                   response.backend_cluster, attempt});
-             });
+  // The proxy is resolved once; every attempt goes to the same
+  // (source, service) pair, so the per-request map lookup is pure overhead.
+  if (proxy_ == nullptr) proxy_ = &mesh_.proxy(source_, service_);
+  proxy_->send(/*depth=*/0, root,
+               [this, first_sent, attempt, root](const mesh::Response& response) {
+                 if (!response.success && attempt <= config_.max_retries) {
+                   mesh_.simulator().schedule_after(
+                       config_.retry_backoff, [this, first_sent, attempt, root] {
+                         send_attempt(first_sent, attempt + 1, root);
+                       });
+                   return;
+                 }
+                 end_trace(root, response.success, response.timed_out);
+                 records_.push_back(RequestRecord{
+                     first_sent, mesh_.simulator().now() - first_sent,
+                     response.success, response.timed_out,
+                     response.backend_cluster, attempt});
+               });
 }
 
 void OpenLoopClient::fire_local_direct() {
@@ -98,23 +101,27 @@ void OpenLoopClient::fire_local_direct() {
   // east-west traffic).
   auto& sim = mesh_.simulator();
   const SimTime sent_at = sim.now();
-  mesh::ServiceDeployment* deployment =
-      mesh_.find_deployment(service_, source_);
-  L3_EXPECTS(deployment != nullptr);
+  if (local_deployment_ == nullptr) {
+    local_deployment_ = mesh_.find_deployment(service_, source_);
+    L3_EXPECTS(local_deployment_ != nullptr);
+  }
+  mesh::ServiceDeployment* deployment = local_deployment_;
   trace::SpanContext root{};
   if (trace::Tracer* tracer = mesh_.tracer()) {
     root = tracer->start_trace(service_, mesh_.cluster_names()[source_],
                                service_);
   }
   const SimDuration out = mesh_.wan().sample(source_, source_, sim.now(), rng_);
-  sim.schedule_after(out, [this, &sim, deployment, sent_at, root] {
-    deployment->handle(/*depth=*/1, root, [this, &sim, sent_at, root](
+  sim.schedule_after(out, [this, deployment, sent_at, root] {
+    deployment->handle(/*depth=*/1, root, [this, sent_at, root](
                                               const mesh::Outcome& outcome) {
+      auto& sim2 = mesh_.simulator();
       const SimDuration back =
-          mesh_.wan().sample(source_, source_, sim.now(), rng_);
-      sim.schedule_after(back, [this, &sim, sent_at, root, outcome] {
+          mesh_.wan().sample(source_, source_, sim2.now(), rng_);
+      sim2.schedule_after(back, [this, sent_at, root, outcome] {
         end_trace(root, outcome.success, false);
-        records_.push_back(RequestRecord{sent_at, sim.now() - sent_at,
+        records_.push_back(RequestRecord{sent_at,
+                                         mesh_.simulator().now() - sent_at,
                                          outcome.success, false, source_});
       });
     });
@@ -135,6 +142,9 @@ std::vector<TimelineBucket> aggregate_timeline(
     SimDuration bucket) {
   L3_EXPECTS(t1 > t0 && bucket > 0.0);
   const auto n = static_cast<std::size_t>(std::ceil((t1 - t0) / bucket));
+  // Two passes: count first so each bucket's latency vector is allocated
+  // exactly once, then fill. Records arrive roughly in bucket order, so
+  // both passes stream sequentially.
   std::vector<std::vector<double>> latencies(n);
   std::vector<std::size_t> successes(n, 0);
   std::vector<std::size_t> counts(n, 0);
@@ -142,9 +152,15 @@ std::vector<TimelineBucket> aggregate_timeline(
     if (r.sent < t0 || r.sent >= t1) continue;
     const auto i = static_cast<std::size_t>((r.sent - t0) / bucket);
     if (i >= n) continue;
-    latencies[i].push_back(r.latency);
     counts[i] += 1;
     if (r.success) successes[i] += 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) latencies[i].reserve(counts[i]);
+  for (const auto& r : records) {
+    if (r.sent < t0 || r.sent >= t1) continue;
+    const auto i = static_cast<std::size_t>((r.sent - t0) / bucket);
+    if (i >= n) continue;
+    latencies[i].push_back(r.latency);
   }
   std::vector<TimelineBucket> out(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -152,8 +168,12 @@ std::vector<TimelineBucket> aggregate_timeline(
     out[i].count = counts[i];
     out[i].rps = static_cast<double>(counts[i]) / bucket;
     if (counts[i] > 0) {
-      out[i].p50 = percentile(latencies[i], 0.50);
-      out[i].p99 = percentile(latencies[i], 0.99);
+      // Sort each bucket once and read both quantiles off the sorted run —
+      // percentile() would copy + sort per quantile. Same sort, same
+      // interpolation, bit-identical values (the golden traces hash these).
+      std::sort(latencies[i].begin(), latencies[i].end());
+      out[i].p50 = percentile_sorted(latencies[i], 0.50);
+      out[i].p99 = percentile_sorted(latencies[i], 0.99);
       out[i].success_rate =
           static_cast<double>(successes[i]) / static_cast<double>(counts[i]);
     }

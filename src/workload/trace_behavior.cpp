@@ -38,8 +38,9 @@ void TraceReplayBehavior::invoke(const mesh::BehaviorContext& ctx,
   const SimDuration exec = sample_latency(point, ctx.rng);
   const bool ok = ctx.rng.bernoulli(point.success_rate);
   const SimDuration delay = ok ? exec : exec * failure_latency_factor_;
-  ctx.sim.schedule_after(delay,
-                         [done = std::move(done), ok] { done(mesh::Outcome{ok}); });
+  ctx.sim.schedule_after(delay, [done = std::move(done), ok]() mutable {
+    done(mesh::Outcome{ok});
+  });
 }
 
 }  // namespace l3::workload

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
@@ -64,6 +66,46 @@ TEST(Summarize, EmptyIsAllZero) {
   const LatencySummary s = summarize(std::vector<double>{});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Percentile, SortedVariantMatchesUnsorted) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(values, q));
+  }
+}
+
+TEST(Percentile, LargeSampleMatchesComparisonSort) {
+  // Above the internal radix-sort threshold the quantiles must still be
+  // bit-identical to what a comparison sort produces — the scenario golden
+  // traces hash them. Mix magnitudes across several octaves and exact
+  // duplicates so every digit pass and tie path is exercised.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<double> values;
+  values.reserve(60000);
+  for (int i = 0; i < 60000; ++i) {
+    const double magnitude =
+        static_cast<double>(1ull << (next() % 20)) / 1024.0;
+    values.push_back(magnitude *
+                     (static_cast<double>(next() % 10000) + 1.0) / 10000.0);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(values, q), percentile_sorted(sorted, q));
+  }
+  const LatencySummary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.p50, percentile_sorted(sorted, 0.50));
+  EXPECT_DOUBLE_EQ(s.p999, percentile_sorted(sorted, 0.999));
+  EXPECT_DOUBLE_EQ(s.max, sorted.back());
 }
 
 TEST(Table, PrintsAlignedRows) {

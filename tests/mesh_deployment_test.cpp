@@ -15,7 +15,7 @@ namespace {
 TEST(Replica, RunsImmediatelyWhenSlotFree) {
   Replica r(2, 10);
   bool ran = false;
-  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+  EXPECT_TRUE(r.submit([&](ReleaseToken release) {
     ran = true;
     release();
   }));
@@ -26,12 +26,12 @@ TEST(Replica, RunsImmediatelyWhenSlotFree) {
 
 TEST(Replica, QueuesBeyondConcurrency) {
   Replica r(1, 10);
-  std::function<void()> release_first;
-  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+  ReleaseToken release_first;
+  EXPECT_TRUE(r.submit([&](ReleaseToken release) {
     release_first = std::move(release);
   }));
   bool second_ran = false;
-  EXPECT_TRUE(r.submit([&](std::function<void()> release) {
+  EXPECT_TRUE(r.submit([&](ReleaseToken release) {
     second_ran = true;
     release();
   }));
@@ -46,29 +46,30 @@ TEST(Replica, QueuesBeyondConcurrency) {
 
 TEST(Replica, RejectsWhenQueueFull) {
   Replica r(1, 1);
-  std::function<void()> hold;
-  r.submit([&](std::function<void()> release) { hold = std::move(release); });
-  EXPECT_TRUE(r.submit([](std::function<void()> release) { release(); }));
-  EXPECT_FALSE(r.submit([](std::function<void()> release) { release(); }));
+  ReleaseToken hold;
+  r.submit([&](ReleaseToken release) { hold = std::move(release); });
+  EXPECT_TRUE(r.submit([](ReleaseToken release) { release(); }));
+  EXPECT_FALSE(r.submit([](ReleaseToken release) { release(); }));
   EXPECT_EQ(r.rejected(), 1u);
   hold();
 }
 
 TEST(Replica, DoubleReleaseIsContractViolation) {
   Replica r(1, 1);
-  std::function<void()> saved;
-  r.submit([&](std::function<void()> release) { saved = std::move(release); });
+  ReleaseToken saved;
+  r.submit([&](ReleaseToken release) { saved = std::move(release); });
   saved();
+  EXPECT_FALSE(saved);  // consumed: the slot proof is gone
   EXPECT_THROW(saved(), ContractViolation);
 }
 
 TEST(Replica, FifoOrderForQueuedJobs) {
   Replica r(1, 10);
-  std::function<void()> release0;
+  ReleaseToken release0;
   std::vector<int> order;
-  r.submit([&](std::function<void()> release) { release0 = std::move(release); });
+  r.submit([&](ReleaseToken release) { release0 = std::move(release); });
   for (int i = 1; i <= 3; ++i) {
-    r.submit([&order, i](std::function<void()> release) {
+    r.submit([&order, i](ReleaseToken release) {
       order.push_back(i);
       release();
     });

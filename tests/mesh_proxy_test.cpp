@@ -209,6 +209,155 @@ TEST_F(ProxyTest, DepthLimitFailsFast) {
   EXPECT_TRUE(got);  // synchronous failure, no recursion
 }
 
+// --- weighted-picker distribution (chi-square) ----------------------------
+
+/// Pearson chi-square statistic over observed counts vs expected counts;
+/// zero-expectation cells are excluded (the matching count is asserted to
+/// be zero separately).
+double chi_square(const std::vector<int>& counts,
+                  const std::vector<double>& expected) {
+  double chi = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (expected[i] <= 0.0) continue;
+    const double d = static_cast<double>(counts[i]) - expected[i];
+    chi += d * d / expected[i];
+  }
+  return chi;
+}
+
+class PickerDistribution : public ProxyTest {
+ protected:
+  std::vector<int> count_picks(Proxy& proxy, int n) {
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < n; ++i) counts[proxy.pick_backend()] += 1;
+    return counts;
+  }
+};
+
+TEST_F(PickerDistribution, WeightedSharesPassChiSquare) {
+  deploy_everywhere();
+  Proxy& proxy = mesh.proxy(c1, "svc");
+  mesh.find_split(c1, "svc")
+      ->set_weights(std::vector<std::uint64_t>{6000, 3000, 1000});
+  const auto counts = count_picks(proxy, 9000);
+  // df = 2; 13.82 is the p = 0.001 critical value. Deterministic seed, so
+  // this is a regression bound, not a flaky statistical test.
+  EXPECT_LT(chi_square(counts, {5400.0, 2700.0, 900.0}), 13.82);
+}
+
+TEST_F(PickerDistribution, ZeroWeightBackendNeverPicked) {
+  deploy_everywhere();
+  Proxy& proxy = mesh.proxy(c1, "svc");
+  mesh.find_split(c1, "svc")
+      ->set_weights(std::vector<std::uint64_t>{2, 0, 1});
+  const auto counts = count_picks(proxy, 3000);
+  // The fallback path must never leak a zero-weight backend (the old
+  // open-coded walk could return the last backend regardless of weight).
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_LT(chi_square(counts, {2000.0, 0.0, 1000.0}), 10.83);  // df = 1
+}
+
+TEST_F(PickerDistribution, EjectedBackendExcludedAndRemainderReweighted) {
+  OutlierDetectionConfig outlier;
+  outlier.enabled = true;
+  outlier.failure_threshold = 0.5;
+  outlier.min_requests = 10;
+  outlier.window = 10.0;
+  outlier.ejection_duration = 60.0;
+  outlier.max_ejected_fraction = 0.67;
+  MeshConfig config = make_config();
+  config.outlier_detection = outlier;
+  Mesh m(sim, SplitRng(17), config);
+  const auto a = m.add_cluster("a");
+  const auto b = m.add_cluster("b");
+  const auto c = m.add_cluster("c");
+  m.deploy("svc", a, {},
+           std::make_unique<FixedLatencyBehavior>(0.010, 0.020, 0.0));
+  for (ClusterId cl : {b, c}) {
+    m.deploy("svc", cl, {},
+             std::make_unique<FixedLatencyBehavior>(0.010, 0.020, 1.0));
+  }
+  Proxy& proxy = m.proxy(a, "svc");
+  m.find_split(a, "svc")
+      ->set_weights(std::vector<std::uint64_t>{3000, 2000, 1000});
+  for (int i = 0; i < 100; ++i) {
+    m.call(a, "svc", 0, [](const Response&) {});
+  }
+  sim.run_until(sim.now() + 5.0);
+  ASSERT_GT(proxy.outlier_detector().ejections(), 0u);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 6000; ++i) counts[proxy.pick_backend()] += 1;
+  // Backend a is ejected: the picker must renormalize over {b, c} at their
+  // 2:1 weight ratio, not fall back to the full set.
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_LT(chi_square(counts, {0.0, 4000.0, 2000.0}), 10.83);  // df = 1
+}
+
+// --- pooled call-state lifecycle ------------------------------------------
+
+TEST(ProxyCallPool, FinishedCallRecyclesBeforeItsDeadline) {
+  sim::Simulator sim;
+  MeshConfig config;
+  config.local_delay = 0.0;
+  config.local_jitter_frac = 0.0;
+  config.health_probe_interval = 0.0;
+  config.request_timeout = 0.5;
+  Mesh m(sim, SplitRng(9), config);
+  const auto a = m.add_cluster("a");
+  m.deploy("svc", a, {},
+           std::make_unique<FixedLatencyBehavior>(0.010, 0.0101));
+  Proxy& proxy = m.proxy(a, "svc");
+  int callbacks = 0;
+  m.call(a, "svc", 0, [&](const Response& r) {
+    ++callbacks;
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(r.timed_out);
+  });
+  sim.run_until(0.1);  // response delivered; deadline (0.5) still ahead
+  EXPECT_EQ(callbacks, 1);
+  // The finished call's deadline entry is drained as the response settles,
+  // so the slot recycles ~0.49 s before the shared timer would reach it —
+  // it does not idle until the deadline the way a per-call timeout event
+  // held it.
+  EXPECT_EQ(proxy.live_calls(), 0u);
+  sim.run_until(1.0);  // the armed timer fires; must be a harmless no-op
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(proxy.live_calls(), 0u);
+}
+
+TEST(ProxyCallPool, SlotReuseUnderTimeoutResponseRacesIsExactlyOnce) {
+  // Latency distribution straddles the timeout, so responses and timeouts
+  // interleave in both orders while slots are continuously recycled. Every
+  // request must get exactly one callback and the pool must drain to zero.
+  sim::Simulator sim;
+  MeshConfig config;
+  config.local_delay = 0.0;
+  config.local_jitter_frac = 0.0;
+  config.health_probe_interval = 0.0;
+  config.request_timeout = 0.05;
+  Mesh m(sim, SplitRng(21), config);
+  const auto a = m.add_cluster("a");
+  m.deploy("svc", a, {.replicas = 3, .concurrency = 50, .queue_capacity = 256},
+           std::make_unique<FixedLatencyBehavior>(0.040, 0.120));
+  Proxy& proxy = m.proxy(a, "svc");
+  int callbacks = 0;
+  int timeouts = 0;
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      m.call(a, "svc", 0, [&](const Response& r) {
+        ++callbacks;
+        if (r.timed_out) ++timeouts;
+      });
+    }
+    sim.run_until(sim.now() + 0.030);  // overlap the waves
+  }
+  sim.run_until(sim.now() + 30.0);  // drain behaviors and timeout events
+  EXPECT_EQ(callbacks, 200);
+  EXPECT_GT(timeouts, 0);      // both orders actually exercised
+  EXPECT_LT(timeouts, 200);
+  EXPECT_EQ(proxy.live_calls(), 0u);
+}
+
 TEST_F(ProxyTest, DeterministicAcrossIdenticalRuns) {
   auto run_once = [](std::uint64_t seed) {
     sim::Simulator s;

@@ -27,6 +27,19 @@ TEST(TrafficSplit, SetWeightsBumpsGeneration) {
   EXPECT_EQ(split.generation(), 1u);
 }
 
+TEST(TrafficSplit, NoOpSetWeightsKeepsGeneration) {
+  TrafficSplit split("svc", 0, three_backends(), 1000);
+  // Re-publication of the current weights must not look like a change to
+  // generation observers (the proxies' cached pickers).
+  split.set_weights(std::vector<std::uint64_t>{1000, 1000, 1000});
+  EXPECT_EQ(split.generation(), 0u);
+  const std::vector<std::uint64_t> w{10, 20, 30};
+  split.set_weights(w);
+  EXPECT_EQ(split.generation(), 1u);
+  split.set_weights(w);
+  EXPECT_EQ(split.generation(), 1u);
+}
+
 TEST(TrafficSplit, ZeroWeightsAllowed) {
   TrafficSplit split("svc", 0, three_backends(), 1000);
   const std::vector<std::uint64_t> w{0, 5, 0};

@@ -85,6 +85,10 @@ RunnerConfig short_config() {
 // the reference toolchain. See the file comment before re-recording.
 constexpr std::uint64_t kGoldenScenario1L3 = 0x1c6a1a5fa2809b1bull;
 constexpr std::uint64_t kGoldenFailure1C3 = 0xfa4d7b14c44fe850ull;
+// Recorded immediately before the pooled-call-state / cached-picker request-
+// path overhaul; covers the routing paths the goldens above do not (PeakEWMA
+// P2C picks and outlier-detection ejections).
+constexpr std::uint64_t kGoldenFailure1P2cOutlier = 0x6a79e1052ef3ac06ull;
 
 TEST(Determinism, Scenario1L3MatchesGoldenTrace) {
   const ScenarioTrace trace = make_scenario1(1);
@@ -101,6 +105,19 @@ TEST(Determinism, Failure1C3WithRetriesMatchesGoldenTrace) {
   config.client_retries = 1;
   const RunResult result = run_scenario(trace, PolicyKind::kC3, config);
   EXPECT_EQ(trace_hash(result), kGoldenFailure1C3)
+      << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, Failure1P2cOutlierMatchesGoldenTrace) {
+  const ScenarioTrace trace = make_failure1(6);
+  RunnerConfig config = short_config();
+  config.routing = mesh::RoutingMode::kPeakEwmaP2C;
+  config.outlier.enabled = true;
+  config.outlier.min_requests = 20;
+  config.outlier.ejection_duration = 5.0;
+  const RunResult result = run_scenario(trace, PolicyKind::kRoundRobin,
+                                        config);
+  EXPECT_EQ(trace_hash(result), kGoldenFailure1P2cOutlier)
       << "trace hash: 0x" << std::hex << trace_hash(result);
 }
 
