@@ -1,5 +1,12 @@
 // Reproduces Figure 11: 99th-percentile latency under the failure scenarios.
 //
+// The failure scenarios are chaos-based: the traces carry the failure-1/2
+// latency profiles with a nearly clean success channel, and the failures
+// themselves (replica crashes, WAN partitions/brownouts, scrape outages,
+// controller pauses) are injected as first-class simulator events by the
+// per-scenario l3::chaos FaultPlans. Health probing is disabled so only the
+// scraped metrics can reveal a failed backend — the paper's setting.
+//
 // Paper values (ms): failure-1 — RR 447.5, C3 364.2, L3 364.9 (C3 and L3
 // tie; L3 trades some latency for success rate); failure-2 — RR 117.2,
 // C3 84.6, L3 76.2 (L3 −35 % vs RR).
@@ -8,6 +15,7 @@
 #include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
+#include <array>
 #include <iostream>
 
 int main(int argc, char** argv) {
@@ -19,12 +27,19 @@ int main(int argc, char** argv) {
 
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
+  config.health_probe_interval = 0.0;  // failures visible via metrics only
 
+  const std::array<chaos::FaultPlan, 2> plans = {
+      workload::failure1_faults(), workload::failure2_faults()};
   auto spec = exp::scenario_grid(
-      "fig11", {workload::make_failure1(), workload::make_failure2()},
+      "fig11",
+      {workload::make_failure1_chaos(), workload::make_failure2_chaos()},
       {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
        workload::PolicyKind::kL3},
-      config, reps);
+      config, reps, {},
+      [plans](std::size_t scenario, workload::RunnerConfig& c) {
+        c.faults = plans[scenario];
+      });
   const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
   const exp::ResultGrid grid(spec, results);
 

@@ -1,5 +1,12 @@
 // Reproduces Figure 12: success rate under the failure scenarios.
 //
+// Chaos-based (see fig11): the scenario traces are nearly failure-free and
+// the per-scenario l3::chaos FaultPlans inject the actual failures into the
+// mesh. With health probing off, a policy keeps its success rate up during
+// a fault window only by reading the scraped success-rate signal — which is
+// exactly the axis the paper contrasts: L3 ranks on success rate, C3 does
+// not, round-robin reads nothing.
+//
 // Paper values: failure-1 — RR 91.4 %, C3 91.1 %, L3 92.4 % (L3 best; C3
 // worst because its ranking has no success-rate term); failure-2 — all
 // around 98.5–98.6 % (too little headroom to differ).
@@ -8,6 +15,7 @@
 #include "l3/exp/runner.h"
 #include "l3/workload/scenarios.h"
 
+#include <array>
 #include <iostream>
 
 int main(int argc, char** argv) {
@@ -19,12 +27,19 @@ int main(int argc, char** argv) {
 
   workload::RunnerConfig config;
   if (args.fast) config.duration = 180.0;
+  config.health_probe_interval = 0.0;  // failures visible via metrics only
 
+  const std::array<chaos::FaultPlan, 2> plans = {
+      workload::failure1_faults(), workload::failure2_faults()};
   auto spec = exp::scenario_grid(
-      "fig12", {workload::make_failure1(), workload::make_failure2()},
+      "fig12",
+      {workload::make_failure1_chaos(), workload::make_failure2_chaos()},
       {workload::PolicyKind::kRoundRobin, workload::PolicyKind::kC3,
        workload::PolicyKind::kL3},
-      config, reps);
+      config, reps, {},
+      [plans](std::size_t scenario, workload::RunnerConfig& c) {
+        c.faults = plans[scenario];
+      });
   const auto results = exp::run_experiment(spec, {.jobs = args.jobs});
   const exp::ResultGrid grid(spec, results);
 

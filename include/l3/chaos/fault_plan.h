@@ -1,0 +1,121 @@
+// Deterministic fault plans — the data half of l3::chaos. A FaultPlan is a
+// timeline of fault windows (replica crashes, WAN partitions, delay
+// brownouts, scraper outages, controller pauses) expressed purely as data:
+// no simulator, mesh or RNG references, so a plan is copyable, shareable
+// across experiment cells and trivially composable with exp::ExperimentSpec
+// grids (the plan rides inside the RunnerConfig each cell copies; the cell
+// seed never influences WHEN faults fire, only how the workload reacts).
+//
+// Times are relative to whatever origin the plan is armed against —
+// workload::run_scenario arms plans with the warm-up as offset, so plan
+// times are "seconds into the measured window".
+#pragma once
+
+#include "l3/common/time.h"
+#include "l3/mesh/types.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace l3::chaos {
+
+/// The fault taxonomy (DESIGN.md §11).
+enum class FaultKind : std::uint8_t {
+  kReplicaCrash,     ///< replica(s) crash; in-flight requests fail
+  kWanPartition,     ///< cluster pair unreachable both ways
+  kWanBrownout,      ///< extra one-way delay on a cluster pair, both ways
+  kScrapeOutage,     ///< scraper target(s) disabled; controller starves
+  kControllerPause,  ///< controller stops applying weights (weights freeze)
+};
+
+const char* to_string(FaultKind kind);
+
+/// Crash target meaning "every replica of the deployment".
+inline constexpr std::size_t kAllReplicas = ~std::size_t{0};
+
+/// One fault window. Which fields matter depends on `kind`; the FaultPlan
+/// builder methods fill them consistently.
+struct Fault {
+  FaultKind kind = FaultKind::kReplicaCrash;
+  SimTime start = 0.0;
+  /// Window length; 0 = the fault lasts until the end of the run.
+  SimDuration duration = 0.0;
+
+  // kReplicaCrash
+  std::string service;
+  mesh::ClusterId cluster = 0;
+  std::size_t replica = kAllReplicas;
+
+  // kWanPartition / kWanBrownout (bidirectional pair a <-> b)
+  mesh::ClusterId a = 0;
+  mesh::ClusterId b = 0;
+  SimDuration extra_delay = 0.0;  ///< kWanBrownout only
+
+  // kScrapeOutage; empty = every registered target
+  std::string scrape_target;
+};
+
+/// An ordered collection of fault windows. Builder methods return *this for
+/// chaining; windows may overlap (overlapping crash windows on the same
+/// replica coalesce — crash/restart are idempotent).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Crashes replica `replica` (default: all replicas) of `service` in
+  /// `cluster` at `start` for `duration` seconds (0 = rest of run).
+  FaultPlan& crash(std::string service, mesh::ClusterId cluster,
+                   SimTime start, SimDuration duration,
+                   std::size_t replica = kAllReplicas);
+
+  /// Severs connectivity between clusters `a` and `b` (both directions).
+  FaultPlan& partition(mesh::ClusterId a, mesh::ClusterId b, SimTime start,
+                       SimDuration duration);
+
+  /// Adds `extra_delay` seconds one-way delay between `a` and `b` (both
+  /// directions) — a brownout, not an outage.
+  FaultPlan& brownout(mesh::ClusterId a, mesh::ClusterId b, SimTime start,
+                      SimDuration duration, SimDuration extra_delay);
+
+  /// Disables scraping of `target` ("" = all targets) for the window —
+  /// starves the controller of metrics, driving its staleness/converge
+  /// path.
+  FaultPlan& scrape_outage(SimTime start, SimDuration duration,
+                           std::string target = "");
+
+  /// Pauses weight application on every registered controller for the
+  /// window (a leader-failover gap: filtering continues, weights freeze).
+  FaultPlan& controller_pause(SimTime start, SimDuration duration);
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+  std::size_t size() const { return faults_.size(); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+/// Parameters of the seed-driven plan generator (ablation_chaos sweeps
+/// `intensity` across policies).
+struct RandomPlanConfig {
+  /// Plan horizon: every fault window starts inside [0, horizon).
+  SimDuration horizon = 600.0;
+  /// Scales the expected number of fault windows of every kind; 0 yields
+  /// an empty plan.
+  double intensity = 1.0;
+  std::string service = "api";
+  std::size_t clusters = 3;
+  /// The cluster hosting the client/controller side: partitions and
+  /// brownouts always involve this cluster (links nobody routes over would
+  /// be invisible faults).
+  mesh::ClusterId source = 0;
+};
+
+/// Generates a plan deterministically from (config, seed): same inputs,
+/// same plan, independent of where or how often it is called.
+FaultPlan make_random_plan(const RandomPlanConfig& config,
+                           std::uint64_t seed);
+
+}  // namespace l3::chaos

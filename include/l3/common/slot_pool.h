@@ -51,7 +51,9 @@ class SlotPool {
       }
     }
     ++live_;
-    return Handle{index, slot(index).generation};
+    Slot& s = slot(index);
+    s.live = true;
+    return Handle{index, s.generation};
   }
 
   /// The slot's value, or nullptr when the handle is stale (the slot was
@@ -70,6 +72,7 @@ class SlotPool {
     Slot& s = slot(h.index);
     L3_EXPECTS(s.generation == h.generation);
     ++s.generation;
+    s.live = false;
     free_.push_back(h.index);
     L3_ASSERT(live_ > 0);
     --live_;
@@ -81,12 +84,25 @@ class SlotPool {
   /// Total slots ever created (the high-water mark, in slots).
   std::size_t capacity() const noexcept { return next_unused_; }
 
+  /// Visits every live slot as (handle, value), in index order. The
+  /// callback must not acquire from or release into the pool — collect
+  /// handles first, then act on them (fault injection enumerates in-flight
+  /// calls this way when a replica crashes).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) {
+    for (std::uint32_t i = 0; i < next_unused_; ++i) {
+      Slot& s = slot(i);
+      if (s.live) fn(Handle{i, s.generation}, s.value);
+    }
+  }
+
  private:
   static constexpr std::uint32_t kChunkSize = 256;
 
   struct Slot {
     T value{};
     std::uint32_t generation = 1;
+    bool live = false;
   };
 
   Slot& slot(std::uint32_t index) noexcept {

@@ -7,8 +7,12 @@
 //      latency (from histogram buckets) and mean in-flight requests;
 //   2. feeds the samples into per-backend EWMA / PeakEWMA filters with the
 //      §4 defaults (latency 5 s @ half-life 5 s, success 100 % @ 10 s,
-//      RPS 0 @ 10 s, in-flight @ 5 s), converging any filter that has seen
-//      no data for >10 s back toward its default in small increments;
+//      RPS 0 @ 10 s, in-flight @ 5 s). Degraded-metrics handling (§4): for
+//      data gaps shorter than the staleness threshold a backend's signals
+//      freeze at their last filtered value; once the gap reaches the
+//      threshold (10 s — measured from the last sample, or from manage()
+//      for a backend that never produced one) every tick converges the
+//      filters back toward their defaults in small increments;
 //   3. hands the filtered signals to the configured LoadBalancingPolicy
 //      (L3, C3, round-robin, ...) and pushes the resulting weights through
 //      the ControlPlane.
@@ -60,7 +64,9 @@ struct ControllerConfig {
 
   /// After this long without retrievable metrics a backend's filters start
   /// converging back to their defaults (§4: "after at least 10 seconds
-  /// without any traffic").
+  /// without any traffic" — the boundary is inclusive, and the clock for a
+  /// never-scraped backend starts at manage() time). Below the threshold
+  /// signals freeze at their last filtered value.
   SimDuration staleness = 10.0;
 
   /// Export controller-internal state as gauges (weight + filtered signals

@@ -88,6 +88,13 @@ struct ExperimentSpec {
 /// coordinates (stable under any execution order or thread count).
 std::uint64_t cell_seed(std::uint64_t experiment_seed, const Cell& cell);
 
+/// A per-scenario RunnerConfig mutation applied after the variant's —
+/// e.g. attaching each scenario's chaos FaultPlan so the plan is part of
+/// the cell's configuration (and thus identical for every policy/variant/
+/// rep of that scenario).
+using PerScenarioFn =
+    std::function<void(std::size_t scenario_index, workload::RunnerConfig&)>;
+
 /// Builds the standard trace-scenario grid: run_scenario() over
 /// scenarios × policies × variants × reps with per-cell derived seeds.
 /// `variants` may be empty (a single unlabelled identity variant is used).
@@ -95,6 +102,7 @@ ExperimentSpec scenario_grid(std::string name,
                              std::vector<workload::ScenarioTrace> scenarios,
                              std::vector<workload::PolicyKind> policies,
                              workload::RunnerConfig base, int repetitions,
-                             std::vector<ConfigVariant> variants = {});
+                             std::vector<ConfigVariant> variants = {},
+                             PerScenarioFn per_scenario = nullptr);
 
 }  // namespace l3::exp

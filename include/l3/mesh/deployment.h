@@ -119,6 +119,28 @@ class ServiceDeployment {
   std::size_t replica_count() const { return replicas_.size(); }
   const Replica& replica(std::size_t i) const { return *replicas_[i]; }
 
+  /// Crashes replica `i` (fault injection): its queued requests and its
+  /// in-flight requests all fail immediately through the normal completion
+  /// path — every caller's `done` fires exactly once with a failure, every
+  /// held concurrency slot is released exactly once, and the behavior's
+  /// late done-callback for an in-flight request is absorbed when it
+  /// eventually fires. The replica receives no further traffic until
+  /// restart_replica(). No-op when already crashed.
+  void crash_replica(std::size_t i);
+
+  /// Brings a crashed replica back into service. No-op when not crashed.
+  void restart_replica(std::size_t i);
+
+  /// Replicas currently in service (not crashed).
+  std::size_t alive_replicas() const;
+
+  /// Lifetime count of requests failed by replica crashes (in-flight plus
+  /// queued at the moment of the crash).
+  std::uint64_t crash_failed() const { return crash_failed_; }
+
+  /// Pooled server-side call states currently pending (tests).
+  std::size_t live_calls() const { return calls_.live(); }
+
   /// Adds one replica with the deployment's configured concurrency/queue
   /// (autoscaling support, §3.2).
   void add_replica();
@@ -144,6 +166,7 @@ class ServiceDeployment {
     trace::SpanContext server{};
     SimTime enqueued = 0.0;
     int depth = 0;
+    std::uint32_t replica = 0;  ///< index of the replica handling the call
     ReleaseToken release;
   };
   using CallHandle = common::SlotPool<PendingCall>::Handle;
@@ -167,6 +190,11 @@ class ServiceDeployment {
   trace::Tracer* tracer_ = nullptr;
   bool down_ = false;
   std::uint64_t rejected_ = 0;
+  std::uint64_t crash_failed_ = 0;
+  /// In-flight calls failed by crash_replica whose behavior continuation
+  /// has not fired yet; complete_call absorbs exactly this many stale
+  /// handles before treating one as a double-fired done callback.
+  std::uint64_t crash_zombies_ = 0;
   std::size_t rr_cursor_ = 0;  // tie-break rotation among equally loaded
   common::SlotPool<PendingCall> calls_;
 };

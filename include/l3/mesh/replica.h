@@ -84,6 +84,19 @@ class Replica {
 
   std::size_t concurrency() const { return concurrency_; }
 
+  /// Crashes the replica (fault injection): queued jobs are destroyed
+  /// unrun, further submissions are rejected, and the queue stays unpumped
+  /// until restart(). Slots held by in-flight jobs remain counted until
+  /// their ReleaseTokens fire — the owner (ServiceDeployment) is
+  /// responsible for failing those calls and firing their tokens exactly
+  /// once. Returns the number of queued jobs discarded.
+  std::size_t crash();
+
+  /// Brings a crashed replica back into service with empty state.
+  void restart() { crashed_ = false; }
+
+  bool crashed() const { return crashed_; }
+
   /// Lifetime counters for observability and tests.
   std::uint64_t completed() const { return completed_; }
   std::uint64_t rejected() const { return rejected_; }
@@ -102,6 +115,7 @@ class Replica {
   std::deque<ReplicaJob> queue_;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
+  bool crashed_ = false;
 };
 
 inline void ReleaseToken::operator()() {

@@ -35,6 +35,17 @@ class WanModel {
     SimDuration extra = 0.0;
   };
 
+  /// A bidirectional connectivity loss between a pair of clusters for a
+  /// time window (fault injection): while active, nothing sent either way
+  /// between `a` and `b` arrives. Use +inf for `end` to partition until the
+  /// end of the run.
+  struct Partition {
+    ClusterId a = 0;
+    ClusterId b = 0;
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+  };
+
   WanModel() = default;
 
   /// Resizes the delay matrix for `n` clusters. Existing entries persist.
@@ -57,6 +68,24 @@ class WanModel {
   /// Adds a transient extra-delay window on a directed link.
   void add_disturbance(Disturbance d);
 
+  /// Registers a partition window. Windows must be registered before the
+  /// simulation reaches `start` (proxies cache availability against
+  /// next_partition_transition()); the fault injector registers a whole
+  /// FaultPlan's partitions up front.
+  void add_partition(Partition p);
+
+  /// Whether traffic from→to is severed at `now`.
+  bool is_partitioned(ClusterId from, ClusterId to, SimTime now) const;
+
+  /// The earliest future time any partition starts or ends (+inf when
+  /// none) — the horizon until which a partition-aware availability cache
+  /// stays exact.
+  SimTime next_partition_transition(SimTime now) const;
+
+  /// Fast guard for the request hot path: false ⇒ no partition checks at
+  /// all are needed.
+  bool has_partitions() const { return !partitions_.empty(); }
+
   /// Samples the one-way delay from→to at time `now`.
   SimDuration sample(ClusterId from, ClusterId to, SimTime now,
                      SplitRng& rng) const;
@@ -71,6 +100,7 @@ class WanModel {
   std::size_t n_ = 0;
   std::vector<Link> links_;  // row-major n_ x n_
   std::vector<Disturbance> disturbances_;
+  std::vector<Partition> partitions_;
 };
 
 }  // namespace l3::mesh

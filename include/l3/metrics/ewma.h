@@ -45,8 +45,16 @@ class Ewma {
   }
 
   /// §4: when no metrics can be retrieved, the filter converges toward its
-  /// default value in small increments. Implemented as observing λ itself.
-  void converge_to_default(SimTime t) { observe(default_, t); }
+  /// default value in small increments — the same time-decayed blend as
+  /// observe(λ), but WITHOUT marking the filter as having samples: a
+  /// backend that only ever converged must still report has_samples() ==
+  /// false, as no real metric has arrived.
+  void converge_to_default(SimTime t) {
+    L3_EXPECTS(t >= last_time_);
+    const double decay = std::exp(-(t - last_time_) / beta_);
+    value_ = default_ * (1.0 - decay) + value_ * decay;
+    last_time_ = t;
+  }
 
   /// Current filtered value (λ until the first sample).
   double value() const { return value_; }
@@ -99,7 +107,9 @@ class PeakEwma {
 
   void converge_to_default(SimTime t) {
     // Peaks must decay during quiet periods too, so the default is blended
-    // in without the jump rule.
+    // in without the jump rule. Like Ewma::converge_to_default, this never
+    // sets has_samples_ (audited together: converging is not observing).
+    L3_EXPECTS(t >= last_time_);
     const double decay = std::exp(-(t - last_time_) / beta_);
     value_ = default_ * (1.0 - decay) + value_ * decay;
     last_time_ = t;

@@ -37,6 +37,10 @@ class Scraper {
   /// false if no such target exists.
   bool set_target_enabled(const std::string& name, bool enabled);
 
+  /// Enables/disables every registered target at once (a full scrape
+  /// outage, e.g. the Prometheus instance itself going away).
+  void set_all_targets_enabled(bool enabled);
+
   /// Starts the periodic scrape, first firing after one interval.
   void start(SimDuration interval = 5.0);
 

@@ -8,8 +8,10 @@
 #include "l3/trace/tracer.h"
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace l3::trace {
 
@@ -17,9 +19,25 @@ namespace l3::trace {
 /// backslashes, control characters).
 std::string json_escape(std::string_view s);
 
+/// A point-in-time annotation of an injected fault transition, rendered as
+/// a Chrome "instant" event so fault windows line up with the request spans
+/// they disturb. Produced by chaos::FaultInjector (which the trace module
+/// deliberately does not depend on).
+struct FaultMarker {
+  SimTime time = 0.0;
+  std::string name;   ///< e.g. "crash:api@cluster-2"
+  std::string phase;  ///< "begin" or "end"
+};
+
 /// Writes `traces` as Chrome trace-event JSON. Deterministic: output depends
 /// only on the trace contents.
 void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::ostream& os);
+
+/// As above, additionally rendering `markers` as global instant events in a
+/// dedicated "faults" process (pid one past the last trace).
+void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::span<const FaultMarker> markers,
                         std::ostream& os);
 
 /// Convenience over the tracer's completed buffer.

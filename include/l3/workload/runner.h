@@ -6,6 +6,7 @@
 // request volume, and reports latency percentiles and success rate.
 #pragma once
 
+#include "l3/chaos/fault_plan.h"
 #include "l3/common/time.h"
 #include "l3/core/controller.h"
 #include "l3/lb/c3_policy.h"
@@ -64,6 +65,15 @@ struct RunnerConfig {
   mesh::RoutingMode routing = mesh::RoutingMode::kWeighted;
   /// Envoy-style outlier detection in every proxy (§5.1's circuit breaker).
   mesh::OutlierDetectionConfig outlier;
+  /// Client-side request timeout for every proxy (0 disables).
+  SimDuration request_timeout = 30.0;
+  /// Health-probe interval (0 disables health checking). Chaos benches set
+  /// 0 so failures are only visible through metrics, as in the paper.
+  SimDuration health_probe_interval = 10.0;
+  /// Fault timeline armed against the run, with times relative to
+  /// measurement start (the warm-up is applied as the arm offset). Empty =
+  /// no faults, reproducing the fault-free runner exactly.
+  chaos::FaultPlan faults;
 
   // Algorithm configuration.
   core::ControllerConfig controller;

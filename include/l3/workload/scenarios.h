@@ -19,6 +19,7 @@
 // All scenarios are deterministic functions of (shape, seed).
 #pragma once
 
+#include "l3/chaos/fault_plan.h"
 #include "l3/common/rng.h"
 #include "l3/workload/scenario.h"
 
@@ -101,5 +102,31 @@ ScenarioTrace make_failure2(std::uint64_t seed = 7);
 
 /// All five latency scenarios in paper order (for Fig. 10 sweeps).
 std::vector<ScenarioTrace> all_latency_scenarios(std::uint64_t seed_base = 1);
+
+// --- chaos-based failure scenarios ---------------------------------------
+//
+// The originals above bake the failure behaviour into the trace's
+// success-rate channel. The chaos variants instead keep the trace nearly
+// failure-free and push the failures into an explicit l3::chaos::FaultPlan
+// (crashes, partitions, brownouts, scrape outages, controller pauses) armed
+// through RunnerConfig::faults — so failures are first-class simulator
+// events the mesh actually experiences, not sampled server outcomes.
+
+/// failure-1's latency profile (scenario-1) with only light background
+/// noise in the success channel; pair with failure1_faults().
+ScenarioTrace make_failure1_chaos(std::uint64_t seed = 6);
+
+/// failure-2's latency profile (scenario-2), near-perfect success channel
+/// with cluster-3 the slightly-best backend; pair with failure2_faults().
+ScenarioTrace make_failure2_chaos(std::uint64_t seed = 7);
+
+/// The heavy fault timeline behind figure 11/12's failure-1: repeated
+/// whole-cluster crashes plus WAN brownouts/partition, a scrape outage and
+/// a controller pause. Times relative to measurement start; spans 600 s.
+chaos::FaultPlan failure1_faults();
+
+/// The lighter failure-2 timeline: short partial crashes and brief WAN /
+/// control-plane disturbances.
+chaos::FaultPlan failure2_faults();
 
 }  // namespace l3::workload

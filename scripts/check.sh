@@ -28,9 +28,10 @@ for preset in "${presets[@]}"; do
     # the parallel experiment runner, the simulator's context binding and
     # the concurrent-logging tests — plus the pooled call-state lifecycle
     # tests (SlotPool/ProxyCallPool), whose handle-staleness races are the
-    # invariant the request-path overhaul leans on.
+    # invariant the request-path overhaul leans on, and the chaos crash /
+    # injector tests, which recycle those handles mid-flight.
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool'
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash'
   else
     ctest --preset "$preset"
   fi
@@ -48,6 +49,17 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
       --json "$smoke_dir/j2.json" > "$smoke_dir/j2.out"
   diff "$smoke_dir/j1.out" "$smoke_dir/j2.out"
   diff "$smoke_dir/j1.json" "$smoke_dir/j2.json"
+  echo "    byte-identical at --jobs 1 and --jobs 2"
+
+  # Same guarantee under fault injection: fig11 arms a FaultPlan per cell,
+  # so this also proves chaos timelines are jobs-invariant.
+  echo "==> [default] chaos jobs-invariance smoke (fig11_failure_latency)"
+  ./build/bench/fig11_failure_latency --fast --reps 1 --jobs 1 \
+      --json "$smoke_dir/c1.json" > "$smoke_dir/c1.out"
+  ./build/bench/fig11_failure_latency --fast --reps 1 --jobs 2 \
+      --json "$smoke_dir/c2.json" > "$smoke_dir/c2.out"
+  diff "$smoke_dir/c1.out" "$smoke_dir/c2.out"
+  diff "$smoke_dir/c1.json" "$smoke_dir/c2.json"
   echo "    byte-identical at --jobs 1 and --jobs 2"
 fi
 

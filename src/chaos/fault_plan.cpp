@@ -1,0 +1,162 @@
+#include "l3/chaos/fault_plan.h"
+
+#include "l3/common/assert.h"
+#include "l3/common/rng.h"
+
+#include <cmath>
+#include <utility>
+
+namespace l3::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReplicaCrash:
+      return "crash";
+    case FaultKind::kWanPartition:
+      return "partition";
+    case FaultKind::kWanBrownout:
+      return "brownout";
+    case FaultKind::kScrapeOutage:
+      return "scrape-outage";
+    case FaultKind::kControllerPause:
+      return "controller-pause";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::crash(std::string service, mesh::ClusterId cluster,
+                            SimTime start, SimDuration duration,
+                            std::size_t replica) {
+  L3_EXPECTS(start >= 0.0 && duration >= 0.0);
+  L3_EXPECTS(!service.empty());
+  Fault f;
+  f.kind = FaultKind::kReplicaCrash;
+  f.start = start;
+  f.duration = duration;
+  f.service = std::move(service);
+  f.cluster = cluster;
+  f.replica = replica;
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(mesh::ClusterId a, mesh::ClusterId b,
+                                SimTime start, SimDuration duration) {
+  L3_EXPECTS(start >= 0.0 && duration >= 0.0);
+  Fault f;
+  f.kind = FaultKind::kWanPartition;
+  f.start = start;
+  f.duration = duration;
+  f.a = a;
+  f.b = b;
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan& FaultPlan::brownout(mesh::ClusterId a, mesh::ClusterId b,
+                               SimTime start, SimDuration duration,
+                               SimDuration extra_delay) {
+  L3_EXPECTS(start >= 0.0 && duration >= 0.0);
+  L3_EXPECTS(extra_delay >= 0.0);
+  Fault f;
+  f.kind = FaultKind::kWanBrownout;
+  f.start = start;
+  f.duration = duration;
+  f.a = a;
+  f.b = b;
+  f.extra_delay = extra_delay;
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan& FaultPlan::scrape_outage(SimTime start, SimDuration duration,
+                                    std::string target) {
+  L3_EXPECTS(start >= 0.0 && duration >= 0.0);
+  Fault f;
+  f.kind = FaultKind::kScrapeOutage;
+  f.start = start;
+  f.duration = duration;
+  f.scrape_target = std::move(target);
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan& FaultPlan::controller_pause(SimTime start, SimDuration duration) {
+  L3_EXPECTS(start >= 0.0 && duration >= 0.0);
+  Fault f;
+  f.kind = FaultKind::kControllerPause;
+  f.start = start;
+  f.duration = duration;
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan make_random_plan(const RandomPlanConfig& config,
+                           std::uint64_t seed) {
+  L3_EXPECTS(config.horizon > 0.0);
+  L3_EXPECTS(config.intensity >= 0.0);
+  L3_EXPECTS(config.clusters >= 2);
+  L3_EXPECTS(config.source < config.clusters);
+  FaultPlan plan;
+  SplitRng root(seed);
+  // Expected windows per kind at intensity 1 over a 600 s horizon; scaled
+  // linearly by both intensity and horizon.
+  const double scale =
+      config.intensity * (config.horizon / 600.0);
+  const auto count = [&](double per_600s) {
+    return static_cast<int>(std::lround(per_600s * scale));
+  };
+  // Fault windows start in the first 80 % of the horizon so their effect
+  // (and recovery) lands inside the measured run.
+  const double start_hi = config.horizon * 0.8;
+  const auto remote = [&](SplitRng& rng) -> mesh::ClusterId {
+    // A cluster other than the source, uniform.
+    auto pick = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(config.clusters - 1));
+    if (pick >= config.clusters - 1) pick = config.clusters - 2;
+    return static_cast<mesh::ClusterId>(pick >= config.source ? pick + 1
+                                                              : pick);
+  };
+
+  {
+    SplitRng rng = root.split("crash");
+    for (int i = 0; i < count(3.0); ++i) {
+      const auto cluster = static_cast<mesh::ClusterId>(
+          rng.uniform() * static_cast<double>(config.clusters));
+      plan.crash(config.service,
+                 std::min<mesh::ClusterId>(
+                     cluster, static_cast<mesh::ClusterId>(config.clusters - 1)),
+                 rng.uniform(0.0, start_hi), rng.uniform(15.0, 40.0));
+    }
+  }
+  {
+    SplitRng rng = root.split("brownout");
+    for (int i = 0; i < count(2.0); ++i) {
+      plan.brownout(config.source, remote(rng), rng.uniform(0.0, start_hi),
+                    rng.uniform(20.0, 50.0), rng.uniform(0.030, 0.080));
+    }
+  }
+  {
+    SplitRng rng = root.split("partition");
+    for (int i = 0; i < count(1.0); ++i) {
+      plan.partition(config.source, remote(rng), rng.uniform(0.0, start_hi),
+                     rng.uniform(10.0, 30.0));
+    }
+  }
+  {
+    SplitRng rng = root.split("scrape");
+    for (int i = 0; i < count(1.0); ++i) {
+      plan.scrape_outage(rng.uniform(0.0, start_hi), rng.uniform(10.0, 25.0));
+    }
+  }
+  {
+    SplitRng rng = root.split("pause");
+    for (int i = 0; i < count(1.0); ++i) {
+      plan.controller_pause(rng.uniform(0.0, start_hi),
+                            rng.uniform(10.0, 25.0));
+    }
+  }
+  return plan;
+}
+
+}  // namespace l3::chaos

@@ -18,7 +18,13 @@ struct L3Controller::BackendFilters {
         rps(cfg.default_rps, cfg.rps_half_life, t),
         inflight(cfg.default_inflight, cfg.inflight_half_life, t),
         mean_latency(cfg.default_latency, cfg.latency_half_life, t),
-        failure_latency(cfg.default_latency, cfg.penalty_half_life, t) {}
+        failure_latency(cfg.default_latency, cfg.penalty_half_life, t),
+        // The staleness clock starts when the backend comes under
+        // management, not at simulated time 0: a never-scraped backend
+        // begins converging `staleness` after manage(), not instantly
+        // (last_data == 0 used to make `now - last_data` overshoot the
+        // threshold on the very first tick).
+        last_data(t) {}
 
   metrics::LatencyFilter latency;
   metrics::Ewma success;
@@ -205,9 +211,13 @@ void L3Controller::tick_split(ManagedSplit& managed) {
         failure_latency_acc += f.failure_latency.value();
         ++failure_latency_n;
       }
-    } else if (now - f.last_data > config_.staleness) {
-      // §4: no metrics for >10 s → converge toward the defaults in small
-      // increments until samples return or the initial state is reached.
+    } else if (now - f.last_data >= config_.staleness) {
+      // §4 degraded-metrics semantics: for gaps SHORTER than the staleness
+      // threshold, signals freeze at their last filtered value (a scrape
+      // may legitimately lag by one interval and the last measurement is
+      // the best guess); from the threshold onward — inclusive, so a 10 s
+      // gap on a 5 s tick starts converging at 10 s, not 15 s — every tick
+      // blends the defaults in until samples return.
       f.latency.converge_to_default(now);
       f.mean_latency.converge_to_default(now);
       f.success.converge_to_default(now);

@@ -39,7 +39,8 @@ ExperimentSpec scenario_grid(std::string name,
                              std::vector<workload::ScenarioTrace> scenarios,
                              std::vector<workload::PolicyKind> policies,
                              workload::RunnerConfig base, int repetitions,
-                             std::vector<ConfigVariant> variants) {
+                             std::vector<ConfigVariant> variants,
+                             PerScenarioFn per_scenario) {
   L3_EXPECTS(!scenarios.empty());
   L3_EXPECTS(!policies.empty());
   L3_EXPECTS(repetitions >= 1);
@@ -65,12 +66,13 @@ ExperimentSpec scenario_grid(std::string name,
       std::move(policies));
   auto vars = std::make_shared<const std::vector<ConfigVariant>>(
       std::move(variants));
-  spec.cell = [traces, kinds, vars, base](const Cell& cell,
-                                          std::uint64_t seed) -> CellData {
+  spec.cell = [traces, kinds, vars, base, per_scenario](
+                  const Cell& cell, std::uint64_t seed) -> CellData {
     workload::RunnerConfig config = base;
     config.seed = seed;
     const auto& variant = (*vars)[cell.variant];
     if (variant.apply) variant.apply(config);
+    if (per_scenario) per_scenario(cell.scenario, config);
     return workload::run_scenario((*traces)[cell.scenario],
                                   (*kinds)[cell.policy], config);
   };

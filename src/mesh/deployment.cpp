@@ -62,7 +62,9 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
                                  server_span_name_, cluster_name_,
                                  service_);
   }
-  if (down_) {
+  // A deployment whose replicas all crashed rejects like a down one: the
+  // request reached the cluster but nothing can serve it.
+  if (down_ || alive_replicas() == 0) {
     ++rejected_;
     if (server.sampled()) {
       tracer_->end_span(server, trace::SpanStatus::kError);
@@ -70,11 +72,14 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
     done(Outcome{.success = false, .rejected = true});
     return;
   }
-  // Least-loaded replica, rotating tie-break so equal replicas share evenly.
+  // Least-loaded live replica, rotating tie-break so equal replicas share
+  // evenly. Crashed replicas are skipped — in-cluster balancing notices a
+  // dead pod immediately, unlike the cross-cluster health probe.
   std::size_t best = 0;
   std::size_t best_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const std::size_t idx = (rr_cursor_ + i) % replicas_.size();
+    if (replicas_[idx]->crashed()) continue;
     const std::size_t load = replicas_[idx]->load();
     if (load < best_load) {
       best_load = load;
@@ -92,6 +97,7 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
   call.server = server;
   call.enqueued = sim_.now();
   call.depth = depth;
+  call.replica = static_cast<std::uint32_t>(best);
   const bool accepted = replicas_[best]->submit(
       [this, handle](ReleaseToken release) {
         run_call(handle, std::move(release));
@@ -128,9 +134,16 @@ void ServiceDeployment::run_call(CallHandle handle, ReleaseToken release) {
 void ServiceDeployment::complete_call(CallHandle handle,
                                       const Outcome& outcome) {
   PendingCall* call = calls_.get(handle);
-  // A behavior double-firing its done callback resolves to a stale handle
-  // here (the first firing released the slot) — caught loudly.
-  L3_EXPECTS(call != nullptr);
+  if (call == nullptr) {
+    // The call was failed by crash_replica while its behavior was still
+    // running: the caller already got its failure and the slot is gone, so
+    // the behavior's late done-callback is absorbed here. Any OTHER stale
+    // handle means a behavior double-fired its done callback — still
+    // caught loudly.
+    L3_EXPECTS(crash_zombies_ > 0);
+    --crash_zombies_;
+    return;
+  }
   // Releasing the replica slot pumps its queue, which may re-enter
   // run_call for the next waiting request; the chunked pool keeps `call`
   // stable through that.
@@ -145,6 +158,59 @@ void ServiceDeployment::complete_call(CallHandle handle,
   done(outcome);
 }
 
+void ServiceDeployment::crash_replica(std::size_t i) {
+  L3_EXPECTS(i < replicas_.size());
+  Replica& replica = *replicas_[i];
+  if (replica.crashed()) return;
+  // Phase 1: stop the replica. Queued jobs (closures over {this, handle})
+  // are destroyed unrun; their pool entries are failed below.
+  replica.crash();
+  // Phase 2: collect this replica's pending calls, then fail them in index
+  // order. Two phases because failing a call fires its done callback, which
+  // may re-enter handle() and mutate the pool mid-iteration.
+  std::vector<CallHandle> victims;
+  calls_.for_each_live([&](CallHandle h, PendingCall& call) {
+    if (call.replica == i) victims.push_back(h);
+  });
+  for (const CallHandle h : victims) {
+    PendingCall* call = calls_.get(h);
+    L3_ASSERT(call != nullptr);  // collected above; only we release them
+    const bool running = static_cast<bool>(call->release);
+    if (running) {
+      // In flight: release the concurrency slot through the one ReleaseToken
+      // (exactly-once is structural), and remember that the behavior's done
+      // callback is still going to fire against the now-stale handle.
+      call->release();
+      ++crash_zombies_;
+    }
+    ++crash_failed_;
+    if (call->server.sampled()) {
+      tracer_->end_span(call->server, trace::SpanStatus::kError);
+    }
+    OutcomeFn done = std::move(call->done);
+    calls_.release(h);
+    // Same shape as any other failure: the caller (the proxy's response
+    // chain) sees a non-success Outcome — requests fail, they don't vanish.
+    done(Outcome{.success = false, .rejected = !running});
+  }
+}
+
+void ServiceDeployment::restart_replica(std::size_t i) {
+  L3_EXPECTS(i < replicas_.size());
+  Replica& replica = *replicas_[i];
+  if (!replica.crashed()) return;
+  L3_ASSERT(replica.active() == 0);  // crash_replica released every slot
+  replica.restart();
+}
+
+std::size_t ServiceDeployment::alive_replicas() const {
+  std::size_t alive = 0;
+  for (const auto& r : replicas_) {
+    if (!r->crashed()) ++alive;
+  }
+  return alive;
+}
+
 void ServiceDeployment::add_replica() {
   replicas_.push_back(
       std::make_unique<Replica>(config_.concurrency, config_.queue_capacity));
@@ -153,6 +219,10 @@ void ServiceDeployment::add_replica() {
 bool ServiceDeployment::remove_idle_replica() {
   if (replicas_.size() <= 1) return false;
   for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    // A crashed replica idles at load 0 but is awaiting restart, not
+    // scale-down; removing it would also shift the indices fault plans
+    // reference.
+    if ((*it)->crashed()) continue;
     if ((*it)->load() == 0) {
       replicas_.erase(it);
       if (rr_cursor_ >= replicas_.size()) rr_cursor_ = 0;

@@ -17,7 +17,9 @@ void HealthChecker::start(SimDuration interval) {
 
 void HealthChecker::probe_once() {
   for (auto& [deployment, healthy] : view_) {
-    const bool up = !deployment->is_down();
+    // Down (administratively) or with every replica crashed, the deployment
+    // cannot serve — either way the next probe marks it unavailable.
+    const bool up = !deployment->is_down() && deployment->alive_replicas() > 0;
     if (up != healthy) {
       healthy = up;
       ++version_;

@@ -71,11 +71,17 @@ void Proxy::refresh_availability() {
     return;
   }
   const std::size_t n = backends_.size();
+  const bool check_partitions = wan_.has_partitions();
   std::uint64_t mask = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const bool healthy =
         health_ == nullptr || health_->is_available(*backends_[i].deployment);
-    if (healthy && !outlier_.is_ejected(i, now)) mask |= 1ull << i;
+    const bool reachable =
+        !check_partitions ||
+        !wan_.is_partitioned(source_, backends_[i].deployment->cluster(), now);
+    if (healthy && reachable && !outlier_.is_ejected(i, now)) {
+      mask |= 1ull << i;
+    }
   }
   if (mask == 0) {
     // Nothing available: fall back to trying everything so requests fail at
@@ -86,6 +92,10 @@ void Proxy::refresh_availability() {
   health_version_seen_ = health_version;
   outlier_version_seen_ = outlier_version;
   avail_valid_until_ = outlier_.next_transition(now);
+  if (check_partitions) {
+    avail_valid_until_ =
+        std::min(avail_valid_until_, wan_.next_partition_transition(now));
+  }
   avail_valid_ = true;
 }
 
@@ -219,6 +229,15 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
     CallState* st = calls_.get(handle);
     L3_ASSERT(st != nullptr);  // the response chain holds the slot
     BackendSlot& s = backends_[st->backend];
+    if (wan_.has_partitions() &&
+        wan_.is_partitioned(source_, s.deployment->cluster(), sim_.now())) {
+      // The link died while the request was in transit (or the partitioned
+      // backend was the all-unavailable fallback): the request is dropped
+      // on the floor and the connection resets — a fast failure, not a
+      // full client-timeout wait.
+      on_response(handle, Outcome{.success = false, .rejected = true});
+      return;
+    }
     s.deployment->handle(
         depth + 1, st->span, [this, handle](const Outcome& outcome) {
           CallState* st2 = calls_.get(handle);
@@ -234,8 +253,16 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
                               s2.wan_in_name, src_name_, split_.service(),
                               sim_.now(), sim_.now() + inbound);
           }
-          sim_.schedule_after(inbound, [this, handle, outcome] {
-            on_response(handle, outcome);
+          // A partition racing the response direction loses the response:
+          // the backend did the work but the client sees a failure.
+          Outcome delivered = outcome;
+          if (wan_.has_partitions() &&
+              wan_.is_partitioned(s2.deployment->cluster(), source_,
+                                  sim_.now())) {
+            delivered = Outcome{.success = false, .rejected = false};
+          }
+          sim_.schedule_after(inbound, [this, handle, delivered] {
+            on_response(handle, delivered);
           });
         });
   });

@@ -6,6 +6,10 @@ namespace l3::mesh {
 
 bool Replica::submit(ReplicaJob job) {
   L3_EXPECTS(job != nullptr);
+  if (crashed_) {
+    ++rejected_;
+    return false;
+  }
   if (active_ < concurrency_) {
     run(std::move(job));
     return true;
@@ -26,12 +30,23 @@ void Replica::run(ReplicaJob job) {
 void Replica::release_one() {
   L3_ASSERT(active_ > 0);
   --active_;
+  // Tokens released while crashed come from the crash path failing the
+  // in-flight calls: those are not completions, and the (already emptied)
+  // queue must not be pumped.
+  if (crashed_) return;
   ++completed_;
   if (!queue_.empty() && active_ < concurrency_) {
     ReplicaJob next = std::move(queue_.front());
     queue_.pop_front();
     run(std::move(next));
   }
+}
+
+std::size_t Replica::crash() {
+  crashed_ = true;
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
 }
 
 }  // namespace l3::mesh

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace l3::mesh {
 
@@ -41,6 +42,31 @@ void WanModel::add_disturbance(Disturbance d) {
   L3_EXPECTS(d.from < n_ && d.to < n_);
   L3_EXPECTS(d.end > d.start && d.extra >= 0.0);
   disturbances_.push_back(d);
+}
+
+void WanModel::add_partition(Partition p) {
+  L3_EXPECTS(p.a < n_ && p.b < n_);
+  L3_EXPECTS(p.end > p.start);
+  partitions_.push_back(p);
+}
+
+bool WanModel::is_partitioned(ClusterId from, ClusterId to,
+                              SimTime now) const {
+  for (const auto& p : partitions_) {
+    const bool matches = (p.a == from && p.b == to) ||
+                         (p.a == to && p.b == from);
+    if (matches && now >= p.start && now < p.end) return true;
+  }
+  return false;
+}
+
+SimTime WanModel::next_partition_transition(SimTime now) const {
+  SimTime next = std::numeric_limits<SimTime>::infinity();
+  for (const auto& p : partitions_) {
+    if (p.start > now) next = std::min(next, p.start);
+    if (p.end > now) next = std::min(next, p.end);
+  }
+  return next;
 }
 
 double WanModel::flap_unit(ClusterId from, ClusterId to, std::uint64_t epoch) {

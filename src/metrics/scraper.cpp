@@ -21,6 +21,10 @@ bool Scraper::set_target_enabled(const std::string& name, bool enabled) {
   return false;
 }
 
+void Scraper::set_all_targets_enabled(bool enabled) {
+  for (auto& target : targets_) target.enabled = enabled;
+}
+
 void Scraper::start(SimDuration interval) {
   L3_EXPECTS(interval > 0.0);
   stop();

@@ -51,6 +51,12 @@ std::string json_escape(std::string_view s) {
 
 void write_chrome_trace(const std::deque<TraceRecord>& traces,
                         std::ostream& os) {
+  write_chrome_trace(traces, std::span<const FaultMarker>{}, os);
+}
+
+void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::span<const FaultMarker> markers,
+                        std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   std::size_t pid = 0;
@@ -82,6 +88,21 @@ void write_chrome_trace(const std::deque<TraceRecord>& traces,
       ++tid;
     }
     ++pid;
+  }
+  if (!markers.empty()) {
+    // Fault transitions as instant events with global scope ("s":"g"), so
+    // viewers draw a full-height line at each fault boundary.
+    write_event_prefix(os, first);
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"faults\"}}";
+    for (const FaultMarker& marker : markers) {
+      write_event_prefix(os, first);
+      os << "{\"name\":\"" << json_escape(marker.name) << "\",\"cat\":\""
+         << "fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
+         << fmt_us(to_us(marker.time)) << ",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"phase\":\"" << json_escape(marker.phase)
+         << "\"}}";
+    }
   }
   os << "\n]}\n";
 }

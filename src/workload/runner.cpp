@@ -1,5 +1,6 @@
 #include "l3/workload/runner.h"
 
+#include "l3/chaos/injector.h"
 #include "l3/common/assert.h"
 #include "l3/lb/l3_policy.h"
 #include "l3/lb/locality_policy.h"
@@ -69,6 +70,8 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
   mesh_config.propagation_delay = config.propagation_delay;
   mesh_config.routing = config.routing;
   mesh_config.outlier_detection = config.outlier;
+  mesh_config.request_timeout = config.request_timeout;
+  mesh_config.health_probe_interval = config.health_probe_interval;
   mesh::Mesh mesh(sim, root.split("mesh"), mesh_config);
 
   const auto c1 = mesh.add_cluster("cluster-1", "eu-central-1");
@@ -119,6 +122,12 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
   }
   controller.manage_all();
   controller.start();
+
+  // Fault injection: plan times are relative to measurement start.
+  chaos::FaultInjector injector(sim, mesh);
+  injector.set_scraper(&scraper);
+  injector.add_controller(&controller);
+  if (!config.faults.empty()) injector.arm(config.faults, config.warmup);
 
   // Load generator in cluster-1 driving the scenario's request volume.
   const SimTime t0 = config.warmup;

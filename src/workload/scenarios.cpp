@@ -340,6 +340,103 @@ ScenarioTrace make_failure2(std::uint64_t seed) {
   return generate_scenario(s, seed);
 }
 
+ScenarioTrace make_failure1_chaos(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "failure-1-chaos";
+  // Latency profile of scenario-1, like make_failure1 — but the success
+  // channel carries only light background noise; the real failures come
+  // from failure1_faults() as injected mesh events.
+  s.rps_base = 300.0;
+  s.rps_lo = 270.0;
+  s.rps_hi = 330.0;
+  s.rps_sigma = 3.0;
+  s.med_lo = 0.050;
+  s.med_hi = 0.115;
+  s.med_sigma = 0.002;
+  s.ratio_lo = 2.0;
+  s.ratio_hi = 7.0;
+  s.ratio_sigma = 0.20;
+  s.spike_prob = 0.006;
+  s.spike_mult_lo = 2.0;
+  s.spike_mult_hi = 4.0;
+  s.spike_duration = 25.0;
+  s.slow_period = 150.0;
+  s.slow_duration = 40.0;
+  s.slow_med_mult = 1.7;
+  s.slow_ratio_mult = 2.0;
+  s.cluster_med_mult = {0.75, 2.3, 1.05};
+  s.max_p99 = 1.0;
+  s.succ_lo = 0.985;
+  s.succ_hi = 0.998;
+  s.succ_sigma = 0.001;
+  return generate_scenario(s, seed);
+}
+
+ScenarioTrace make_failure2_chaos(std::uint64_t seed) {
+  ScenarioShape s;
+  s.name = "failure-2-chaos";
+  // Latency profile of scenario-2; near-perfect success channel with
+  // cluster-3 the slightly-best backend (the §5.2.1 ceiling), failures
+  // injected by failure2_faults().
+  s.rps_base = 120.0;
+  s.rps_lo = 45.0;
+  s.rps_hi = 200.0;
+  s.rps_sigma = 6.0;
+  s.med_lo = 0.003;
+  s.med_hi = 0.009;
+  s.med_sigma = 0.0004;
+  s.ratio_lo = 3.0;
+  s.ratio_hi = 11.0;
+  s.ratio_sigma = 0.25;
+  s.spike_prob = 0.012;
+  s.spike_mult_lo = 10.0;
+  s.spike_mult_hi = 28.0;
+  s.spike_duration = 35.0;
+  s.slow_period = 90.0;
+  s.slow_duration = 55.0;
+  s.slow_med_mult = 10.0;
+  s.slow_ratio_mult = 1.0;
+  s.succ_lo = 0.992;
+  s.succ_hi = 0.998;
+  s.succ_sigma = 0.0005;
+  s.cluster_succ_bonus = {0.0, -0.002, 0.002};
+  s.max_p99 = 2.4;
+  return generate_scenario(s, seed);
+}
+
+chaos::FaultPlan failure1_faults() {
+  // Heavy timeline over the 600 s run: every backend cluster loses all
+  // replicas at least once, the WAN degrades twice, metrics and control
+  // each go away once. Average success lands near failure-1's ≈91 % for a
+  // success-blind balancer; a success-aware one can dodge most of it.
+  chaos::FaultPlan plan;
+  plan.crash("api", 1, 30.0, 45.0)
+      .brownout(0, 2, 95.0, 40.0, 0.080)
+      .crash("api", 2, 150.0, 40.0)
+      .scrape_outage(210.0, 30.0)
+      .partition(0, 1, 260.0, 35.0)
+      .controller_pause(320.0, 25.0)
+      .crash("api", 1, 370.0, 50.0)
+      .brownout(0, 1, 450.0, 40.0, 0.060)
+      .crash("api", 2, 510.0, 40.0);
+  return plan;
+}
+
+chaos::FaultPlan failure2_faults() {
+  // Light timeline: short partial crashes (single replica or brief full
+  // outage) and brief WAN / control-plane disturbances — the ~99 % regime
+  // with short dips.
+  chaos::FaultPlan plan;
+  plan.crash("api", 1, 40.0, 30.0, /*replica=*/0)
+      .crash("api", 1, 90.0, 15.0)
+      .brownout(0, 2, 140.0, 25.0, 0.040)
+      .partition(0, 1, 200.0, 20.0)
+      .scrape_outage(300.0, 20.0)
+      .crash("api", 2, 380.0, 15.0)
+      .controller_pause(460.0, 20.0);
+  return plan;
+}
+
 std::vector<ScenarioTrace> all_latency_scenarios(std::uint64_t seed_base) {
   std::vector<ScenarioTrace> out;
   out.push_back(make_scenario1(seed_base + 0));

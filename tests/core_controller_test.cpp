@@ -128,6 +128,67 @@ TEST_F(ControllerTest, StaleBackendConvergesTowardDefault) {
   EXPECT_LT(snapshot[0].backends[0].latency_p99, 1.0);
 }
 
+TEST_F(ControllerTest, StalenessBoundaryFreezesThenConverges) {
+  // §4 degraded-metrics semantics, regression for the boundary: during a
+  // scrape gap SHORTER than the staleness threshold (10 s) the filtered
+  // signals freeze at their last value; from the threshold onward —
+  // inclusive — they converge toward the defaults. The old `>` comparison
+  // silently granted one extra frozen control tick (a 10 s gap on a 5 s
+  // cadence only started converging at 15 s).
+  start_stack({0.020, 0.020, 0.020}, std::make_unique<lb::L3Policy>());
+  sim.run_until(62.0);  // past the tick + scrape at t = 60
+
+  // Total scrape outage: the registry keeps counting, the TSDB goes dark.
+  scraper->set_all_targets_enabled(false);
+
+  // Tick at 65 still sees data (the 10 s query window reaches the t = 60
+  // scrape); the gap starts there: frozen at 70 (gap 5), converging at 75
+  // (gap 10, the inclusive boundary).
+  sim.run_until(67.0);
+  const double with_data = controller->snapshot()[0].backends[0].latency_p99;
+  sim.run_until(72.0);
+  const double frozen = controller->snapshot()[0].backends[0].latency_p99;
+  EXPECT_DOUBLE_EQ(frozen, with_data) << "gap below threshold must freeze";
+  sim.run_until(77.0);
+  const double converging = controller->snapshot()[0].backends[0].latency_p99;
+  EXPECT_GT(converging, frozen)
+      << "gap at exactly the threshold must start converging to the 5 s "
+         "default";
+
+  // And with the outage lifted the filters track reality again.
+  scraper->set_all_targets_enabled(true);
+  sim.run_until(140.0);
+  EXPECT_LT(controller->snapshot()[0].backends[0].latency_p99, 1.0);
+}
+
+TEST_F(ControllerTest, NeverScrapedBackendHoldsDefaultsWithoutSampleNoise) {
+  // A split managed with no traffic at all: the staleness clock starts at
+  // manage() time (last_data == 0 used to trip the threshold on the very
+  // first tick) and converge-to-default must hold the filters exactly at
+  // the §4 defaults without ever inventing samples.
+  for (std::size_t i = 0; i < 3; ++i) {
+    mesh.deploy("svc", static_cast<mesh::ClusterId>(i), {},
+                std::make_unique<mesh::FixedLatencyBehavior>(0.02, 0.08));
+  }
+  mesh.proxy(c1, "svc");
+  scraper = std::make_unique<metrics::Scraper>(sim, tsdb);
+  scraper->add_target("c1", mesh.registry(c1));
+  scraper->start(5.0);
+  sim.run_until(50.0);
+  controller = std::make_unique<L3Controller>(
+      mesh, tsdb, c1, std::make_unique<lb::L3Policy>(), ControllerConfig{});
+  controller->manage_all();
+  controller->start();
+  sim.run_until(120.0);
+  const auto snapshot = controller->snapshot();
+  for (const auto& backend : snapshot[0].backends) {
+    EXPECT_DOUBLE_EQ(backend.latency_p99, 5.0);  // §4 defaults, untouched
+    EXPECT_DOUBLE_EQ(backend.success_rate, 1.0);
+    EXPECT_DOUBLE_EQ(backend.rps, 0.0);
+  }
+  EXPECT_GT(controller->ticks(), 0u);
+}
+
 TEST_F(ControllerTest, InactiveControllerDoesNotTouchWeights) {
   start_stack({0.020, 0.200, 0.200}, std::make_unique<lb::L3Policy>());
   controller->set_active(false);

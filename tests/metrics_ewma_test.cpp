@@ -66,6 +66,38 @@ TEST(Ewma, ConvergeToDefaultMovesBack) {
   EXPECT_NEAR(e.value(), 5.0, 0.01);  // §4: reaches the initial state
 }
 
+TEST(Ewma, ConvergeToDefaultDoesNotMarkSamples) {
+  // Regression: converge_to_default used to route through observe(), which
+  // set has_samples_ — so a backend that had NEVER reported data looked
+  // like one with fresh samples after its first staleness tick, and the
+  // controller's have-data bookkeeping lied upstream.
+  Ewma e(5.0, 5.0, 0.0);
+  e.converge_to_default(10.0);
+  EXPECT_FALSE(e.has_samples());
+  // The numeric trajectory is the same blend observe(default) produced.
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+
+  // And converging after real samples keeps the flag set.
+  e.observe(0.1, 15.0);
+  e.converge_to_default(20.0);
+  EXPECT_TRUE(e.has_samples());
+}
+
+TEST(PeakEwma, ConvergeToDefaultDoesNotMarkSamples) {
+  PeakEwma p(0.1, 5.0, 0.0);
+  p.converge_to_default(10.0);
+  EXPECT_FALSE(p.has_samples());
+  p.observe(3.0, 15.0);
+  EXPECT_TRUE(p.has_samples());
+  p.converge_to_default(20.0);
+  EXPECT_TRUE(p.has_samples());
+}
+
+TEST(PeakEwma, ConvergeToDefaultRejectsTimeTravel) {
+  PeakEwma p(0.1, 5.0, 10.0);
+  EXPECT_THROW(p.converge_to_default(5.0), ContractViolation);
+}
+
 TEST(Ewma, ResetRestoresDefault) {
   Ewma e(5.0, 5.0, 0.0);
   e.observe(0.1, 5.0);

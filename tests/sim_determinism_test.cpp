@@ -89,6 +89,23 @@ constexpr std::uint64_t kGoldenFailure1C3 = 0xfa4d7b14c44fe850ull;
 // path overhaul; covers the routing paths the goldens above do not (PeakEWMA
 // P2C picks and outlier-detection ejections).
 constexpr std::uint64_t kGoldenFailure1P2cOutlier = 0x6a79e1052ef3ac06ull;
+// Recorded when the l3::chaos fault injector landed; pin the full chaos
+// event set (crash/restart, brownout, partition, scrape outage, controller
+// pause) composed with the workload.
+constexpr std::uint64_t kGoldenScenario1L3Chaos = 0xd6b24b589efecf56ull;
+constexpr std::uint64_t kGoldenFailure1ChaosC3 = 0x0c5a4f23cdad9553ull;
+
+/// A fault timeline dense enough that every fault kind fires inside the
+/// 40 s measured window of short_config().
+chaos::FaultPlan golden_chaos_plan() {
+  chaos::FaultPlan plan;
+  plan.crash("api", 1, 5.0, 10.0)
+      .brownout(0, 2, 8.0, 10.0, 0.050)
+      .partition(0, 1, 18.0, 6.0)
+      .scrape_outage(25.0, 10.0)
+      .controller_pause(30.0, 5.0);
+  return plan;
+}
 
 TEST(Determinism, Scenario1L3MatchesGoldenTrace) {
   const ScenarioTrace trace = make_scenario1(1);
@@ -119,6 +136,44 @@ TEST(Determinism, Failure1P2cOutlierMatchesGoldenTrace) {
                                         config);
   EXPECT_EQ(trace_hash(result), kGoldenFailure1P2cOutlier)
       << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, Scenario1L3ChaosMatchesGoldenTrace) {
+  const ScenarioTrace trace = make_scenario1(1);
+  RunnerConfig config = short_config();
+  config.health_probe_interval = 0.0;
+  config.faults = golden_chaos_plan();
+  const RunResult result = run_scenario(trace, PolicyKind::kL3, config);
+  EXPECT_EQ(trace_hash(result), kGoldenScenario1L3Chaos)
+      << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, Failure1ChaosC3WithHealthMatchesGoldenTrace) {
+  // Same fault timeline, different policy + routing surface: health probes
+  // on (crash detection via probing) and retries exercising the
+  // failure-retry path against crash-failed requests.
+  const ScenarioTrace trace = make_failure1_chaos(6);
+  RunnerConfig config = short_config();
+  config.poisson_arrivals = true;
+  config.client_retries = 1;
+  config.faults = golden_chaos_plan();
+  const RunResult result = run_scenario(trace, PolicyKind::kC3, config);
+  EXPECT_EQ(trace_hash(result), kGoldenFailure1ChaosC3)
+      << "trace hash: 0x" << std::hex << trace_hash(result);
+}
+
+TEST(Determinism, ChaosRunsReproduceIdenticalTraces) {
+  const ScenarioTrace trace = make_failure1_chaos(6);
+  RunnerConfig config = short_config();
+  config.health_probe_interval = 0.0;
+  config.faults = golden_chaos_plan();
+  const RunResult a = run_scenario(trace, PolicyKind::kL3, config);
+  const RunResult b = run_scenario(trace, PolicyKind::kL3, config);
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+  EXPECT_EQ(a.requests, b.requests);
+  // The faults actually bite: some requests fail in the fault windows.
+  EXPECT_LT(a.summary.success_rate, 1.0);
+  EXPECT_GT(a.summary.success_rate, 0.5);
 }
 
 TEST(Determinism, RepeatedRunsReproduceIdenticalTraces) {

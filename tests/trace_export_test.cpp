@@ -110,6 +110,33 @@ TEST(ChromeTrace, GoldenSingleSpan) {
             "]}\n");
 }
 
+TEST(ChromeTrace, FaultMarkersRenderAsGlobalInstants) {
+  std::deque<TraceRecord> traces{make_trace()};
+  const std::vector<FaultMarker> markers = {
+      {0.050, "crash:api@c2", "begin"},
+      {0.090, "crash:api@c2", "end"},
+  };
+  std::ostringstream os;
+  write_chrome_trace(traces, markers, os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonValidator::valid(text)) << text;
+  // Markers land in a dedicated "faults" process one pid past the traces,
+  // as global-scope instant events.
+  EXPECT_NE(text.find("\"name\":\"faults\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"crash:api@c2\",\"cat\":\"fault\","
+                      "\"ph\":\"i\",\"s\":\"g\",\"ts\":50000.000,\"pid\":1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"phase\":\"begin\""), std::string::npos);
+  EXPECT_NE(text.find("\"phase\":\"end\""), std::string::npos);
+
+  // Without markers the overload is byte-identical to the plain exporter.
+  std::ostringstream plain, empty_markers;
+  write_chrome_trace(traces, plain);
+  write_chrome_trace(traces, std::span<const FaultMarker>{}, empty_markers);
+  EXPECT_EQ(plain.str(), empty_markers.str());
+}
+
 TEST(ChromeTrace, EventsCarrySpanArgs) {
   std::deque<TraceRecord> traces{make_trace()};
   std::ostringstream os;
