@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   auto trace = std::make_shared<const workload::ScenarioTrace>(
       workload::make_scenario1());
   workload::RunnerConfig config;
+  config.profile = args.profile;
   if (args.fast) config.duration = 180.0;
 
   const std::vector<double> lambdas = {0.5, 2.0, 8.0};

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   auto trace = std::make_shared<const workload::ScenarioTrace>(
       workload::make_failure1());
   workload::RunnerConfig base;
+  base.profile = args.profile;
   base.wan_one_way = 0.070;
   if (args.fast) base.duration = 180.0;
 

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   auto trace = std::make_shared<const workload::ScenarioTrace>(
       workload::make_scenario3());
   workload::RunnerConfig base;
+  base.profile = args.profile;
   if (args.fast) base.duration = 180.0;
 
   struct Strategy {

@@ -23,9 +23,12 @@
 #include "l3/workload/scenario.h"
 #include "l3/workload/trace_behavior.h"
 
+#include "l3/obs/recorder.h"
+
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 namespace {
 
@@ -35,8 +38,12 @@ struct SurgeResult {
   std::uint64_t scale_ups = 0;
 };
 
-SurgeResult run(bool rate_control, std::uint64_t seed) {
+SurgeResult run(bool rate_control, std::uint64_t seed,
+                l3::obs::Recorder* recorder) {
   using namespace l3;
+  // Inline harness (no workload::runner), so the recorder binds here.
+  std::optional<obs::ScopedRecorderBind> recorder_bind;
+  if (recorder != nullptr) recorder_bind.emplace(*recorder);
   const SimTime surge_at = 120.0;
   const SimTime end = 300.0;
 
@@ -143,12 +150,17 @@ int main(int argc, char** argv) {
   spec.policies = {"L3 with Algorithm 2", "L3 without"};
   spec.repetitions = reps;
   spec.seed = 42;
-  spec.cell = [](const exp::Cell& cell, std::uint64_t seed) -> exp::CellData {
-    const auto r = run(cell.policy == 0, seed);
+  spec.cell = [profile = args.profile](const exp::Cell& cell,
+                                       std::uint64_t seed) -> exp::CellData {
+    std::optional<obs::Recorder> recorder;
+    if (profile) recorder.emplace();
+    const auto r = run(cell.policy == 0, seed,
+                       recorder ? &*recorder : nullptr);
     exp::CellData data;
     data.metrics = {{"p99_steady", r.p99_steady},
                     {"p99_surge", r.p99_surge},
                     {"scale_ups", static_cast<double>(r.scale_ups)}};
+    if (recorder) data.run.profile = recorder->profile();
     return data;
   };
   const auto results = exp::run_experiment(spec, {.jobs = args.jobs});

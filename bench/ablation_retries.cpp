@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   const auto trace = workload::make_failure1();
   workload::RunnerConfig base;
+  base.profile = args.profile;
   if (args.fast) base.duration = 180.0;
 
   const std::vector<int> retry_counts = {0, 2};

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   const auto trace = workload::make_scenario4();
   workload::RunnerConfig base;
+  base.profile = args.profile;
   if (args.fast) base.duration = 180.0;
 
   auto rr_spec =

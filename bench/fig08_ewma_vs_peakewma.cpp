@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 8", "EWMA vs PeakEWMA on scenario-4");
 
   workload::RunnerConfig config;
+  config.profile = args.profile;
   if (args.fast) config.duration = 180.0;
 
   auto spec = exp::scenario_grid(

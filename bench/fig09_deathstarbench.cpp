@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                       "DeathStarBench hotel-reservation P99, 200 RPS");
 
   dsb::DsbRunnerConfig config;
+  config.profile = args.profile;
   if (args.fast) config.duration = 180.0;
 
   const std::vector<workload::PolicyKind> kinds = {

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                       "P99 latency on scenario-1..5, RR vs C3 vs L3");
 
   workload::RunnerConfig config;
+  config.profile = args.profile;
   if (args.fast) config.duration = 180.0;
 
   auto spec = exp::scenario_grid(

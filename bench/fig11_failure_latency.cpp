@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 11", "P99 latency on failure-1 / failure-2");
 
   workload::RunnerConfig config;
+  config.profile = args.profile;
   if (args.fast) config.duration = 180.0;
   config.health_probe_interval = 0.0;  // failures visible via metrics only
 

@@ -9,12 +9,26 @@
 //
 // no_tracer and off must be indistinguishable; sampled shows the cost of
 // the spans themselves.
+//
+// The same split exists for the l3::obs flight recorder: no_recorder vs
+// recorder-bound request benchmarks, plus `--obs-gate [MAX_PCT]` — a
+// non-google-benchmark mode used by scripts/check.sh that runs a full
+// scenario with and without the recorder, asserts the recorded run stays
+// within MAX_PCT (default 5%) of the plain one, and asserts both runs
+// produce identical simulation results (profiling must not perturb the DES).
 #include "l3/mesh/mesh.h"
+#include "l3/obs/recorder.h"
 #include "l3/sim/simulator.h"
 #include "l3/trace/tracer.h"
+#include "l3/workload/runner.h"
+#include "l3/workload/scenarios.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 
@@ -97,6 +111,142 @@ void BM_StartTraceOff(benchmark::State& state) {
 }
 BENCHMARK(BM_StartTraceOff);
 
+/// Request path with no recorder bound: every L3_OBS_* macro pays one
+/// thread-local read + null check and nothing else.
+void BM_RequestNoRecorder(benchmark::State& state) {
+  run_requests(state, TracerSetup::kNone);
+}
+BENCHMARK(BM_RequestNoRecorder);
+
+/// Request path with the flight recorder bound: counters, rings and sampled
+/// scope timers all live. The ratio to BM_RequestNoRecorder is the recorder
+/// overhead the --obs-gate mode asserts on at scenario scale.
+void BM_RequestRecorder(benchmark::State& state) {
+  obs::Recorder recorder;
+  obs::ScopedRecorderBind bind(recorder);
+  run_requests(state, TracerSetup::kNone);
+}
+BENCHMARK(BM_RequestRecorder);
+
+/// Isolated cost of one counter increment on a bound shard.
+void BM_ObsCountBound(benchmark::State& state) {
+  obs::Recorder recorder;
+  obs::ScopedRecorderBind bind(recorder);
+  for (auto _ : state) {
+    L3_OBS_COUNT(kMeshRequests, 1);
+  }
+}
+BENCHMARK(BM_ObsCountBound);
+
+/// Isolated cost of one counter increment with no recorder bound (the
+/// common case in production runs: TLS read + branch, nothing else).
+void BM_ObsCountUnbound(benchmark::State& state) {
+  for (auto _ : state) {
+    L3_OBS_COUNT(kMeshRequests, 1);
+  }
+}
+BENCHMARK(BM_ObsCountUnbound);
+
+// ---------------------------------------------------------------------------
+// --obs-gate: the check.sh overhead gate. Runs scenario-1 under the L3
+// policy with the recorder off and on (best of `reps` each), fails if the
+// recorder run is more than `max_pct` slower or if profiling changed the
+// simulation results.
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct GateRun {
+  double wall = 1e300;
+  std::uint64_t requests = 0;
+  double p99 = 0.0;
+  std::size_t subsystems = 0;
+};
+
+GateRun best_of(const workload::ScenarioTrace& trace,
+                const workload::RunnerConfig& config, int reps) {
+  GateRun best;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result =
+        workload::run_scenario(trace, workload::PolicyKind::kL3, config);
+    const double wall = seconds_since(start);
+    if (wall < best.wall) best.wall = wall;
+    // Deterministic outputs: identical across reps, so last-write is fine.
+    best.requests = result.requests;
+    best.p99 = result.summary.latency.p99;
+    best.subsystems = result.profile.active_subsystems();
+  }
+  return best;
+}
+
+int run_obs_gate(double max_pct, int reps) {
+  const auto trace = workload::make_scenario1(1);
+  workload::RunnerConfig config;
+  config.seed = 42;
+  config.warmup = 30.0;
+  config.duration = 120.0;
+
+  const GateRun plain = best_of(trace, config, reps);
+  config.profile = true;
+  const GateRun recorded = best_of(trace, config, reps);
+
+  const double overhead_pct =
+      (recorded.wall - plain.wall) / plain.wall * 100.0;
+  std::printf("obs-gate: plain %.3f s, recorder %.3f s, overhead %+.2f%% "
+              "(limit %.1f%%), %zu subsystems profiled\n",
+              plain.wall, recorded.wall, overhead_pct, max_pct,
+              recorded.subsystems);
+
+  if (plain.requests != recorded.requests || plain.p99 != recorded.p99) {
+    std::printf("obs-gate FAIL: profiling perturbed the simulation "
+                "(requests %llu vs %llu, p99 %.17g vs %.17g)\n",
+                static_cast<unsigned long long>(plain.requests),
+                static_cast<unsigned long long>(recorded.requests), plain.p99,
+                recorded.p99);
+    return 1;
+  }
+  if (recorded.subsystems < 6) {
+    std::printf("obs-gate FAIL: only %zu subsystems profiled (expected >= 6 "
+                "on the full scenario path)\n",
+                recorded.subsystems);
+    return 1;
+  }
+  if (overhead_pct > max_pct) {
+    std::printf("obs-gate FAIL: recorder overhead %.2f%% exceeds %.1f%%\n",
+                overhead_pct, max_pct);
+    return 1;
+  }
+  std::printf("obs-gate ok\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double obs_gate_pct = 0.0;
+  int obs_gate_reps = 3;
+  bool obs_gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-gate") == 0) {
+      obs_gate = true;
+      obs_gate_pct = 5.0;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        obs_gate_pct = std::atof(argv[++i]);
+      }
+    } else if (std::strcmp(argv[i], "--obs-gate-reps") == 0 && i + 1 < argc) {
+      obs_gate_reps = std::atoi(argv[++i]);
+    }
+  }
+  if (obs_gate) {
+    return run_obs_gate(obs_gate_pct, obs_gate_reps < 1 ? 1 : obs_gate_reps);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,7 +9,10 @@
 //                                     Perfetto (ui.perfetto.dev) or
 //                                     chrome://tracing to see the
 //                                     client → proxy → WAN → server span
-//                                     trees of the tail requests;
+//                                     trees of the tail requests, plus an
+//                                     "obs" process with rt.counter.* /
+//                                     rt.gauge.* counter tracks and the
+//                                     flight-recorder ring lanes;
 //   distributed_tracing.journal.json  the cluster-1 controller's decision
 //                                     journal (filtered signals + raw /
 //                                     rate-controlled / applied weights per
@@ -23,6 +26,7 @@
 #include "l3/lb/l3_policy.h"
 #include "l3/metrics/scraper.h"
 #include "l3/metrics/tsdb.h"
+#include "l3/obs/recorder.h"
 #include "l3/sim/simulator.h"
 #include "l3/trace/breakdown.h"
 #include "l3/trace/export.h"
@@ -41,6 +45,11 @@ int main() {
 
   sim::Simulator sim;
   SplitRng root(42);
+
+  // Flight recorder: engine counters/gauges and ring events for the same
+  // run, exported as counter tracks alongside the span trees below.
+  obs::Recorder recorder;
+  obs::ScopedRecorderBind recorder_bind(recorder);
 
   mesh::MeshConfig mesh_config;
   mesh_config.local_delay = 0.0005;
@@ -93,18 +102,24 @@ int main() {
       mesh, c1, dsb::HotelReservationApp::kFrontend,
       [](SimTime) { return 100.0; }, root.split("client"), client_config);
   client.start(0.0, 120.0);
+  auto track_task = sim.schedule_every(
+      5.0, [&sim, &recorder] { recorder.sample_tracks(sim.now()); });
   sim.run_until(150.0);
+  track_task.cancel();
 
   std::cout << "Traced " << tracer.started() << " requests, kept "
             << tracer.kept() << " tail traces (>= 20 ms), dropped "
             << tracer.dropped_fast() << " fast ones.\n\n";
 
-  // 1. Chrome trace-event JSON for Perfetto / chrome://tracing.
+  // 1. Chrome trace-event JSON for Perfetto / chrome://tracing: span trees
+  // plus the obs process (rt.counter.*/rt.gauge.* tracks, ring lanes).
   {
+    const obs::Snapshot snapshot = recorder.snapshot();
     std::ofstream out("distributed_tracing.trace.json");
-    trace::write_chrome_trace(tracer, out);
+    trace::write_chrome_trace(tracer.traces(), {}, &snapshot, out);
     std::cout << "Wrote distributed_tracing.trace.json ("
-              << tracer.traces().size() << " traces)\n";
+              << tracer.traces().size() << " traces, "
+              << snapshot.tracks.size() << " obs track samples)\n";
   }
 
   // 2. Where did the tail latency come from? Critical-path attribution.

@@ -27,6 +27,8 @@ struct DsbRunnerConfig {
   SimDuration local_one_way = 0.0005;
   SimDuration scrape_interval = 5.0;
   SimDuration propagation_delay = 0.0;
+  /// Bind an obs::Recorder for the run (see workload::RunnerConfig::profile).
+  bool profile = false;
 
   HotelAppConfig app;
   PerformanceDisturber::Config disturbance;

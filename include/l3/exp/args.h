@@ -1,6 +1,6 @@
 // The shared command-line surface of every bench binary:
 //
-//   [--reps N] [--fast] [--jobs N] [--json PATH]
+//   [--reps N] [--fast] [--jobs N] [--json PATH] [--profile]
 //
 // Parsing is strict: numeric flags reject non-numeric, negative, trailing-
 // garbage and overflowing values instead of silently mapping them to 0 the
@@ -19,6 +19,10 @@ struct BenchArgs {
   bool fast = false; ///< shrink durations/repetitions for smoke runs
   int jobs = 0;      ///< parallel cells; 0 = hardware concurrency
   std::string json;  ///< write the unified JSON report here; empty = off
+  /// Bind a flight recorder / self-profiler to every cell: the Report JSON
+  /// gains a deterministic `profile` block and a wall-time table goes to
+  /// stderr. Simulation results are unchanged.
+  bool profile = false;
 };
 
 /// Strict base-10 integer parse of the whole string; nullopt on empty

@@ -9,6 +9,7 @@
 #include "l3/common/table.h"
 #include "l3/exp/runner.h"
 #include "l3/exp/spec.h"
+#include "l3/obs/recorder.h"
 
 #include <iosfwd>
 #include <string>
@@ -34,6 +35,11 @@ class Report {
   /// Writes to `path`; returns false (with no partial file guarantee) on
   /// I/O failure.
   bool write_file(const std::string& path) const;
+
+  /// ProfileBlocks of every recorded cell merged in grid order (element-wise
+  /// sums — identical for any cell execution order). Empty when no cell was
+  /// run with profiling enabled.
+  obs::ProfileBlock merged_profile() const;
 
  private:
   struct Grid {

@@ -1,0 +1,34 @@
+// Audit-tier export of obs snapshots: publishes the flight recorder's
+// merged state into a metrics::Registry as LOW-CARDINALITY Prometheus
+// families. This is the human/dashboard tier of the RT-vs-audit split
+// (DESIGN.md §12): label values are drawn only from the fixed obs enums
+// (`subsystem`, `name`, `domain`) plus the caller-supplied `cluster` and
+// `policy` — never per-request, per-trace, or per-backend-instance.
+//
+// Lives in metrics/ (not obs/) because obs sits below metrics in the module
+// layering and must not depend on it.
+#pragma once
+
+#include "l3/metrics/registry.h"
+#include "l3/obs/recorder.h"
+
+#include <string_view>
+
+namespace l3::metrics {
+
+/// Publishes `snapshot` into `registry` under the `l3_obs_*` families:
+///   l3_obs_scope_invocations_total{subsystem,cluster,policy}  counter
+///   l3_obs_scope_wall_seconds_total{subsystem,cluster,policy} counter
+///   l3_obs_scope_wall_p99_seconds{subsystem,cluster,policy}   gauge
+///   l3_obs_rt_counter_total{name,cluster,policy}              counter
+///   l3_obs_rt_gauge{name,cluster,policy}                      gauge
+///   l3_obs_ring_events_total{domain,cluster,policy}           counter
+///   l3_obs_ring_dropped_total{domain,cluster,policy}          counter
+/// Publish-once contract: counters are additive, so call this once per
+/// snapshot per registry (e.g. at end of run), not per scrape.
+/// Scopes/counters/rings with zero activity are skipped to keep the audit
+/// surface small.
+void publish_audit(const obs::Snapshot& snapshot, Registry& registry,
+                   std::string_view cluster, std::string_view policy);
+
+}  // namespace l3::metrics

@@ -5,6 +5,7 @@
 // service / status / parentage carried in `args`.
 #pragma once
 
+#include "l3/obs/recorder.h"
 #include "l3/trace/tracer.h"
 
 #include <iosfwd>
@@ -39,6 +40,14 @@ void write_chrome_trace(const std::deque<TraceRecord>& traces,
 void write_chrome_trace(const std::deque<TraceRecord>& traces,
                         std::span<const FaultMarker> markers,
                         std::ostream& os);
+
+/// As above, additionally rendering an obs snapshot — `rt.counter.*` /
+/// `rt.gauge.*` counter tracks ("C" events) plus flight-recorder ring
+/// instants — in a dedicated "obs" process after the faults process.
+/// `snapshot` may be null (same output as the two-argument overload).
+void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::span<const FaultMarker> markers,
+                        const obs::Snapshot* snapshot, std::ostream& os);
 
 /// Convenience over the tracer's completed buffer.
 inline void write_chrome_trace(const Tracer& tracer, std::ostream& os) {

@@ -11,6 +11,7 @@
 #include "l3/core/controller.h"
 #include "l3/lb/c3_policy.h"
 #include "l3/lb/l3_policy.h"
+#include "l3/obs/recorder.h"
 #include "l3/workload/client.h"
 #include "l3/workload/scenario.h"
 
@@ -74,6 +75,12 @@ struct RunnerConfig {
   /// measurement start (the warm-up is applied as the arm offset). Empty =
   /// no faults, reproducing the fault-free runner exactly.
   chaos::FaultPlan faults;
+  /// Bind an obs::Recorder for the run: the flight recorder and self-
+  /// profiler capture the run and RunResult::profile carries the
+  /// deterministic digest. Instrumentation reads thread-local state only —
+  /// simulation results are identical with this on or off (and the macros
+  /// compile out entirely under L3_OBS=OFF).
+  bool profile = false;
 
   // Algorithm configuration.
   core::ControllerConfig controller;
@@ -93,6 +100,8 @@ struct RunResult {
   double mean_attempts = 1.0;
   /// Post-warm-up traffic share per backend cluster (fraction of requests).
   std::vector<double> traffic_share;
+  /// Deterministic self-profile digest (empty unless RunnerConfig::profile).
+  obs::ProfileBlock profile;
 };
 
 /// Runs one scenario under one policy. Deterministic in (trace, kind, cfg).

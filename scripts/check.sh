@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the test suite under AddressSanitizer and UndefinedBehaviorSanitizer
 # and runs ctest for each, runs the concurrency-sensitive tests (experiment
-# runner, simulator, logging) under ThreadSanitizer, then the plain
-# RelWithDebInfo build, a jobs-invariance smoke diff on a figure bench, and
-# a Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json).
+# runner, simulator, logging, obs shard merge) under ThreadSanitizer, then
+# the plain RelWithDebInfo build, jobs-invariance smoke diffs on figure
+# benches (plain, chaos, and --profile), an L3_OBS=OFF byte-identical
+# golden, a Release-mode bench/sim_core smoke run (writes
+# BENCH_sim_core.json), and the flight-recorder overhead gate.
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
@@ -30,8 +32,9 @@ for preset in "${presets[@]}"; do
     # tests (SlotPool/ProxyCallPool), whose handle-staleness races are the
     # invariant the request-path overhaul leans on, and the chaos crash /
     # injector tests, which recycle those handles mid-flight.
+    # ...and the obs recorder's multi-thread shard merge.
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash'
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder'
   else
     ctest --preset "$preset"
   fi
@@ -61,6 +64,37 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   diff "$smoke_dir/c1.out" "$smoke_dir/c2.out"
   diff "$smoke_dir/c1.json" "$smoke_dir/c2.json"
   echo "    byte-identical at --jobs 1 and --jobs 2"
+
+  # --profile jobs-invariance: the JSON `profile` block is merged in grid
+  # order from deterministic counts, so a profiled run must stay
+  # byte-identical across --jobs too (wall-clock goes to stderr only).
+  echo "==> [default] --profile jobs-invariance smoke (fig10_scenarios)"
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 1 --profile \
+      --json "$smoke_dir/p1.json" > "$smoke_dir/p1.out" 2>/dev/null
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 2 --profile \
+      --json "$smoke_dir/p2.json" > "$smoke_dir/p2.out" 2>/dev/null
+  diff "$smoke_dir/p1.out" "$smoke_dir/p2.out"
+  diff "$smoke_dir/p1.json" "$smoke_dir/p2.json"
+  grep -q '"profile"' "$smoke_dir/p1.json" \
+    || { echo "FAIL: --profile produced no profile block"; exit 1; }
+  echo "    profiled output byte-identical at --jobs 1 and --jobs 2"
+
+  # L3_OBS=OFF zero-cost check: compiling the instrumentation out must not
+  # change a single byte of bench stdout or report JSON (the macros carry no
+  # behavior). Reuses the unprofiled fig10 golden from the default build.
+  echo "==> [obsoff] L3_OBS=OFF byte-identical golden (fig10_scenarios)"
+  cmake --preset obsoff >/dev/null
+  cmake --build --preset obsoff -j "$(nproc)" --target fig10_scenarios
+  ./build-obsoff/bench/fig10_scenarios --fast --reps 1 --jobs 1 \
+      --json "$smoke_dir/off1.json" > "$smoke_dir/off1.out"
+  diff "$smoke_dir/j1.out" "$smoke_dir/off1.out"
+  diff "$smoke_dir/j1.json" "$smoke_dir/off1.json"
+  # --profile still parses with obs compiled out; the report just carries
+  # an all-zero-count profile block (recorder runs, macros are no-ops).
+  ./build-obsoff/bench/fig10_scenarios --fast --reps 1 --jobs 2 --profile \
+      --json "$smoke_dir/off2.json" > "$smoke_dir/off2.out" 2>/dev/null
+  diff "$smoke_dir/j1.out" "$smoke_dir/off2.out"
+  echo "    L3_OBS=OFF output byte-identical to the instrumented build"
 fi
 
 # Hot-path perf smoke: build the sim_core bench in Release and refresh
@@ -69,6 +103,14 @@ fi
 echo "==> [release-bench] sim_core perf smoke"
 cmake --preset release-bench >/dev/null
 cmake --build --preset release-bench -j "$(nproc)" --target sim_core
+cmake --build --preset release-bench -j "$(nproc)" --target trace_overhead
+
+# Flight-recorder overhead gate: a full scenario with the recorder bound
+# must finish within 5% of the unrecorded run, produce identical simulation
+# results, and cover >= 6 instrumented subsystems (exits non-zero on any
+# violation; see bench/trace_overhead.cpp --obs-gate).
+echo "==> [release-bench] obs recorder overhead gate"
+./build-release/bench/trace_overhead --obs-gate 5 --obs-gate-reps 3
 baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
   | awk -F': ' '/"weighted_picks_per_sec"/ {gsub(/,/,"",$2); print $2}' || true)
 ./build-release/bench/sim_core --fast --out BENCH_sim_core.json
@@ -90,4 +132,4 @@ else
   echo "    no committed request_path baseline yet; comparison skipped"
 fi
 
-echo "All checks passed: ${presets[*]} + sim_core smoke"
+echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate"

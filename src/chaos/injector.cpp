@@ -3,6 +3,7 @@
 #include "l3/common/assert.h"
 #include "l3/mesh/deployment.h"
 #include "l3/mesh/wan.h"
+#include "l3/obs/recorder.h"
 
 #include <algorithm>
 #include <limits>
@@ -65,6 +66,10 @@ void FaultInjector::arm(const FaultPlan& plan, SimTime time_offset) {
 
 void FaultInjector::begin_fault(const Fault& fault) {
   ++transitions_;
+  L3_OBS_SCOPE(obs_transition, kChaosTransition);
+  L3_OBS_COUNT(kChaosTransitions, 1);
+  L3_OBS_EVENT(kChaos, kFaultBegin, sim_.now(),
+               static_cast<std::uint32_t>(fault.kind), fault.start);
   switch (fault.kind) {
     case FaultKind::kReplicaCrash:
       set_crashed(fault, true);
@@ -91,6 +96,11 @@ void FaultInjector::begin_fault(const Fault& fault) {
 
 void FaultInjector::end_fault(const Fault& fault) {
   ++transitions_;
+  L3_OBS_SCOPE(obs_transition, kChaosTransition);
+  L3_OBS_COUNT(kChaosTransitions, 1);
+  L3_OBS_EVENT(kChaos, kFaultEnd, sim_.now(),
+               static_cast<std::uint32_t>(fault.kind),
+               fault.start + fault.duration);
   switch (fault.kind) {
     case FaultKind::kReplicaCrash:
       set_crashed(fault, false);

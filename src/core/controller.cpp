@@ -2,6 +2,7 @@
 
 #include "l3/common/assert.h"
 #include "l3/mesh/metric_names.h"
+#include "l3/obs/recorder.h"
 
 #include <utility>
 
@@ -159,9 +160,17 @@ void L3Controller::stop() { task_.cancel(); }
 
 void L3Controller::tick() {
   ++ticks_;
+  L3_OBS_COUNT(kControllerTicks, 1);
+  double total_rps = 0.0;
   for (auto& managed : managed_) {
-    tick_split(*managed);
+    {
+      L3_OBS_SCOPE(obs_manage, kControllerManage);
+      tick_split(*managed);
+    }
+    total_rps += managed->last_rps_sample;
   }
+  L3_OBS_EVENT(kController, kControllerTick, mesh_.simulator().now(),
+               static_cast<std::uint32_t>(managed_.size()), total_rps);
 }
 
 void L3Controller::tick_split(ManagedSplit& managed) {
@@ -258,6 +267,7 @@ void L3Controller::tick_split(ManagedSplit& managed) {
 
   if (active_) {
     mesh_.control_plane().apply(*managed.split, weights);
+    L3_OBS_COUNT(kWeightUpdates, 1);
   }
 
   if (config_.journal_capacity > 0) {

@@ -1,12 +1,16 @@
 #include "l3/dsb/runner.h"
 
 #include "l3/common/assert.h"
+#include "l3/metrics/obs_audit.h"
 #include "l3/metrics/scraper.h"
 #include "l3/metrics/tsdb.h"
+#include "l3/obs/recorder.h"
 #include "l3/sim/simulator.h"
 #include "l3/workload/client.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace l3::dsb {
@@ -22,6 +26,14 @@ workload::RunResult run_app(workload::PolicyKind kind,
                             const DsbRunnerConfig& config,
                             const char* scenario_label, MakeApp make_app) {
   sim::Simulator sim;
+
+  std::optional<obs::Recorder> recorder;
+  std::optional<obs::ScopedRecorderBind> recorder_bind;
+  if (config.profile) {
+    recorder.emplace();
+    recorder_bind.emplace(*recorder);
+  }
+
   SplitRng root(config.seed);
 
   mesh::MeshConfig mesh_config;
@@ -78,7 +90,15 @@ workload::RunResult run_app(workload::PolicyKind kind,
       root.split("client"), client_config);
   client.start(0.0, t1);
 
+  sim::PeriodicHandle track_task;
+  if (recorder) {
+    track_task = sim.schedule_every(
+        std::max(config.scrape_interval, 1.0),
+        [&sim, &recorder] { recorder->sample_tracks(sim.now()); });
+  }
+
   sim.run_until(t1 + 30.0);
+  track_task.cancel();
 
   workload::RunResult result;
   result.policy = std::string(workload::policy_name(kind));
@@ -89,6 +109,12 @@ workload::RunResult run_app(workload::PolicyKind kind,
   result.requests = records.size();
   result.weight_updates = mesh.control_plane().updates_applied();
   result.traffic_share.assign(mesh.clusters().size(), 0.0);
+  if (recorder) {
+    recorder->sample_tracks(sim.now());
+    result.profile = recorder->profile();
+    metrics::publish_audit(recorder->snapshot(), mesh.registry(c1),
+                           "cluster-1", result.policy);
+  }
   return result;
 }
 

@@ -49,6 +49,8 @@ std::optional<BenchArgs> try_parse_bench_args(int argc, char** argv,
     const std::string_view arg = argv[i];
     if (arg == "--fast") {
       args.fast = true;
+    } else if (arg == "--profile") {
+      args.profile = true;
     } else if (arg == "--reps") {
       const auto value = take_int_value(argc, argv, i, arg, 1, error);
       if (!value) return std::nullopt;
@@ -79,14 +81,17 @@ std::string bench_usage(std::string_view argv0) {
   std::string usage = "usage: ";
   usage += argv0;
   usage +=
-      " [--reps N] [--fast] [--jobs N] [--json PATH]\n"
+      " [--reps N] [--fast] [--jobs N] [--json PATH] [--profile]\n"
       "  --reps N     repetitions per configuration (default: the paper's "
       "count)\n"
       "  --fast       shrink durations/repetitions for smoke runs\n"
       "  --jobs N     parallel simulation cells (default: hardware "
       "concurrency);\n"
       "               results are byte-identical for every N\n"
-      "  --json PATH  also write the unified machine-readable report\n";
+      "  --json PATH  also write the unified machine-readable report\n"
+      "  --profile    self-profile every cell (flight recorder + timers);\n"
+      "               adds a deterministic `profile` block to the JSON and\n"
+      "               a wall-time table on stderr; results are unchanged\n";
   return usage;
 }
 

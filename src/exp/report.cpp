@@ -116,6 +116,45 @@ void write_cell(std::ostream& os, const ExperimentSpec& spec,
   os << '\n' << indent << '}';
 }
 
+/// The deterministic self-profile section: ProfileBlocks merged across every
+/// cell of every grid in grid order (merge is element-wise summation, so the
+/// result is identical for any cell execution order — the jobs-invariance
+/// contract). Only counts are serialized; wall-clock timing never enters the
+/// report (it goes to stderr and the audit exposition instead).
+void write_profile(std::ostream& os, const obs::ProfileBlock& profile) {
+  os << ",\n  \"profile\": {\n    \"cells\": " << profile.cells
+     << ",\n    \"subsystems\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kScopeCount; ++i) {
+    if (profile.scope_count[i] == 0) continue;
+    os << (first ? "" : ",") << "\n      {\"name\": ";
+    write_escaped(os, obs::scope_name(static_cast<obs::ScopeId>(i)));
+    os << ", \"count\": " << profile.scope_count[i]
+       << ", \"timed\": " << profile.scope_timed[i] << '}';
+    first = false;
+  }
+  os << (first ? "]" : "\n    ]") << ",\n    \"counters\": [";
+  first = true;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    if (profile.counters[i] == 0) continue;
+    os << (first ? "" : ",") << "\n      {\"name\": ";
+    write_escaped(os, obs::counter_name(static_cast<obs::CounterId>(i)));
+    os << ", \"value\": " << profile.counters[i] << '}';
+    first = false;
+  }
+  os << (first ? "]" : "\n    ]") << ",\n    \"rings\": [";
+  first = true;
+  for (std::size_t i = 0; i < obs::kDomainCount; ++i) {
+    if (profile.ring_recorded[i] == 0) continue;
+    os << (first ? "" : ",") << "\n      {\"domain\": ";
+    write_escaped(os, obs::domain_name(static_cast<obs::Domain>(i)));
+    os << ", \"recorded\": " << profile.ring_recorded[i]
+       << ", \"dropped\": " << profile.ring_dropped[i] << '}';
+    first = false;
+  }
+  os << (first ? "]" : "\n    ]") << "\n  }";
+}
+
 }  // namespace
 
 void Report::add_grid(const ExperimentSpec& spec,
@@ -168,7 +207,22 @@ void Report::write(std::ostream& os) const {
     }
     os << (table.rows.empty() ? "]" : "\n      ]") << "\n    }";
   }
-  os << (tables_.empty() ? "]" : "\n  ]") << "\n}\n";
+  os << (tables_.empty() ? "]" : "\n  ]");
+  const obs::ProfileBlock profile = merged_profile();
+  if (!profile.empty()) write_profile(os, profile);
+  os << "\n}\n";
+}
+
+obs::ProfileBlock Report::merged_profile() const {
+  obs::ProfileBlock merged;
+  for (const auto& grid : grids_) {
+    for (const auto& cell : grid.results) {
+      if (!cell.data.run.profile.empty()) {
+        merged.merge(cell.data.run.profile);
+      }
+    }
+  }
+  return merged;
 }
 
 bool Report::write_file(const std::string& path) const {

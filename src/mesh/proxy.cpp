@@ -2,9 +2,11 @@
 
 #include "l3/common/assert.h"
 #include "l3/mesh/metric_names.h"
+#include "l3/obs/recorder.h"
 #include "l3/trace/tracer.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
@@ -89,6 +91,12 @@ void Proxy::refresh_availability() {
     mask = n == 64 ? ~0ull : (1ull << n) - 1;
   }
   avail_mask_ = mask;
+  // Slow path only (version change / cache expiry), so the flight-recorder
+  // entry and inflight gauge cost nothing per request.
+  L3_OBS_EVENT(kMesh, kAvailabilityRefresh, now,
+               static_cast<std::uint32_t>(mask),
+               static_cast<double>(std::popcount(mask)));
+  L3_OBS_GAUGE(kMeshInflight, static_cast<double>(inflight_total_));
   health_version_seen_ = health_version;
   outlier_version_seen_ = outlier_version;
   avail_valid_until_ = outlier_.next_transition(now);
@@ -104,6 +112,7 @@ void Proxy::refresh_picker() {
       avail_mask_ == picker_mask_) {
     return;
   }
+  L3_OBS_SCOPE(obs_rebuild, kPickerRebuild);
   const auto backends = split_.backends();
   cum_weights_.clear();
   cum_index_.clear();
@@ -118,9 +127,13 @@ void Proxy::refresh_picker() {
   picker_generation_ = split_.generation();
   picker_mask_ = avail_mask_;
   picker_valid_ = true;
+  L3_OBS_EVENT(kMesh, kPickerRebuild, sim_.now(),
+               static_cast<std::uint32_t>(avail_mask_),
+               static_cast<double>(cum_index_.size()));
 }
 
 std::size_t Proxy::pick_weighted() {
+  L3_OBS_SCOPE_SAMPLED(obs_pick, kWeightedPick);
   const std::size_t count = cum_index_.size();
   L3_ASSERT(count > 0);
   if (cum_total_ == 0) {
@@ -150,6 +163,7 @@ double Proxy::p2c_cost(const BackendSlot& slot) const {
 }
 
 std::size_t Proxy::pick_p2c() {
+  L3_OBS_SCOPE_SAMPLED(obs_pick, kP2cPick);
   // Collect the candidate set into the reusable scratch buffer, then
   // power-of-two-choices by cost.
   std::vector<std::uint32_t>& candidates = p2c_scratch_;
@@ -190,6 +204,7 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
   const std::size_t idx = pick();
   BackendSlot& slot = backends_[idx];
   ++sent_;
+  L3_OBS_COUNT(kMeshRequests, 1);
   slot.requests->increment();
   slot.inflight->add(1.0);
   slot.outstanding += 1;
@@ -315,6 +330,7 @@ void Proxy::drain_finished_timeouts() {
 }
 
 void Proxy::on_timeout_timer() {
+  L3_OBS_SCOPE(obs_sweep, kTimeoutSweep);
   timeout_timer_armed_ = false;
   const SimTime now = sim_.now();
   while (timeout_count_ > 0) {
@@ -335,7 +351,12 @@ void Proxy::on_timeout_timer() {
     // Genuinely due: the caller gets the timeout response at exactly
     // start + timeout. The response chain (still in flight) keeps its
     // visitor and settles the slot when it lands.
-    if (!state->finished) finish(*state, false, config_.timeout, true);
+    if (!state->finished) {
+      L3_OBS_COUNT(kMeshTimeouts, 1);
+      L3_OBS_EVENT(kMesh, kTimeoutFired, now, state->backend,
+                   config_.timeout);
+      finish(*state, false, config_.timeout, true);
+    }
     settle(front.handle, *state);
     pop_timeout();
   }

@@ -21,6 +21,23 @@ std::pair<std::string, std::string> split_key(const std::string& key) {
   return {key.substr(0, brace), labels};
 }
 
+/// Escapes a label VALUE per the Prometheus text exposition format 0.0.4:
+/// backslash, double-quote, and line feed must be backslash-escaped inside
+/// the quoted value (the spec escapes nothing else).
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// Re-renders stored labels (`a=1,b=2`) with Prometheus quoting, optionally
 /// appending one extra label.
 std::string render_labels(const std::string& body, const std::string& extra) {
@@ -30,7 +47,7 @@ std::string render_labels(const std::string& body, const std::string& extra) {
     const auto eq = kv.find('=');
     if (eq == std::string::npos) return;
     out << (first ? "" : ",") << kv.substr(0, eq) << "=\""
-        << kv.substr(eq + 1) << "\"";
+        << escape_label_value(std::string_view(kv).substr(eq + 1)) << "\"";
     first = false;
   };
   std::string field;

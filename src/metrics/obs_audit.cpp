@@ -1,0 +1,52 @@
+#include "l3/metrics/obs_audit.h"
+
+#include <string>
+
+namespace l3::metrics {
+namespace {
+
+Labels with_context(std::string_view key, std::string_view value,
+                    std::string_view cluster, std::string_view policy) {
+  Labels labels;
+  labels.emplace_back(std::string(key), std::string(value));
+  labels.emplace_back("cluster", std::string(cluster));
+  labels.emplace_back("policy", std::string(policy));
+  return labels;
+}
+
+}  // namespace
+
+void publish_audit(const obs::Snapshot& snapshot, Registry& registry,
+                   std::string_view cluster, std::string_view policy) {
+  for (const auto& scope : snapshot.scopes) {
+    if (scope.count == 0) continue;
+    const auto labels = with_context("subsystem", scope.name, cluster, policy);
+    registry.counter("l3_obs_scope_invocations_total", labels)
+        .add(static_cast<double>(scope.count));
+    registry.counter("l3_obs_scope_wall_seconds_total", labels)
+        .add(scope.wall_ns_total * 1e-9);
+    registry.gauge("l3_obs_scope_wall_p99_seconds", labels)
+        .set(scope.wall_ns.p99 * 1e-9);
+  }
+  for (const auto& counter : snapshot.counters) {
+    if (counter.value == 0) continue;
+    registry.counter("l3_obs_rt_counter_total",
+                     with_context("name", counter.name, cluster, policy))
+        .add(static_cast<double>(counter.value));
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    registry.gauge("l3_obs_rt_gauge",
+                   with_context("name", gauge.name, cluster, policy))
+        .set(gauge.value);
+  }
+  for (const auto& ring : snapshot.rings) {
+    if (ring.recorded == 0) continue;
+    const auto labels = with_context("domain", ring.domain, cluster, policy);
+    registry.counter("l3_obs_ring_events_total", labels)
+        .add(static_cast<double>(ring.recorded));
+    registry.counter("l3_obs_ring_dropped_total", labels)
+        .add(static_cast<double>(ring.dropped));
+  }
+}
+
+}  // namespace l3::metrics

@@ -1,6 +1,7 @@
 #include "l3/metrics/scraper.h"
 
 #include "l3/common/assert.h"
+#include "l3/obs/recorder.h"
 
 namespace l3::metrics {
 
@@ -50,9 +51,13 @@ void Scraper::build_plan(Target& target) {
 }
 
 void Scraper::scrape_once() {
+  L3_OBS_SCOPE(obs_scrape, kScraperScrape);
   const SimTime now = sim_.now();
+  std::size_t series_copied = 0;
+  std::size_t targets_scraped = 0;
   for (auto& target : targets_) {
     if (!target.enabled) continue;
+    ++targets_scraped;
     if (target.planned_version != target.registry->version()) {
       build_plan(target);
     }
@@ -66,12 +71,20 @@ void Scraper::scrape_once() {
       tsdb_.append_histogram(id, now, histogram->bounds(),
                              histogram->cumulative_counts());
     }
+    series_copied += target.counters.size() + target.gauges.size() +
+                     target.histograms.size();
   }
   // Series belonging to disabled targets receive no appends (which is where
   // per-series trimming happens); the compact call reaps them. It is O(1)
   // while nothing in the store has aged past the retention horizon.
   tsdb_.compact(now);
   ++scrapes_;
+  L3_OBS_COUNT(kScraperSeries, series_copied);
+  L3_OBS_GAUGE(kTsdbSeries, static_cast<double>(tsdb_.series_count() +
+                                                tsdb_.histogram_series_count()));
+  L3_OBS_EVENT(kMetrics, kScrape, now,
+               static_cast<std::uint32_t>(targets_scraped),
+               static_cast<double>(series_copied));
 }
 
 }  // namespace l3::metrics

@@ -2,6 +2,7 @@
 
 #include "l3/common/assert.h"
 #include "l3/common/histogram.h"
+#include "l3/obs/recorder.h"
 
 #include <algorithm>
 
@@ -87,6 +88,8 @@ HistogramId TimeSeriesDb::find_histogram_series(std::string_view name) const {
 }
 
 void TimeSeriesDb::append(SeriesId id, SimTime t, double value) {
+  L3_OBS_SCOPE_SAMPLED(obs_append, kTsdbAppend);
+  L3_OBS_COUNT(kTsdbSamples, 1);
   L3_EXPECTS(id.valid() && id.index_ < scalars_.size());
   auto& samples = scalars_[id.index_].samples;
   L3_EXPECTS(samples.empty() || t >= samples.back().t);
@@ -103,6 +106,8 @@ void TimeSeriesDb::append(SeriesId id, SimTime t, double value) {
 void TimeSeriesDb::append_histogram(HistogramId id, SimTime t,
                                     const std::vector<double>& bounds,
                                     std::vector<double> cumulative_counts) {
+  L3_OBS_SCOPE_SAMPLED(obs_append, kTsdbAppend);
+  L3_OBS_COUNT(kTsdbSamples, 1);
   L3_EXPECTS(id.valid() && id.index_ < histograms_.size());
   auto& series = histograms_[id.index_];
   if (series.bounds.empty()) {
@@ -124,8 +129,11 @@ void TimeSeriesDb::append_histogram(HistogramId id, SimTime t,
 
 void TimeSeriesDb::compact(SimTime now) {
   const SimTime cutoff = now - retention_;
-  // Fast path: nothing in the store can be older than the cutoff.
+  // Fast path: nothing in the store can be older than the cutoff. The obs
+  // scope covers the slow path only, so the profile reports real compaction
+  // work rather than no-op calls.
   if (oldest_sample_ >= cutoff) return;
+  L3_OBS_SCOPE(obs_compact, kTsdbCompact);
 
   SimTime oldest = kNoSamples;
   for (auto& series : scalars_) {
@@ -157,6 +165,8 @@ void TimeSeriesDb::compact(SimTime now) {
     oldest = std::min(oldest, samples.front().t);
   }
   oldest_sample_ = oldest;
+  L3_OBS_EVENT(kMetrics, kCompact, now, 0,
+               static_cast<double>(nonempty_scalars_ + nonempty_histograms_));
 }
 
 std::size_t TimeSeriesDb::sample_count(SeriesId id) const {

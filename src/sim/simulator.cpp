@@ -1,5 +1,7 @@
 #include "l3/sim/simulator.h"
 
+#include "l3/obs/recorder.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -65,14 +67,23 @@ std::size_t Simulator::run_until(SimTime end) {
   std::size_t processed = 0;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.min_time() > end) break;
-    // Invoke the callable in place; the queue's chunked slot pool keeps it
-    // stable across re-entrant scheduling, so no move-out is needed.
-    queue_.dispatch_min([this](SimTime t, EventFn& fn) {
-      now_ = t;
-      fn();
-    });
+    {
+      L3_OBS_SCOPE_SAMPLED(obs_dispatch, kSimDispatch);
+      // Invoke the callable in place; the queue's chunked slot pool keeps it
+      // stable across re-entrant scheduling, so no move-out is needed.
+      queue_.dispatch_min([this](SimTime t, EventFn& fn) {
+        now_ = t;
+        fn();
+      });
+    }
     ++processed;
     ++executed_;
+    L3_OBS_COUNT(kSimEvents, 1);
+    // Queue-depth gauge at the dispatch sampling cadence: cheap enough to
+    // leave on, detailed enough to draw a useful counter track.
+    if ((processed & 63u) == 0) {
+      L3_OBS_GAUGE(kSimPendingEvents, static_cast<double>(queue_.size()));
+    }
   }
   if (now_ < end) now_ = end;
   return processed;
@@ -80,11 +91,15 @@ std::size_t Simulator::run_until(SimTime end) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  queue_.dispatch_min([this](SimTime t, EventFn& fn) {
-    now_ = t;
-    fn();
-  });
+  {
+    L3_OBS_SCOPE_SAMPLED(obs_dispatch, kSimDispatch);
+    queue_.dispatch_min([this](SimTime t, EventFn& fn) {
+      now_ = t;
+      fn();
+    });
+  }
   ++executed_;
+  L3_OBS_COUNT(kSimEvents, 1);
   return true;
 }
 

@@ -1,5 +1,7 @@
 #include "l3/trace/export.h"
 
+#include "l3/obs/export.h"
+
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -57,6 +59,12 @@ void write_chrome_trace(const std::deque<TraceRecord>& traces,
 void write_chrome_trace(const std::deque<TraceRecord>& traces,
                         std::span<const FaultMarker> markers,
                         std::ostream& os) {
+  write_chrome_trace(traces, markers, nullptr, os);
+}
+
+void write_chrome_trace(const std::deque<TraceRecord>& traces,
+                        std::span<const FaultMarker> markers,
+                        const obs::Snapshot* snapshot, std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   std::size_t pid = 0;
@@ -103,6 +111,10 @@ void write_chrome_trace(const std::deque<TraceRecord>& traces,
          << ",\"tid\":0,\"args\":{\"phase\":\"" << json_escape(marker.phase)
          << "\"}}";
     }
+    ++pid;
+  }
+  if (snapshot != nullptr) {
+    obs::write_chrome_fragment(*snapshot, pid, first, os);
   }
   os << "\n]}\n";
 }

@@ -6,13 +6,16 @@
 #include "l3/lb/locality_policy.h"
 #include "l3/lb/policy.h"
 #include "l3/mesh/mesh.h"
+#include "l3/metrics/obs_audit.h"
 #include "l3/metrics/scraper.h"
 #include "l3/metrics/tsdb.h"
+#include "l3/obs/recorder.h"
 #include "l3/sim/simulator.h"
 #include "l3/workload/trace_behavior.h"
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace l3::workload {
@@ -63,6 +66,18 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
                             : trace.duration();
 
   sim::Simulator sim;
+
+  // Self-observation: bind a flight recorder to this (simulation) thread for
+  // the lifetime of the run. The instrumentation macros only read thread-
+  // local state — no RNG draws, no event scheduling — so enabling the
+  // recorder cannot change simulation results.
+  std::optional<obs::Recorder> recorder;
+  std::optional<obs::ScopedRecorderBind> recorder_bind;
+  if (config.profile) {
+    recorder.emplace();
+    recorder_bind.emplace(*recorder);
+  }
+
   SplitRng root(config.seed);
 
   mesh::MeshConfig mesh_config;
@@ -143,8 +158,19 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
       root.split("client"), client_config);
   client.start(0.0, t1);
 
+  // Counter-track sampling at the scrape cadence. The sampler mutates only
+  // recorder state, so the extra periodic events leave the simulation's
+  // behaviour (RNG streams, request outcomes) untouched.
+  sim::PeriodicHandle track_task;
+  if (recorder) {
+    track_task = sim.schedule_every(
+        std::max(config.scrape_interval, 1.0),
+        [&sim, &recorder] { recorder->sample_tracks(sim.now()); });
+  }
+
   // Run, then drain outstanding responses.
   sim.run_until(t1 + 30.0);
+  track_task.cancel();
 
   RunResult result;
   result.policy = policy_label;
@@ -165,6 +191,14 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
       share /= static_cast<double>(records.size());
     }
     result.mean_attempts = attempts / static_cast<double>(records.size());
+  }
+  if (recorder) {
+    recorder->sample_tracks(sim.now());  // close the counter tracks
+    result.profile = recorder->profile();
+    // Audit tier: the final exposition of the controller cluster's registry
+    // carries the low-cardinality l3_obs_* families.
+    metrics::publish_audit(recorder->snapshot(), mesh.registry(c1),
+                           "cluster-1", result.policy);
   }
   return result;
 }

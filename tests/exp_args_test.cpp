@@ -45,6 +45,37 @@ TEST(BenchArgsTest, Defaults) {
   EXPECT_FALSE(args->fast);
   EXPECT_EQ(args->jobs, 0);
   EXPECT_TRUE(args->json.empty());
+  EXPECT_FALSE(args->profile);
+}
+
+TEST(BenchArgsTest, ParsesProfile) {
+  const auto args = parse({"--profile"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->profile);
+}
+
+TEST(BenchArgsTest, ProfileComposesWithOtherFlags) {
+  const auto args = parse({"--fast", "--profile", "--jobs", "2"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->fast);
+  EXPECT_TRUE(args->profile);
+  EXPECT_EQ(args->jobs, 2);
+}
+
+TEST(BenchArgsTest, RejectsProfileMisspellings) {
+  // The strict parser must not silently accept near-misses: a typo'd
+  // --profile would otherwise run the bench unprofiled and waste the run.
+  for (const char* typo :
+       {"--profil", "--profiles", "--Profile", "-profile", "--prof"}) {
+    std::string error;
+    EXPECT_FALSE(parse({typo}, &error).has_value()) << typo;
+    EXPECT_NE(error.find(typo), std::string::npos) << typo;
+  }
+}
+
+TEST(BenchArgsTest, ProfileTakesNoValue) {
+  // "--profile 1" leaves "1" as a stray positional → rejected.
+  EXPECT_FALSE(parse({"--profile", "1"}).has_value());
 }
 
 TEST(BenchArgsTest, ParsesAllFlags) {
@@ -92,6 +123,7 @@ TEST(BenchArgsTest, UsageMentionsEveryFlag) {
   EXPECT_NE(usage.find("--fast"), std::string::npos);
   EXPECT_NE(usage.find("--jobs"), std::string::npos);
   EXPECT_NE(usage.find("--json"), std::string::npos);
+  EXPECT_NE(usage.find("--profile"), std::string::npos);
 }
 
 }  // namespace

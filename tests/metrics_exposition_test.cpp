@@ -110,6 +110,32 @@ TEST(Exposition, SumFoldingRespectsLabels) {
   EXPECT_NE(text.find("latency_sum{svc=\"auth\"} 3"), std::string::npos);
 }
 
+// Prometheus text format requires backslash, double-quote and newline in
+// label values to be escaped (\\, \", \n). Regression: values used to be
+// emitted raw, producing unparseable exposition for values containing any
+// of the three.
+TEST(Exposition, LabelValuesEscaped) {
+  Registry registry;
+  registry.counter("m", {{"path", "a\\b"}}).increment();
+  registry.counter("m", {{"quote", "say \"hi\""}}).increment();
+  registry.counter("m", {{"line", "top\nbottom"}}).increment();
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("m{path=\"a\\\\b\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("m{quote=\"say \\\"hi\\\"\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("m{line=\"top\\nbottom\"} 1"), std::string::npos);
+  // No raw newline may survive inside a sample line: every '\n' in the
+  // output must terminate a line that ends in a value, not split a label.
+  EXPECT_EQ(text.find("top\nbottom"), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesWithoutSpecialsUntouched) {
+  Registry registry;
+  registry.counter("m", {{"dst", "cluster-1"}}).increment();
+  const std::string text = exposition_text(registry);
+  EXPECT_NE(text.find("m{dst=\"cluster-1\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("\\\\"), std::string::npos);
+}
+
 TEST(Exposition, DeterministicOrder) {
   Registry a, b;
   a.counter("x", {{"i", "1"}}).increment();

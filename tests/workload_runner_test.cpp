@@ -69,6 +69,38 @@ TEST(Runner, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(a.summary.success_rate, b.summary.success_rate);
 }
 
+// The obs contract: binding the flight recorder must not perturb the
+// simulation. Identical results with profiling on and off, and the profile
+// itself is deterministic across runs.
+TEST(Runner, ProfilingDoesNotPerturbResults) {
+  const auto trace = tiny_uniform_trace(0.020, 0.100, 50.0);
+  RunnerConfig profiled = fast_config();
+  profiled.profile = true;
+  const auto plain = run_scenario(trace, PolicyKind::kL3, fast_config());
+  const auto a = run_scenario(trace, PolicyKind::kL3, profiled);
+  const auto b = run_scenario(trace, PolicyKind::kL3, profiled);
+
+  EXPECT_EQ(plain.requests, a.requests);
+  EXPECT_DOUBLE_EQ(plain.summary.latency.p99, a.summary.latency.p99);
+  EXPECT_DOUBLE_EQ(plain.summary.success_rate, a.summary.success_rate);
+  EXPECT_TRUE(plain.profile.empty());  // off by default
+
+  // Deterministic digest: identical counts for identical runs.
+  EXPECT_EQ(a.profile.cells, b.profile.cells);
+  EXPECT_EQ(a.profile.scope_count, b.profile.scope_count);
+  EXPECT_EQ(a.profile.counters, b.profile.counters);
+  EXPECT_EQ(a.profile.ring_recorded, b.profile.ring_recorded);
+#if L3_OBS_ENABLED
+  EXPECT_FALSE(a.profile.empty());
+  // The full scenario path touches at least 6 instrumented subsystems
+  // (dispatch, picker rebuild, picks, tsdb, scraper, controller).
+  EXPECT_GE(a.profile.active_subsystems(), 6u);
+  EXPECT_GT(
+      a.profile.counters[static_cast<std::size_t>(obs::CounterId::kSimEvents)],
+      0u);
+#endif
+}
+
 TEST(Runner, DifferentSeedsDiffer) {
   const auto trace = tiny_uniform_trace(0.020, 0.100, 50.0);
   RunnerConfig c2 = fast_config();
