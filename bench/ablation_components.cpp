@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const auto trace = workload::make_failure1();
   workload::RunnerConfig base;
   base.profile = args.profile;
+  base.dispatch_batch = static_cast<std::size_t>(args.batch);
   if (args.fast) base.duration = 180.0;
 
   std::vector<exp::ConfigVariant> variants;

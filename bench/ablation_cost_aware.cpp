@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       workload::make_scenario1());
   workload::RunnerConfig config;
   config.profile = args.profile;
+  config.dispatch_batch = static_cast<std::size_t>(args.batch);
   if (args.fast) config.duration = 180.0;
 
   const std::vector<double> lambdas = {0.5, 2.0, 8.0};

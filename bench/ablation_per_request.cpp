@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       workload::make_scenario3());
   workload::RunnerConfig base;
   base.profile = args.profile;
+  base.dispatch_batch = static_cast<std::size_t>(args.batch);
   if (args.fast) base.duration = 180.0;
 
   struct Strategy {

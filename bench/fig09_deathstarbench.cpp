@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   dsb::DsbRunnerConfig config;
   config.profile = args.profile;
+  config.dispatch_batch = static_cast<std::size_t>(args.batch);
   if (args.fast) config.duration = 180.0;
 
   const std::vector<workload::PolicyKind> kinds = {

@@ -195,6 +195,7 @@ class ServiceDeployment {
   /// has not fired yet; complete_call absorbs exactly this many stale
   /// handles before treating one as a double-fired done callback.
   std::uint64_t crash_zombies_ = 0;
+  std::size_t crashed_count_ = 0;  ///< maintained by crash/restart_replica
   std::size_t rr_cursor_ = 0;  // tie-break rotation among equally loaded
   common::SlotPool<PendingCall> calls_;
 };

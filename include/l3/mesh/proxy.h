@@ -23,6 +23,7 @@
 #include "l3/mesh/deployment.h"
 #include "l3/mesh/health.h"
 #include "l3/mesh/outlier.h"
+#include "l3/mesh/pick_kernels.h"
 #include "l3/mesh/traffic_split.h"
 #include "l3/mesh/types.h"
 #include "l3/mesh/wan.h"
@@ -30,6 +31,7 @@
 #include "l3/metrics/registry.h"
 #include "l3/sim/simulator.h"
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -104,6 +106,13 @@ class Proxy {
   /// picker distribution tests.
   std::size_t pick_backend() { return pick(); }
 
+  /// Picks `m` backends with the same RNG draws and results as `m`
+  /// successive pick_backend() calls at the current sim time, but loads the
+  /// availability mask and picker table once and resolves the draws through
+  /// the batch search kernel. Exposed for the batch-path bench and the
+  /// batched-vs-scalar equivalence tests.
+  void pick_backend_batch(std::uint32_t* out, std::size_t m);
+
   /// Pooled call states currently in flight. A finished call's slot is
   /// recycled as soon as its deadline entry reaches the front of the
   /// timeout ring (usually immediately — entries finish roughly FIFO), so
@@ -172,15 +181,24 @@ class Proxy {
   // -- Timeout machinery ----------------------------------------------------
   //
   // The proxy's timeout is a single constant, so deadlines are FIFO: the
-  // ring below holds {deadline, handle} in arrival order and ONE armed
-  // timer event stands in for all of them — instead of scheduling (and
-  // dispatching) one timeout event per request, which dominated the event
-  // queue at 1 of every 5 events. Invariant: whenever the ring is
+  // bucketed store below holds {deadline, handle} in arrival order and ONE
+  // armed timer event stands in for all of them — instead of scheduling
+  // (and dispatching) one timeout event per request, which dominated the
+  // event queue at 1 of every 5 events. Invariant: whenever the store is
   // non-empty, a timer is armed at or before the front deadline, and a
   // re-arm lands exactly on the front deadline — so a call that really
   // times out is still processed at exactly start + timeout, same as a
   // per-request event. The timeout path draws no RNG, so the draw
   // sequence is untouched either way.
+  //
+  // Storage is radix-style bucketed: fixed 256-entry buckets filled at the
+  // tail and drained at the head, with each bucket carrying its deadline
+  // bounds. Admission (single or batch) only ever touches the tail bucket
+  // and is O(1) amortized with NO copying — the old power-of-two ring
+  // unrolled every live entry on growth — and drained buckets recycle
+  // through a free list, so steady state allocates nothing. The per-bucket
+  // `last_deadline` bound lets the timer sweep classify a whole due bucket
+  // at once instead of comparing per entry.
 
   /// One armed deadline: the request's call-state handle plus when it
   /// times out. Entries are pushed at send() in deadline order.
@@ -189,11 +207,22 @@ class Proxy {
     CallHandle handle{};
   };
 
-  void push_timeout(SimTime deadline, CallHandle handle);
-  void pop_timeout() {
-    timeout_head_ = (timeout_head_ + 1) & (timeout_ring_.size() - 1);
-    --timeout_count_;
+  static constexpr std::size_t kTimeoutBucketSize = 256;
+  struct TimeoutBucket {
+    std::array<TimeoutEntry, kTimeoutBucketSize> slots;
+    std::size_t head = 0;  ///< first live slot (advances on pop)
+    std::size_t tail = 0;  ///< one past the last written slot
+    SimTime last_deadline = 0.0;  ///< deadline of slots[tail-1]
+  };
+
+  TimeoutEntry& front_timeout() {
+    return timeout_buckets_.front()->slots[timeout_buckets_.front()->head];
   }
+  void push_timeout(SimTime deadline, CallHandle handle);
+  /// Batch admission: appends `m` (deadline, handle) pairs in order; only
+  /// the tail bucket is touched per entry.
+  void push_timeout_batch(const TimeoutEntry* entries, std::size_t m);
+  void pop_timeout();
   void arm_timeout_timer(SimTime deadline);
   /// The shared timer: settles finished front entries, times out due ones,
   /// then re-arms at the next live front deadline.
@@ -237,13 +266,18 @@ class Proxy {
   std::uint64_t picker_mask_ = 0;
   bool picker_valid_ = false;
 
-  std::vector<std::uint32_t> p2c_scratch_;  ///< reusable candidate buffer
+  // P2C candidate cache: the available-backend index list, rebuilt only
+  // when the availability mask changes (mask 0 = never built; a live mask
+  // is never 0 thanks to the all-true fallback).
+  std::vector<std::uint32_t> p2c_scratch_;
+  std::uint64_t p2c_mask_ = 0;
 
-  // Deadline ring buffer (power-of-two capacity, indexed from
-  // timeout_head_) plus the armed-timer flag. Steady-state size tracks the
-  // in-flight count, so it never reallocates once warm.
-  std::vector<TimeoutEntry> timeout_ring_;
-  std::size_t timeout_head_ = 0;
+  std::vector<std::uint64_t> batch_draws_;  ///< pick_backend_batch scratch
+
+  // Bucketed deadline store (see the timeout-machinery comment above):
+  // live buckets in FIFO order, drained buckets parked for reuse.
+  std::vector<std::unique_ptr<TimeoutBucket>> timeout_buckets_;
+  std::vector<std::unique_ptr<TimeoutBucket>> timeout_free_;
   std::size_t timeout_count_ = 0;
   bool timeout_timer_armed_ = false;
 };

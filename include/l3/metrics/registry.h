@@ -9,8 +9,8 @@
 #include "l3/common/histogram.h"
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,9 +115,9 @@ class Registry {
   template <typename CounterFn, typename GaugeFn, typename HistoFn>
   void for_each_entry(CounterFn on_counter, GaugeFn on_gauge,
                       HistoFn on_histogram) const {
-    for (const auto& [key, c] : counters_) on_counter(key, c.get());
-    for (const auto& [key, g] : gauges_) on_gauge(key, g.get());
-    for (const auto& [key, h] : histograms_) on_histogram(key, h.get());
+    for (const auto& [key, c] : counters_) on_counter(key, c);
+    for (const auto& [key, g] : gauges_) on_gauge(key, g);
+    for (const auto& [key, h] : histograms_) on_histogram(key, h);
   }
 
   std::size_t series_count() const {
@@ -129,10 +129,18 @@ class Registry {
   std::uint64_t version() const { return version_; }
 
  private:
-  // unique_ptr for pointer stability across rehash/insert.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramSeries>> histograms_;
+  // Metric objects live in deques (stable addresses across push_back, no
+  // per-object allocation) and the maps only index them. Series created
+  // together — e.g. the 7 counters a proxy registers per backend — land on
+  // the same one or two cache lines, so a request's metric updates touch a
+  // couple of lines instead of seven scattered heap allocations. The maps
+  // stay the enumeration surface (sorted, deterministic export order).
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<HistogramSeries> histogram_store_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, HistogramSeries*> histograms_;
   std::uint64_t version_ = 0;
 };
 

@@ -73,8 +73,13 @@ std::string_view scope_name(ScopeId id);  ///< e.g. "sim.dispatch"
 /// RT counters (`rt.counter.*`), monotone within a run.
 enum class CounterId : std::uint8_t {
   kSimEvents = 0,      ///< events dispatched
+  kSimBatches,         ///< dispatch batches drained (>=1 event each)
   kMeshRequests,       ///< proxy sends
   kMeshTimeouts,       ///< requests answered by the timeout path
+  kPickKernelLinear,   ///< weighted picks served by the linear-scan kernel
+  kPickKernelMultiLane,///< weighted picks served by the multi-lane kernel
+  kPickKernelBinary,   ///< weighted picks served by the binary-search kernel
+  kPickKernelP2c,      ///< P2C picks (cached-candidate kernel)
   kTsdbSamples,        ///< scalar + histogram samples appended
   kScraperSeries,      ///< series copied registry -> TSDB
   kControllerTicks,    ///< control-loop ticks
@@ -189,6 +194,12 @@ struct Snapshot {
   std::uint64_t tracks_dropped = 0;
 };
 
+/// Dispatch batch sizes are folded into a log2-bucketed histogram: bucket i
+/// covers sizes [2^i, 2^(i+1)-1], the last bucket is open-ended. 8 buckets
+/// span 1..128+, far beyond any sane dispatch horizon.
+inline constexpr std::size_t kBatchBucketCount = 8;
+std::string_view batch_bucket_label(std::size_t bucket);  ///< e.g. "4-7"
+
 /// The deterministic per-run digest that rides in workload::RunResult and is
 /// merged (in grid order) into the Report JSON `profile` block. Only the
 /// count fields are serialized; the wall totals feed audit output (stderr
@@ -201,6 +212,12 @@ struct ProfileBlock {
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<std::uint64_t, kDomainCount> ring_recorded{};
   std::array<std::uint64_t, kDomainCount> ring_dropped{};
+  std::array<std::uint64_t, kBatchBucketCount> batch_hist{};
+
+  /// The weighted-pick kernel that actually ran, by pick count: the name of
+  /// the dominant kPickKernel* counter, or "none" when no weighted pick
+  /// happened. Deterministic (pure function of the counts).
+  std::string_view weighted_kernel_name() const;
 
   bool empty() const { return cells == 0; }
   /// Number of subsystems with at least one recorded entry.
@@ -221,6 +238,18 @@ class alignas(64) Shard {
     counters_[static_cast<std::size_t>(id)] += n;
   }
   void set_gauge(GaugeId id, double value);
+
+  /// Folds one dispatch-batch size into the log2 histogram and bumps the
+  /// batch counter (one call per drained batch, not per event).
+  void record_batch(std::size_t events) {
+    counters_[static_cast<std::size_t>(CounterId::kSimBatches)] += 1;
+    std::size_t bucket = 0;
+    for (std::size_t v = events >> 1; v != 0 && bucket + 1 < kBatchBucketCount;
+         v >>= 1) {
+      ++bucket;
+    }
+    batch_hist_[bucket] += 1;
+  }
 
   void event(Domain domain, SimTime time, EventCode code, std::uint32_t arg,
              double value) {
@@ -266,6 +295,7 @@ class alignas(64) Shard {
     std::uint64_t seq = 0;  ///< recorder-wide set order; 0 = never set
   };
   std::array<GaugeCell, kGaugeCount> gauges_{};
+  std::array<std::uint64_t, kBatchBucketCount> batch_hist_{};
   std::array<ScopeStats, kScopeCount> scopes_{};
   std::array<EventRing, kDomainCount> rings_{};
 };
@@ -312,7 +342,11 @@ class Recorder {
 // Thread binding (mirrors common/logging.h's ScopedLogBind).
 
 namespace detail {
-Shard*& tl_shard_slot() noexcept;
+// Header-inline so local_shard() compiles to a direct TLS load at every
+// macro site — the hot path touches this ~10 times per simulated request,
+// and the previous out-of-line accessor cost a call each time.
+inline thread_local Shard* tl_shard = nullptr;
+inline Shard*& tl_shard_slot() noexcept { return tl_shard; }
 }  // namespace detail
 
 /// The shard bound to the current thread, or nullptr when no recorder is
@@ -372,6 +406,20 @@ class ScopedTimer {
       l3_obs_shard->add(::l3::obs::CounterId::id, (n));          \
   } while (0)
 
+/// As L3_OBS_COUNT but with a runtime ::l3::obs::CounterId value — used
+/// where the counter is data-dependent (e.g. which pick kernel ran).
+#define L3_OBS_COUNT_DYN(id, n)                                  \
+  do {                                                           \
+    if (::l3::obs::Shard* l3_obs_shard = ::l3::obs::local_shard()) \
+      l3_obs_shard->add((id), (n));                              \
+  } while (0)
+
+#define L3_OBS_BATCH(events)                                     \
+  do {                                                           \
+    if (::l3::obs::Shard* l3_obs_shard = ::l3::obs::local_shard()) \
+      l3_obs_shard->record_batch((events));                      \
+  } while (0)
+
 #define L3_OBS_GAUGE(id, value)                                  \
   do {                                                           \
     if (::l3::obs::Shard* l3_obs_shard = ::l3::obs::local_shard()) \
@@ -397,6 +445,8 @@ class ScopedTimer {
 #else  // !L3_OBS_ENABLED
 
 #define L3_OBS_COUNT(id, n) ((void)0)
+#define L3_OBS_COUNT_DYN(id, n) ((void)0)
+#define L3_OBS_BATCH(events) ((void)0)
 #define L3_OBS_GAUGE(id, value) ((void)0)
 #define L3_OBS_EVENT(domain, code, time, arg, value) ((void)0)
 #define L3_OBS_SCOPE(var, scope) ((void)0)

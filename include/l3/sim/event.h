@@ -172,6 +172,43 @@ class EventQueue {
     free_slots_.push_back(slot);
   }
 
+  /// Drains up to `max_n` events with time <= `end`, invoking
+  /// `sink(time, fn) -> bool` for each with the callable in place, exactly
+  /// as that many dispatch_min() calls would — the pop order (time, seq) is
+  /// untouched, re-entrant pushes are observed immediately (an event
+  /// scheduling at the current timestamp is popped within the same batch),
+  /// and a `false` return from the sink ends the batch after that event.
+  /// What batching buys is the per-event caller overhead: one outer-loop
+  /// iteration, one empty()/min_time() probe and one instrumentation record
+  /// per batch instead of per event. Returns the number dispatched.
+  template <typename Sink>
+  std::size_t dispatch_batch(SimTime end, std::size_t max_n, Sink&& sink) {
+    std::size_t n = 0;
+    while (n < max_n) {
+      if (entries_.empty()) {
+        if (empty()) break;
+        refill();
+      }
+      const Entry top = entries_.front();
+      if (top.time > end) break;
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(top.seq_slot & kSlotMask);
+      EventFn& fn = slot_ref(slot);
+#if defined(__GNUC__)
+      __builtin_prefetch(&fn);
+#endif
+      entries_.front() = entries_.back();
+      entries_.pop_back();
+      if (!entries_.empty()) sift_down(0);
+      const bool keep_going = sink(top.time, fn);
+      fn.reset();
+      free_slots_.push_back(slot);
+      ++n;
+      if (!keep_going) break;
+    }
+    return n;
+  }
+
   void clear() noexcept {
     entries_.clear();
     run_.clear();

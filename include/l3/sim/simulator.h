@@ -94,6 +94,10 @@ class Simulator {
   /// Runs events until the queue is empty or the clock would pass `end`.
   /// The clock is left at `end` (or at the last event if the queue drained).
   /// Returns the number of events processed.
+  ///
+  /// Events are drained in dispatch batches of up to dispatch_batch()
+  /// events (EventQueue::dispatch_batch): identical event order, one
+  /// outer-loop iteration and one instrumentation record per batch.
   std::size_t run_until(SimTime end);
 
   /// Convenience: run_until(now() + duration).
@@ -105,6 +109,19 @@ class Simulator {
   /// Requests the current run_until call to return after the in-flight
   /// event finishes.
   void stop() { stop_requested_ = true; }
+
+  /// Default dispatch-batch size: deep enough to amortize the outer loop,
+  /// far shallower than any point where latency-to-stop() could matter
+  /// (stop() still takes effect after the in-flight event).
+  static constexpr std::size_t kDefaultDispatchBatch = 64;
+
+  /// Sets the max events drained per dispatch batch (clamped to >= 1).
+  /// Batching never reorders events; 1 restores the strictly per-event
+  /// loop (the --no-batch A/B baseline).
+  void set_dispatch_batch(std::size_t n) {
+    dispatch_batch_ = n < 1 ? 1 : n;
+  }
+  std::size_t dispatch_batch() const { return dispatch_batch_; }
 
   /// Number of events currently pending.
   std::size_t pending() const { return queue_.size(); }
@@ -123,6 +140,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t dispatch_batch_ = kDefaultDispatchBatch;
   bool stop_requested_ = false;
 };
 

@@ -51,6 +51,15 @@ struct ClientConfig {
   /// Pause before a retry is issued (the client's failure-detection +
   /// backoff time).
   SimDuration retry_backoff = 0.0;
+  /// Arrival times are pre-generated in blocks of up to this many (>= 1),
+  /// so the gap recurrence (rate lookup + exponential draw) runs as a tight
+  /// loop instead of being re-entered once per dispatched event. Byte-
+  /// identical for any value: the recurrence consumes exactly the same
+  /// draws in the same stream order, and in the one mode where other draws
+  /// interleave on this client's stream (poisson + kLocalDirect, where
+  /// fire draws WAN samples from the same SplitRng) the effective block
+  /// size is forced to 1.
+  std::size_t arrival_batch = 16;
 };
 
 /// Open-loop constant-throughput client.
@@ -81,6 +90,9 @@ class OpenLoopClient {
 
  private:
   void schedule_next();
+  /// Runs the gap recurrence forward from `from`, filling arrival_block_
+  /// with up to one block of future arrival times (stops at end_).
+  void refill_arrivals(SimTime from);
   void fire();
   void fire_local_direct();
   void send_attempt(SimTime first_sent, int attempt, trace::SpanContext root);
@@ -95,6 +107,9 @@ class OpenLoopClient {
   Config config_;
   SimTime end_ = 0.0;
   std::uint64_t sent_ = 0;
+  std::vector<SimTime> arrival_block_;  ///< pre-generated arrival times
+  std::size_t arrival_next_ = 0;        ///< next unscheduled block entry
+  bool arrivals_done_ = false;          ///< recurrence crossed end_; stop
   std::vector<RequestRecord> records_;
   /// Resolved on first use (the mesh's routing tables are map lookups; the
   /// client sends every request to the same target).

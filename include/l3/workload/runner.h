@@ -79,8 +79,14 @@ struct RunnerConfig {
   /// profiler capture the run and RunResult::profile carries the
   /// deterministic digest. Instrumentation reads thread-local state only —
   /// simulation results are identical with this on or off (and the macros
-  /// compile out entirely under L3_OBS=OFF).
+  /// compile out entirely with L3_OBS=OFF).
   bool profile = false;
+  /// Hot-path batching knob: events drained per EventQueue batch and
+  /// arrival times pre-generated per client block. 1 = fully unbatched
+  /// (per-event dispatch, the pre-batching code path). Simulation results
+  /// are byte-identical for every value — this is a throughput knob only,
+  /// which the batched-vs-unbatched golden-trace tests pin down.
+  std::size_t dispatch_batch = 64;
 
   // Algorithm configuration.
   core::ControllerConfig controller;

@@ -3,9 +3,11 @@
 # and runs ctest for each, runs the concurrency-sensitive tests (experiment
 # runner, simulator, logging, obs shard merge) under ThreadSanitizer, then
 # the plain RelWithDebInfo build, jobs-invariance smoke diffs on figure
-# benches (plain, chaos, and --profile), an L3_OBS=OFF byte-identical
-# golden, a Release-mode bench/sim_core smoke run (writes
-# BENCH_sim_core.json), and the flight-recorder overhead gate.
+# benches (plain, chaos, --profile, and --no-batch), an L3_OBS=OFF
+# byte-identical golden, a Release-mode bench/sim_core smoke run (writes
+# BENCH_sim_core.json), the flight-recorder overhead gate, the batched
+# pick-path gate (batched >= 1.5x scalar picks/s), and a per-kernel
+# micro-bench smoke.
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
@@ -33,8 +35,11 @@ for preset in "${presets[@]}"; do
     # invariant the request-path overhaul leans on, and the chaos crash /
     # injector tests, which recycle those handles mid-flight.
     # ...and the obs recorder's multi-thread shard merge.
+    # ...plus the batched dispatch and pick-kernel suites: the batch path
+    # shares the EventQueue slot pool and the picker caches the overhaul
+    # leans on, so their invariants get the same TSan coverage.
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder'
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels'
   else
     ctest --preset "$preset"
   fi
@@ -78,6 +83,16 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   grep -q '"profile"' "$smoke_dir/p1.json" \
     || { echo "FAIL: --profile produced no profile block"; exit 1; }
   echo "    profiled output byte-identical at --jobs 1 and --jobs 2"
+
+  # Batch-identity smoke: --no-batch restores the strictly per-event loop,
+  # which must produce byte-identical stdout and JSON to the batched
+  # default (batching is a pure dispatch-overhead optimization).
+  echo "==> [default] --no-batch identity smoke (fig10_scenarios)"
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 1 --no-batch \
+      --json "$smoke_dir/nb.json" > "$smoke_dir/nb.out"
+  diff "$smoke_dir/j1.out" "$smoke_dir/nb.out"
+  diff "$smoke_dir/j1.json" "$smoke_dir/nb.json"
+  echo "    byte-identical with --no-batch"
 
   # L3_OBS=OFF zero-cost check: compiling the instrumentation out must not
   # change a single byte of bench stdout or report JSON (the macros carry no
@@ -132,4 +147,29 @@ else
   echo "    no committed request_path baseline yet; comparison skipped"
 fi
 
-echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate"
+# Batch-path gate: the batched pick kernels must beat the scalar loop by a
+# clear margin on the same proxies in the same process. The ratio is
+# clock-drift-immune (both sides run in one process back to back), so the
+# bar can be tight: < 1.5x means the batch path lost its fused table loads.
+awk -F': ' '/"batch_pick_speedup"/ {gsub(/,/,"",$2); speedup = $2}
+  END {
+    if (speedup == "") { print "FAIL: no batch_pick_speedup in BENCH_sim_core.json"; exit 1 }
+    if (speedup + 0.0 < 1.5) {
+      printf "FAIL: batched picks only %.3gx scalar (gate: 1.5x)\n", speedup
+      exit 1
+    }
+    printf "    batch path ok: batched picks %.3gx scalar\n", speedup
+  }' BENCH_sim_core.json
+
+# Pick-kernel micro bench smoke: every (kernel, table size) pair runs and
+# the selector itself stays cheap. Output is informational; failure to run
+# (bad kernel id, out-of-bounds table) aborts the script.
+echo "==> [release-bench] pick-kernel micro bench"
+cmake --build --preset release-bench -j "$(nproc)" --target micro_algorithms \
+  >/dev/null
+./build-release/bench/micro_algorithms \
+  --benchmark_filter='BM_WeightedPickKernel|BM_KernelSelection' \
+  --benchmark_min_time=0.05s 2>/dev/null | grep -E 'BM_|items_per_second' \
+  | head -20
+
+echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate"

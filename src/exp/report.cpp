@@ -152,6 +152,17 @@ void write_profile(std::ostream& os, const obs::ProfileBlock& profile) {
        << ", \"dropped\": " << profile.ring_dropped[i] << '}';
     first = false;
   }
+  os << (first ? "]" : "\n    ]") << ",\n    \"weighted_kernel\": ";
+  write_escaped(os, profile.weighted_kernel_name());
+  os << ",\n    \"batch_hist\": [";
+  first = true;
+  for (std::size_t i = 0; i < obs::kBatchBucketCount; ++i) {
+    if (profile.batch_hist[i] == 0) continue;
+    os << (first ? "" : ",") << "\n      {\"events\": ";
+    write_escaped(os, obs::batch_bucket_label(i));
+    os << ", \"batches\": " << profile.batch_hist[i] << '}';
+    first = false;
+  }
   os << (first ? "]" : "\n    ]") << "\n  }";
 }
 

@@ -22,7 +22,8 @@ Counter& Registry::counter(const std::string& name, Labels labels) {
   auto key = series_key(name, std::move(labels));
   auto it = counters_.find(key);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
+    counter_store_.emplace_back();
+    it = counters_.emplace(std::move(key), &counter_store_.back()).first;
     ++version_;
   }
   return *it->second;
@@ -32,7 +33,8 @@ Gauge& Registry::gauge(const std::string& name, Labels labels) {
   auto key = series_key(name, std::move(labels));
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
+    gauge_store_.emplace_back();
+    it = gauges_.emplace(std::move(key), &gauge_store_.back()).first;
     ++version_;
   }
   return *it->second;
@@ -43,9 +45,9 @@ HistogramSeries& Registry::histogram(const std::string& name, Labels labels,
   auto key = series_key(name, std::move(labels));
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
-    auto series = std::make_unique<HistogramSeries>(
+    histogram_store_.emplace_back(
         bounds ? *bounds : FixedBucketHistogram::default_latency_bounds());
-    it = histograms_.emplace(std::move(key), std::move(series)).first;
+    it = histograms_.emplace(std::move(key), &histogram_store_.back()).first;
     ++version_;
   }
   return *it->second;

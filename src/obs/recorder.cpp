@@ -17,11 +17,23 @@ constexpr std::array<std::string_view, kScopeCount> kScopeNames = {
 };
 
 constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
-    "rt.counter.sim.events",          "rt.counter.mesh.requests",
-    "rt.counter.mesh.timeouts",       "rt.counter.tsdb.samples",
-    "rt.counter.scraper.series",      "rt.counter.controller.ticks",
+    "rt.counter.sim.events",
+    "rt.counter.sim.batches",
+    "rt.counter.mesh.requests",
+    "rt.counter.mesh.timeouts",
+    "rt.counter.mesh.pick_kernel.linear",
+    "rt.counter.mesh.pick_kernel.multilane",
+    "rt.counter.mesh.pick_kernel.binary",
+    "rt.counter.mesh.pick_kernel.p2c",
+    "rt.counter.tsdb.samples",
+    "rt.counter.scraper.series",
+    "rt.counter.controller.ticks",
     "rt.counter.controller.weight_updates",
     "rt.counter.chaos.transitions",
+};
+
+constexpr std::array<std::string_view, kBatchBucketCount> kBatchBucketLabels = {
+    "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -82,8 +94,37 @@ std::string_view event_code_name(EventCode code) {
   return "rt.event.unknown";
 }
 
+std::string_view batch_bucket_label(std::size_t bucket) {
+  L3_EXPECTS(bucket < kBatchBucketCount);
+  return kBatchBucketLabels[bucket];
+}
+
 // ---------------------------------------------------------------------------
 // ProfileBlock
+
+std::string_view ProfileBlock::weighted_kernel_name() const {
+  struct Entry {
+    CounterId id;
+    std::string_view name;
+  };
+  // Ties break toward the first listed (selection order); in practice one
+  // kernel serves every pick of a run unless a test flips the override.
+  constexpr Entry kEntries[] = {
+      {CounterId::kPickKernelLinear, "linear"},
+      {CounterId::kPickKernelMultiLane, "multilane"},
+      {CounterId::kPickKernelBinary, "binary"},
+  };
+  std::string_view best = "none";
+  std::uint64_t best_count = 0;
+  for (const Entry& e : kEntries) {
+    const std::uint64_t c = counters[static_cast<std::size_t>(e.id)];
+    if (c > best_count) {
+      best_count = c;
+      best = e.name;
+    }
+  }
+  return best;
+}
 
 std::size_t ProfileBlock::active_subsystems() const {
   std::size_t n = 0;
@@ -104,6 +145,9 @@ void ProfileBlock::merge(const ProfileBlock& other) {
   for (std::size_t i = 0; i < kDomainCount; ++i) {
     ring_recorded[i] += other.ring_recorded[i];
     ring_dropped[i] += other.ring_dropped[i];
+  }
+  for (std::size_t i = 0; i < kBatchBucketCount; ++i) {
+    batch_hist[i] += other.batch_hist[i];
   }
 }
 
@@ -310,19 +354,15 @@ ProfileBlock Recorder::profile() const {
       const std::uint64_t cap = ring.buf.size();
       block.ring_dropped[i] += ring.total > cap ? ring.total - cap : 0;
     }
+    for (std::size_t i = 0; i < kBatchBucketCount; ++i) {
+      block.batch_hist[i] += shard->batch_hist_[i];
+    }
   }
   return block;
 }
 
 // ---------------------------------------------------------------------------
-// Thread binding
-
-namespace detail {
-Shard*& tl_shard_slot() noexcept {
-  thread_local Shard* slot = nullptr;
-  return slot;
-}
-}  // namespace detail
+// Thread binding (the TLS slot itself is header-inline; see recorder.h)
 
 ScopedRecorderBind::ScopedRecorderBind(Recorder& recorder) {
   Shard*& slot = detail::tl_shard_slot();

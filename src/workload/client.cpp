@@ -35,15 +35,52 @@ void OpenLoopClient::start(SimTime begin, SimTime end) {
 
 void OpenLoopClient::schedule_next() {
   auto& sim = mesh_.simulator();
-  const double rate = std::max(0.1, rps_(sim.now()));
-  const SimDuration gap =
-      config_.poisson ? rng_.exponential(rate) : 1.0 / rate;
-  const SimTime next = sim.now() + gap;
-  if (next >= end_) return;
-  sim.schedule_at(next, [this] {
+  if (arrival_next_ >= arrival_block_.size()) {
+    refill_arrivals(sim.now());
+    if (arrival_block_.empty()) return;  // recurrence crossed end_
+  }
+  sim.schedule_at(arrival_block_[arrival_next_++], [this] {
     fire();
     schedule_next();
   });
+}
+
+void OpenLoopClient::refill_arrivals(SimTime from) {
+  arrival_block_.clear();
+  arrival_next_ = 0;
+  // Once a drawn arrival crosses end_, the recurrence is over for good.
+  // Without this latch a partial block would end with the crossing draw
+  // discarded and the NEXT refill would re-sample it — one extra stream
+  // draw per block boundary, and occasionally an extra arrival that the
+  // per-event recurrence (which stops at its first crossing draw) never
+  // produces.
+  if (arrivals_done_) return;
+  // Pre-generating a block is draw-order-legal exactly when the recurrence
+  // below is the only consumer of this client's stream between arrivals:
+  // always true without poisson (no draws at all), and true in kViaSplit
+  // mode (the proxy picks and WAN transits draw from their own streams).
+  // In poisson + kLocalDirect mode fire() draws WAN samples from rng_
+  // between gap draws, so the block degenerates to a single arrival and
+  // the draw interleaving stays exactly as the per-event loop produced it.
+  const bool interleaved_draws =
+      config_.poisson && config_.mode == CallMode::kLocalDirect;
+  const std::size_t block =
+      interleaved_draws ? 1 : std::max<std::size_t>(1, config_.arrival_batch);
+  SimTime t = from;
+  for (std::size_t i = 0; i < block; ++i) {
+    // Identical arithmetic to the old per-event step: `t` is exactly the
+    // value schedule_at stored, so rate lookups and gap sums reproduce the
+    // per-event FP results bit for bit.
+    const double rate = std::max(0.1, rps_(t));
+    const SimDuration gap =
+        config_.poisson ? rng_.exponential(rate) : 1.0 / rate;
+    t += gap;
+    if (t >= end_) {
+      arrivals_done_ = true;
+      break;
+    }
+    arrival_block_.push_back(t);
+  }
 }
 
 void OpenLoopClient::fire() {

@@ -117,6 +117,51 @@ TEST(BenchArgsTest, RejectsUnknownFlags) {
   EXPECT_NE(error.find("--frobnicate"), std::string::npos);
 }
 
+TEST(BenchArgsTest, BatchDefaultsToDispatchBatch) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->batch, 64);
+}
+
+TEST(BenchArgsTest, ParsesBatchValue) {
+  const auto args = parse({"--batch=16"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->batch, 16);
+}
+
+TEST(BenchArgsTest, NoBatchRestoresPerEventLoop) {
+  const auto args = parse({"--no-batch"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->batch, 1);
+}
+
+TEST(BenchArgsTest, BatchComposesWithOtherFlags) {
+  const auto args = parse({"--fast", "--batch=8", "--jobs", "2"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->fast);
+  EXPECT_EQ(args->batch, 8);
+  EXPECT_EQ(args->jobs, 2);
+}
+
+TEST(BenchArgsTest, RejectsInvalidBatchValues) {
+  for (const char* bad : {"--batch=0", "--batch=", "--batch=abc",
+                          "--batch=-4", "--batch=3.5",
+                          "--batch=99999999999999999999"}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_NE(error.find("--batch"), std::string::npos) << bad;
+  }
+}
+
+TEST(BenchArgsTest, RejectsDetachedBatchValue) {
+  // Strict form is --batch=N; a bare --batch (with or without a following
+  // token) must not silently parse.
+  std::string error;
+  EXPECT_FALSE(parse({"--batch"}, &error).has_value());
+  EXPECT_NE(error.find("--batch"), std::string::npos);
+  EXPECT_FALSE(parse({"--batch", "16"}).has_value());
+}
+
 TEST(BenchArgsTest, UsageMentionsEveryFlag) {
   const std::string usage = bench_usage("bench");
   EXPECT_NE(usage.find("--reps"), std::string::npos);
@@ -124,6 +169,8 @@ TEST(BenchArgsTest, UsageMentionsEveryFlag) {
   EXPECT_NE(usage.find("--jobs"), std::string::npos);
   EXPECT_NE(usage.find("--json"), std::string::npos);
   EXPECT_NE(usage.find("--profile"), std::string::npos);
+  EXPECT_NE(usage.find("--batch=N"), std::string::npos);
+  EXPECT_NE(usage.find("--no-batch"), std::string::npos);
 }
 
 }  // namespace
