@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   config.profile = args.profile;
   config.dispatch_batch = static_cast<std::size_t>(args.batch);
+  config.shards = static_cast<std::size_t>(args.shards);
   if (args.fast) config.duration = 180.0;
 
   const std::vector<double> lambdas = {0.5, 2.0, 8.0};

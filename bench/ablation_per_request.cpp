@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   workload::RunnerConfig base;
   base.profile = args.profile;
   base.dispatch_batch = static_cast<std::size_t>(args.batch);
+  base.shards = static_cast<std::size_t>(args.shards);
   if (args.fast) base.duration = 180.0;
 
   struct Strategy {

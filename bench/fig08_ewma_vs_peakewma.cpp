@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   workload::RunnerConfig config;
   config.profile = args.profile;
   config.dispatch_batch = static_cast<std::size_t>(args.batch);
+  config.shards = static_cast<std::size_t>(args.shards);
   if (args.fast) config.duration = 180.0;
 
   auto spec = exp::scenario_grid(

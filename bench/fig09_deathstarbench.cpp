@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   dsb::DsbRunnerConfig config;
   config.profile = args.profile;
   config.dispatch_batch = static_cast<std::size_t>(args.batch);
+  config.shards = static_cast<std::size_t>(args.shards);
   if (args.fast) config.duration = 180.0;
 
   const std::vector<workload::PolicyKind> kinds = {

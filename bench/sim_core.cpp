@@ -13,7 +13,11 @@
 //   * scenario    — wall-clock of a full run_scenario() (scenario 1, L3);
 //   * sweep       — a fig10-shaped experiment grid through the parallel
 //     harness at --jobs 1 vs --jobs 4 (cells/sec and the parallel speedup;
-//     on a single-core host the speedup is honestly ~1x).
+//     on a single-core host the speedup is honestly ~1x);
+//   * shards      — the 10k-backend mega scenario through the sharded
+//     simulator at --shards 1 vs --shards 4 with pinned shard threads
+//     (aggregate req/s; the speedup ratio is suppressed, not faked, on
+//     boxes with fewer than 4 hardware threads).
 //
 // Results print as a table and are written to BENCH_sim_core.json
 // (machine-readable) for longitudinal tracking.
@@ -23,6 +27,7 @@
 #include "l3/mesh/mesh.h"
 #include "l3/metrics/tsdb.h"
 #include "l3/sim/simulator.h"
+#include "l3/workload/mega.h"
 #include "l3/workload/runner.h"
 #include "l3/workload/scenarios.h"
 
@@ -506,6 +511,48 @@ SweepResult bench_sweep(double duration, int grid_reps) {
   return result;
 }
 
+struct ShardResult {
+  std::size_t regions = 0;
+  std::size_t backends = 0;
+  std::uint64_t requests = 0;
+  double serial_wall = 0.0;   // --shards 1
+  double sharded_wall = 0.0;  // --shards 4, pinned
+  double serial_reqs_per_sec = 0.0;
+  double sharded_reqs_per_sec = 0.0;
+  double speedup = 0.0;
+  int hardware_jobs = 0;
+};
+
+/// Times the 10k-backend mega scenario (l3/workload/mega.h) at shards=1 vs
+/// shards=4 with shard threads pinned to CPUs. Digest byte-identity across
+/// shard counts is covered by workload_mega_test; here we record aggregate
+/// request throughput. Wall time is the engine run only (setup excluded).
+ShardResult bench_shards(double duration) {
+  l3::workload::MegaConfig config;
+  config.duration = duration;
+  config.pin_threads = true;
+  ShardResult result;
+  result.regions = config.regions;
+  result.backends = config.regions * config.replicas_per_region;
+  result.hardware_jobs = l3::exp::effective_jobs(0);
+  config.shards = 1;
+  const auto serial = l3::workload::run_mega(config);
+  result.requests = serial.total_requests;
+  result.serial_wall = serial.wall_seconds;
+  config.shards = 4;
+  const auto sharded = l3::workload::run_mega(config);
+  if (sharded.total_requests != serial.total_requests) {
+    std::cerr << "shards: request counts diverged\n";
+  }
+  result.sharded_wall = sharded.wall_seconds;
+  result.serial_reqs_per_sec =
+      static_cast<double>(result.requests) / result.serial_wall;
+  result.sharded_reqs_per_sec =
+      static_cast<double>(result.requests) / result.sharded_wall;
+  result.speedup = result.serial_wall / result.sharded_wall;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -536,6 +583,7 @@ int main(int argc, char** argv) {
   const int pick_count = fast ? 2000000 : 10000000;
   const double sweep_duration = fast ? 30.0 : 120.0;
   const int sweep_reps = fast ? 1 : 2;
+  const double shard_duration = fast ? 2.0 : 5.0;
 
   std::cout << "== sim_core — event core + TSDB hot-path benchmark ==\n";
 
@@ -591,6 +639,17 @@ int main(int argc, char** argv) {
     // regression, so don't report one.
     std::cout << " (speedup n/a: only " << sweep.hardware_jobs
               << " hardware thread, jobs=4 cannot scale)\n";
+  }
+
+  const ShardResult shard = bench_shards(shard_duration);
+  std::cout << "mega shards  : " << shard.backends << " backends — shards=1 "
+            << shard.serial_reqs_per_sec << " req/s, shards=4 "
+            << shard.sharded_reqs_per_sec << " req/s";
+  if (shard.hardware_jobs >= 4) {
+    std::cout << " (pinned speedup " << shard.speedup << "x)\n";
+  } else {
+    std::cout << " (speedup n/a: only " << shard.hardware_jobs
+              << " hardware thread(s), 4 shards cannot scale)\n";
   }
 
   std::ofstream json(out_path);
@@ -663,6 +722,29 @@ int main(int argc, char** argv) {
     json << "    \"jobs4_speedup_suppressed\": true,\n"
          << "    \"jobs4_speedup_note\": \"only " << sweep.hardware_jobs
          << " hardware thread(s); jobs=4 cannot scale, ratio omitted\"\n";
+  }
+  json << "  },\n"
+       << "  \"shards\": {\n"
+       << "    \"regions\": " << shard.regions << ",\n"
+       << "    \"backends\": " << shard.backends << ",\n"
+       << "    \"requests\": " << shard.requests << ",\n"
+       << "    \"hardware_threads\": " << shard.hardware_jobs << ",\n"
+       << "    \"shards1_wall_seconds\": " << shard.serial_wall << ",\n"
+       << "    \"shards4_wall_seconds\": " << shard.sharded_wall << ",\n"
+       << "    \"shards1_reqs_per_sec\": " << shard.serial_reqs_per_sec
+       << ",\n"
+       << "    \"shards4_reqs_per_sec\": " << shard.sharded_reqs_per_sec
+       << ",\n";
+  if (shard.hardware_jobs >= 4) {
+    json << "    \"shards_speedup\": " << shard.speedup << "\n";
+  } else {
+    // Same honesty rule as jobs4_speedup: with the shard threads pinned
+    // onto too few CPUs the ratio only measures barrier overhead — flag it
+    // instead of publishing a misleading number.
+    json << "    \"shards_speedup_suppressed\": true,\n"
+         << "    \"shards_speedup_note\": \"only " << shard.hardware_jobs
+         << " hardware thread(s); 4 pinned shards cannot scale, ratio "
+            "omitted\"\n";
   }
   json << "  }\n"
        << "}\n";

@@ -1,7 +1,7 @@
 // The shared command-line surface of every bench binary:
 //
 //   [--reps N] [--fast] [--jobs N] [--json PATH] [--profile]
-//   [--batch=N] [--no-batch]
+//   [--batch=N] [--no-batch] [--shards=N]
 //
 // Parsing is strict: numeric flags reject non-numeric, negative, trailing-
 // garbage and overflowing values instead of silently mapping them to 0 the
@@ -29,6 +29,10 @@ struct BenchArgs {
   /// --no-batch) runs the per-event path; results are byte-identical for
   /// every value.
   int batch = 64;
+  /// Simulator shards for the conservative-lookahead parallel engine
+  /// (RunnerConfig::shards). Results are byte-identical for every value,
+  /// including 1 (the legacy single-simulator loop).
+  int shards = 1;
 };
 
 /// Strict base-10 integer parse of the whole string; nullopt on empty

@@ -104,6 +104,13 @@ class ServiceDeployment {
   const std::string& service() const { return service_; }
   ClusterId cluster() const { return cluster_; }
 
+  /// The simulator this deployment executes on — in a sharded run, the
+  /// OWNING shard's simulator (cross-shard callers must post work through
+  /// the shard router rather than schedule here directly).
+  sim::Simulator& sim() { return sim_; }
+  /// The owning shard's mesh view.
+  Mesh& mesh() { return mesh_; }
+
   /// Marks the whole deployment down/up (outage injection). While down,
   /// requests are rejected immediately.
   void set_down(bool down) { down_ = down; }

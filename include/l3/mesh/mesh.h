@@ -22,6 +22,10 @@
 #include <utility>
 #include <vector>
 
+namespace l3::sim {
+class ShardRouter;  // cross-shard event posting (l3/sim/shard_engine.h)
+}  // namespace l3::sim
+
 namespace l3::mesh {
 
 /// Mesh-wide configuration.
@@ -43,6 +47,11 @@ struct MeshConfig {
   RoutingMode routing = RoutingMode::kWeighted;
   /// Envoy-style outlier detection applied by every proxy (§5.1).
   OutlierDetectionConfig outlier_detection;
+  /// Sharded-run wiring: when set, every proxy this mesh creates uses the
+  /// presampled WAN discipline and posts remote calls through this router
+  /// instead of scheduling directly (see Proxy::enable_presampled). The
+  /// router must belong to the shard that owns this mesh's simulator.
+  sim::ShardRouter* shard_router = nullptr;
 };
 
 /// A multi-cluster service mesh instance bound to one simulator.
@@ -73,11 +82,21 @@ class Mesh {
                             DeploymentConfig config,
                             std::unique_ptr<ServiceBehavior> behavior);
 
+  /// Registers a deployment OWNED BY ANOTHER SHARD's mesh as a routing
+  /// target in this one: proxies created here include it as a backend, and
+  /// the presampled send path posts its work to the owning shard through
+  /// the configured shard_router. The pointed-to deployment must outlive
+  /// this mesh; `cluster` must not also have a local deployment of the
+  /// same service.
+  void declare_remote(const std::string& service, ClusterId cluster,
+                      ServiceDeployment* deployment);
+
   /// nullptr when the service is not deployed in that cluster.
   ServiceDeployment* find_deployment(const std::string& service,
                                      ClusterId cluster);
 
-  /// All deployments of a service, ordered by cluster id.
+  /// All deployments of a service, ordered by cluster id — locally deployed
+  /// and declared-remote alike.
   std::vector<ServiceDeployment*> deployments_of(const std::string& service);
 
   // --- routing ------------------------------------------------------------
@@ -138,6 +157,9 @@ class Mesh {
   // key: service name → per-cluster deployments
   std::map<std::string, std::map<ClusterId, std::unique_ptr<ServiceDeployment>>>
       deployments_;
+  // key: service name → deployments owned by other shards (not owned here)
+  std::map<std::string, std::map<ClusterId, ServiceDeployment*>>
+      remote_deployments_;
   // key: (source, service)
   std::map<std::pair<ClusterId, std::string>, std::unique_ptr<TrafficSplit>>
       splits_;

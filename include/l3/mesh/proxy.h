@@ -38,6 +38,10 @@
 #include <utility>
 #include <vector>
 
+namespace l3::sim {
+class ShardRouter;  // cross-shard event posting (l3/sim/shard_engine.h)
+}  // namespace l3::sim
+
 namespace l3::mesh {
 
 /// How the proxy picks a backend for each request.
@@ -84,8 +88,23 @@ class Proxy {
   void send(int depth, trace::SpanContext parent, ResponseFn done);
 
   /// Attaches (or detaches, nullptr) the tracer spans are recorded into.
-  /// Normally called through Mesh::set_tracer.
-  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  /// Normally called through Mesh::set_tracer. Incompatible with the
+  /// presampled discipline (the dest-side execution runs on another shard,
+  /// where this tracer must not be touched).
+  void set_tracer(trace::Tracer* tracer) {
+    L3_EXPECTS(!(presampled_ && tracer != nullptr));
+    tracer_ = tracer;
+  }
+
+  /// Switches this proxy to the presampled WAN discipline for sharded
+  /// runs: BOTH transit delays are drawn source-side at send time (instead
+  /// of the legacy scheme, which draws the return delay dest-side on this
+  /// proxy's stream), and the dest-side work is posted through `router`
+  /// under a shard-count-invariant key. Must be called before the first
+  /// send; requires no tracer. The RNG draw sequence differs from the
+  /// legacy discipline, so presampled runs have their own goldens — but
+  /// they are byte-identical across any shard count.
+  void enable_presampled(sim::ShardRouter* router);
 
   const TrafficSplit& split() const { return split_; }
   ClusterId source() const { return source_; }
@@ -172,6 +191,12 @@ class Proxy {
   /// P2C cost: PeakEWMA latency × (outstanding + 1) — Linkerd's score.
   double p2c_cost(const BackendSlot& slot) const;
 
+  /// The presampled-discipline outbound leg: draws both transit delays on
+  /// this proxy's stream and posts the dest-side execution through the
+  /// shard router (see enable_presampled).
+  void send_presampled(CallHandle handle, int depth, BackendSlot& slot,
+                       SimDuration outbound);
+
   void on_response(CallHandle handle, const Outcome& outcome);
   void finish(CallState& state, bool success, SimDuration latency,
               bool timed_out);
@@ -233,6 +258,11 @@ class Proxy {
 
   sim::Simulator& sim_;
   const WanModel& wan_;
+  /// Set by enable_presampled(): remote picks travel through this router
+  /// instead of direct scheduling. Null in the legacy (single-simulator)
+  /// discipline.
+  sim::ShardRouter* router_ = nullptr;
+  bool presampled_ = false;
   ClusterId source_;
   std::string src_name_;  ///< source cluster name (span label)
   std::string proxy_span_name_;  ///< interned "proxy:<service>"

@@ -51,8 +51,16 @@ class WanModel {
   /// Resizes the delay matrix for `n` clusters. Existing entries persist.
   void resize(std::size_t n);
 
-  /// Sets the directed link from→to.
+  /// Sets the directed link from→to (topology setup only; forbidden after
+  /// freeze()). Records `link.base` as the link's registered delay floor.
   void set_link(ClusterId from, ClusterId to, Link link);
+
+  /// Mid-run delay mutation (chaos brownouts, adaptive reconfiguration):
+  /// replaces the link parameters but asserts the new base never drops
+  /// below the registered floor — the sharded runner derives conservative
+  /// lookahead from floors, and a delay observed below the floor would
+  /// break the barrier's safety argument. Bumps version().
+  void update_link(ClusterId from, ClusterId to, Link link);
 
   /// Sets both directions from↔to.
   void set_symmetric(ClusterId a, ClusterId b, Link link) {
@@ -92,15 +100,39 @@ class WanModel {
 
   std::size_t cluster_count() const { return n_; }
 
+  /// Registered delay floor for from→to: the base recorded at set_link()
+  /// time, +inf for links never registered. Every sample() on a registered
+  /// link returns >= this floor (jitter, flaps and disturbances only add),
+  /// and update_link() cannot lower it — so a lookahead table built from
+  /// floors stays conservative across all mid-run mutation.
+  SimDuration min_base(ClusterId from, ClusterId to) const {
+    L3_EXPECTS(from < n_ && to < n_);
+    return floors_[from * n_ + to];
+  }
+
+  /// Forbids further set_link()/set_symmetric() calls: topology (and with
+  /// it the floor table) is final. update_link()/add_disturbance()/
+  /// add_partition() remain allowed — they can only add delay.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Monotonic mutation counter, bumped by update_link(),
+  /// add_disturbance() and add_partition(). Lets cached views (proxy
+  /// availability, shard lookahead audits) detect mid-run WAN changes.
+  std::uint64_t version() const { return version_; }
+
  private:
   /// Deterministic route-flap offset: a value in [0, 1] that re-rolls every
   /// flap_period, keyed on (link, epoch) — stateless and reproducible.
   static double flap_unit(ClusterId from, ClusterId to, std::uint64_t epoch);
 
   std::size_t n_ = 0;
-  std::vector<Link> links_;  // row-major n_ x n_
+  std::vector<Link> links_;        // row-major n_ x n_
+  std::vector<SimDuration> floors_;  // registered base per link; +inf unset
   std::vector<Disturbance> disturbances_;
   std::vector<Partition> partitions_;
+  std::uint64_t version_ = 0;
+  bool frozen_ = false;
 };
 
 }  // namespace l3::mesh

@@ -57,9 +57,9 @@ struct Event {
 /// sorted run and an unsorted staging buffer (a lazy queue in the spirit of
 /// Ronngren & Ayani).
 ///
-/// The heap holds exactly the events with `time < horizon_`, so it stays a
-/// few thousand entries deep and its sifts run in L1/L2 regardless of how
-/// many events are pending overall. Far-future pushes append to `staging_`
+/// The heap holds exactly the events ordered before the horizon key, so it
+/// stays a few thousand entries deep and its sifts run in L1/L2 regardless
+/// of how many events are pending overall. Far-future pushes append to `staging_`
 /// (O(1), sequential); when the heap drains, the next batch is bulk-loaded
 /// from the sorted `run_` (an ascending append is already a valid heap, so
 /// the load is sift-free) and `staging_` is partitioned against the new
@@ -78,11 +78,16 @@ struct Event {
 /// the maximum number of concurrently pending events.
 ///
 /// Determinism: the pop order is exactly ascending (time, seq). Within the
-/// heap that is the sift order; across tiers it follows from the
-/// invariants that every event outside the heap has time >= horizon_, the
-/// run is sorted, and at equal timestamps staging sequence numbers always
-/// exceed run sequence numbers (staging drains to the run wholesale, so a
-/// later push can never overtake an earlier one through a flush).
+/// heap that is the sift order; across tiers it follows from the invariant
+/// that the heap holds exactly the pending entries ordered strictly before
+/// the (horizon_, horizon_seq_slot_) key and everything outside orders at
+/// or after it — the run is sorted and staging is sorted on every flush.
+/// The horizon is a full (time, seq) key rather than a bare timestamp so
+/// the ordering holds for ARBITRARY interleavings of sequence numbers, not
+/// just monotonically increasing ones: cross-shard mailbox commits push
+/// "delivered" events whose seq encodes a shard-count-invariant
+/// (origin cluster, origin sequence) key and therefore arrive out of seq
+/// order at equal timestamps (see Simulator::schedule_delivered).
 class EventQueue {
  public:
   bool empty() const noexcept { return size() == 0; }
@@ -114,7 +119,7 @@ class EventQueue {
     }
     slot_ref(slot) = std::move(fn);
     const Entry entry{time, (seq << kSlotBits) | slot};
-    if (time < horizon_) {
+    if (before_horizon(entry)) {
       entries_.push_back(entry);
       sift_up(entries_.size() - 1);
     } else {
@@ -219,6 +224,7 @@ class EventQueue {
     slot_count_ = 0;
     free_slots_.clear();
     horizon_ = kInitialHorizon;
+    horizon_seq_slot_ = 0;
   }
 
  private:
@@ -253,6 +259,15 @@ class EventQueue {
   static bool earlier(const Entry& a, const Entry& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
     return a.seq_slot < b.seq_slot;
+  }
+
+  /// Whether `e` orders strictly before the horizon key, i.e. belongs in
+  /// the heap. At equal timestamps the seq decides, so a low-seq entry
+  /// pushed while its timestamp equals the horizon still overtakes the
+  /// staged/run entries it must precede.
+  bool before_horizon(const Entry& e) const noexcept {
+    if (e.time != horizon_) return e.time < horizon_;
+    return e.seq_slot < horizon_seq_slot_;
   }
 
   std::size_t run_remaining() const noexcept {
@@ -306,6 +321,7 @@ class EventQueue {
     }
 #endif
     horizon_ = run_[take_end - 1].time;
+    horizon_seq_slot_ = run_[take_end - 1].seq_slot;
     run_head_ = take_end;
     if (run_head_ == run_.size()) {
       run_.clear();
@@ -315,11 +331,11 @@ class EventQueue {
     // Staged times usually sit well past the horizon (they were too far out
     // for the previous epoch too), so the tracked minimum lets most refills
     // skip the scan outright.
-    if (staging_min_time_ < horizon_) {
+    if (staging_min_time_ <= horizon_) {
       std::size_t kept = 0;
       SimTime new_min = kEmptyStagingMin;
       for (const Entry& e : staging_) {
-        if (e.time < horizon_) {
+        if (before_horizon(e)) {
           entries_.push_back(e);
           sift_up(entries_.size() - 1);
         } else {
@@ -363,7 +379,7 @@ class EventQueue {
     entries_[i] = moving;
   }
 
-  std::vector<Entry> entries_;        // the 4-ary heap front (time < horizon_)
+  std::vector<Entry> entries_;        // the 4-ary heap front (before horizon key)
   std::vector<Entry> run_;            // sorted ascending; consumed from run_head_
   std::size_t run_head_ = 0;
   // Slot pool for the EventFns, stored in fixed-size chunks so a slot's
@@ -378,12 +394,16 @@ class EventQueue {
     return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
   }
 
-  std::vector<Entry> staging_;        // unsorted pushes with time >= horizon_
+  std::vector<Entry> staging_;        // unsorted pushes at/after the horizon key
   SimTime staging_min_time_ = kEmptyStagingMin;
   std::vector<std::unique_ptr<EventFn[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::vector<std::uint32_t> free_slots_;
   SimTime horizon_ = kInitialHorizon;
+  /// seq_slot of the last entry loaded into the heap: together with
+  /// horizon_ it forms the full (time, seq) key that before_horizon()
+  /// compares against, so equal-time pushes land on the correct side.
+  std::uint64_t horizon_seq_slot_ = 0;
 };
 
 }  // namespace l3::sim

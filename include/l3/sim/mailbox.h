@@ -1,0 +1,126 @@
+// Cross-shard mailboxes for the sharded simulator: each directed shard pair
+// gets a bounded staging buffer on the sending side (flushed at conservative
+// window boundaries, or early when full — the out-of-band buffer discipline
+// used by deltafs-vpic's preload shuffle) feeding a mutex-protected inbox on
+// the receiving side.
+//
+// Determinism does NOT depend on flush or drain timing: every message
+// carries a shard-count-invariant (origin cluster, origin sequence) key,
+// assigned on the origin shard, and the receiving Simulator orders
+// deliveries by that key (Simulator::schedule_delivered). Flushes only
+// affect WHEN a message becomes visible, never where it sorts.
+#pragma once
+
+#include "l3/common/assert.h"
+#include "l3/common/time.h"
+#include "l3/sim/event.h"
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace l3::sim {
+
+/// One cross-shard delivery: run `fn` on the owning shard's simulator at
+/// `time`, ordered by the (origin_cluster, origin_seq) key.
+struct ShardMessage {
+  SimTime time = 0.0;
+  std::uint32_t origin_cluster = 0;
+  std::uint32_t origin_seq = 0;
+  EventFn fn;
+};
+
+/// Flush/traffic counters for one staging buffer (or a sum over several).
+struct MailboxStats {
+  std::uint64_t messages = 0;         ///< messages posted
+  std::uint64_t flushes = 0;          ///< non-empty flushes delivered
+  std::uint64_t capacity_flushes = 0; ///< flushes forced by a full buffer
+
+  MailboxStats& operator+=(const MailboxStats& o) {
+    messages += o.messages;
+    flushes += o.flushes;
+    capacity_flushes += o.capacity_flushes;
+    return *this;
+  }
+};
+
+/// Receiving side: one inbox per shard, shared by all senders. deliver()
+/// and drain() are the only cross-thread touch points in the engine's data
+/// path; the mutex hand-off is what gives the barrier protocol its
+/// happens-before edge (flush-before-publish on the sender, acquire-then-
+/// drain on the receiver).
+class MailboxInbox {
+ public:
+  /// Moves a whole staged batch in (sender side). `batch` is left empty
+  /// with capacity intact, ready for reuse.
+  void deliver(std::vector<ShardMessage>& batch) {
+    if (batch.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+    }
+    batch.clear();
+  }
+
+  /// Moves everything delivered so far out into `out` (appended; receiver
+  /// side). Returns the number of messages drained.
+  std::size_t drain(std::vector<ShardMessage>& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = pending_.size();
+    out.insert(out.end(), std::make_move_iterator(pending_.begin()),
+               std::make_move_iterator(pending_.end()));
+    pending_.clear();
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<ShardMessage> pending_;
+};
+
+/// Sending side: per (source shard, target shard) bounded buffer. Owned and
+/// touched by the source shard's thread only; the target inbox is the sole
+/// cross-thread boundary.
+class MailboxStaging {
+ public:
+  MailboxStaging() = default;
+
+  void bind(MailboxInbox* inbox, std::size_t capacity) {
+    L3_EXPECTS(inbox != nullptr && capacity >= 1);
+    inbox_ = inbox;
+    capacity_ = capacity;
+    buf_.reserve(capacity);
+  }
+
+  /// Stages one message; flushes to the inbox first if the buffer is full.
+  void post(ShardMessage msg) {
+    L3_EXPECTS(inbox_ != nullptr);
+    if (buf_.size() >= capacity_) {
+      ++stats_.capacity_flushes;
+      flush();
+    }
+    buf_.push_back(std::move(msg));
+    ++stats_.messages;
+  }
+
+  /// Delivers everything staged to the inbox (no-op when empty). Called at
+  /// every conservative window boundary, BEFORE the horizon is published.
+  void flush() {
+    if (buf_.empty()) return;
+    inbox_->deliver(buf_);
+    ++stats_.flushes;
+  }
+
+  bool empty() const { return buf_.empty(); }
+  const MailboxStats& stats() const { return stats_; }
+
+ private:
+  MailboxInbox* inbox_ = nullptr;
+  std::size_t capacity_ = 1;
+  std::vector<ShardMessage> buf_;
+  MailboxStats stats_;
+};
+
+}  // namespace l3::sim

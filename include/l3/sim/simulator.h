@@ -86,6 +86,24 @@ class Simulator {
     schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Schedules a cross-shard delivery at absolute time `t` (>= now) under a
+  /// shard-count-invariant sequence key instead of this simulator's local
+  /// counter: the event's queue seq encodes (origin cluster, origin
+  /// sequence), both assigned on the ORIGIN shard, so the pop order among
+  /// deliveries — and between deliveries and local events — is identical no
+  /// matter how clusters are grouped onto shards or when the mailbox commit
+  /// happened to run. Delivered seqs sit above every local seq
+  /// (kDeliveredSeqBase), so at equal timestamps local events fire first;
+  /// that too is partition-invariant. Requires `origin_cluster` < 2^8 and
+  /// `origin_seq` < 2^31.
+  void schedule_delivered(SimTime t, std::uint32_t origin_cluster,
+                          std::uint32_t origin_seq, EventFn fn);
+
+  /// Local seqs live strictly below this; delivered seqs at/above it.
+  static constexpr std::uint64_t kDeliveredSeqBase = 1ull << 39;
+  static constexpr unsigned kDeliveredClusterBits = 8;
+  static constexpr unsigned kDeliveredSeqBits = 31;
+
   /// Schedules `fn` every `interval` seconds, first firing at
   /// `now + initial_delay`. Returns a handle to cancel the task.
   PeriodicHandle schedule_every(SimDuration interval, EventFn fn,

@@ -87,6 +87,15 @@ struct RunnerConfig {
   /// are byte-identical for every value — this is a throughput knob only,
   /// which the batched-vs-unbatched golden-trace tests pin down.
   std::size_t dispatch_batch = 64;
+  /// Simulator shards for the conservative-lookahead parallel engine
+  /// (l3/sim/shard_engine.h). The fig topologies couple the clusters
+  /// through the legacy WAN discipline (the return delay is drawn
+  /// dest-side on the proxy's stream), so the runner keeps every cluster
+  /// on shard 0 and extra shards idle — results are byte-identical for
+  /// every value, which the shard-invariance diffs in check.sh pin down.
+  /// Real parallel speedup comes from the presampled mega scenario
+  /// (l3/workload/mega.h).
+  std::size_t shards = 1;
 
   // Algorithm configuration.
   core::ControllerConfig controller;

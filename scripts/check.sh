@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Builds the test suite under AddressSanitizer and UndefinedBehaviorSanitizer
 # and runs ctest for each, runs the concurrency-sensitive tests (experiment
-# runner, simulator, logging, obs shard merge) under ThreadSanitizer, then
-# the plain RelWithDebInfo build, jobs-invariance smoke diffs on figure
-# benches (plain, chaos, --profile, and --no-batch), an L3_OBS=OFF
-# byte-identical golden, a Release-mode bench/sim_core smoke run (writes
-# BENCH_sim_core.json), the flight-recorder overhead gate, the batched
-# pick-path gate (batched >= 1.5x scalar picks/s), and a per-kernel
-# micro-bench smoke.
+# runner, simulator, logging, obs shard merge, shard engine + mailboxes)
+# under ThreadSanitizer, then the plain RelWithDebInfo build,
+# jobs-invariance smoke diffs on figure benches (plain, chaos, --profile,
+# and --no-batch), shard-invariance smoke diffs (--shards=2/4 vs the serial
+# run, plain and chaos), an L3_OBS=OFF byte-identical golden, a
+# Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json), the
+# flight-recorder overhead gate, the batched pick-path gate (batched
+# >= 1.5x scalar picks/s), the sharded-mega throughput gate, and a
+# per-kernel micro-bench smoke.
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
@@ -38,8 +40,12 @@ for preset in "${presets[@]}"; do
     # ...plus the batched dispatch and pick-kernel suites: the batch path
     # shares the EventQueue slot pool and the picker caches the overhaul
     # leans on, so their invariants get the same TSan coverage.
+    # ...plus the shard engine and mailbox suites: the conservative-barrier
+    # handshake and the staging/inbox handoff are the only cross-thread
+    # channels in the sharded simulator, so they run under TSan in full
+    # (including the 10k-backend mega scenario at --shards=4).
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels'
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels|Shard|Mailbox|Mega'
   else
     ctest --preset "$preset"
   fi
@@ -93,6 +99,28 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   diff "$smoke_dir/j1.out" "$smoke_dir/nb.out"
   diff "$smoke_dir/j1.json" "$smoke_dir/nb.json"
   echo "    byte-identical with --no-batch"
+
+  # Shard-invariance smoke: running the bench grid through the sharded
+  # engine must produce byte-identical stdout and JSON to the serial run
+  # at every shard count (the conservative barrier + keyed mailbox drain
+  # guarantee). Reuses the --jobs 1 goldens from above.
+  echo "==> [default] shard-invariance smoke (fig10_scenarios)"
+  for n in 2 4; do
+    ./build/bench/fig10_scenarios --fast --reps 1 --jobs 1 --shards="$n" \
+        --json "$smoke_dir/s$n.json" > "$smoke_dir/s$n.out"
+    diff "$smoke_dir/j1.out" "$smoke_dir/s$n.out"
+    diff "$smoke_dir/j1.json" "$smoke_dir/s$n.json"
+  done
+  echo "    byte-identical at --shards=1, 2 and 4"
+
+  # Same guarantee with fault injection armed: chaos timelines ride the
+  # same keyed event order, so fig11 must be shard-count invariant too.
+  echo "==> [default] chaos shard-invariance smoke (fig11_failure_latency)"
+  ./build/bench/fig11_failure_latency --fast --reps 1 --jobs 1 --shards=2 \
+      --json "$smoke_dir/cs2.json" > "$smoke_dir/cs2.out"
+  diff "$smoke_dir/c1.out" "$smoke_dir/cs2.out"
+  diff "$smoke_dir/c1.json" "$smoke_dir/cs2.json"
+  echo "    byte-identical at --shards=1 and --shards=2 under chaos"
 
   # L3_OBS=OFF zero-cost check: compiling the instrumentation out must not
   # change a single byte of bench stdout or report JSON (the macros carry no
@@ -161,6 +189,30 @@ awk -F': ' '/"batch_pick_speedup"/ {gsub(/,/,"",$2); speedup = $2}
     printf "    batch path ok: batched picks %.3gx scalar\n", speedup
   }' BENCH_sim_core.json
 
+# Sharded-mega throughput gate: the 10k-backend scenario through the
+# sharded engine must keep its aggregate req/s within 50% of the committed
+# baseline. Wall-clock based, so the tolerance is loose — it catches a
+# barrier that starts spinning per event (~10x under), not scheduler noise.
+shard_baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
+  | awk -F': ' '/"shards4_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' || true)
+shard_current=$(awk -F': ' '/"shards4_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' \
+  BENCH_sim_core.json)
+if [[ -z "${shard_current:-}" ]]; then
+  echo "FAIL: no shards4_reqs_per_sec in BENCH_sim_core.json"
+  exit 1
+fi
+if [[ -n "${shard_baseline:-}" ]]; then
+  awk -v b="$shard_baseline" -v c="$shard_current" 'BEGIN {
+    if (c + 0.0 < 0.5 * b) {
+      printf "FAIL: sharded mega %.4g req/s < 50%% of committed baseline %.4g\n", c, b
+      exit 1
+    }
+    printf "    sharded mega ok: %.4g req/s at --shards=4 (baseline %.4g)\n", c, b
+  }'
+else
+  echo "    no committed sharded-mega baseline yet; comparison skipped"
+fi
+
 # Pick-kernel micro bench smoke: every (kernel, table size) pair runs and
 # the selector itself stays cheap. Output is informational; failure to run
 # (bad kernel id, out-of-bounds table) aborts the script.
@@ -172,4 +224,4 @@ cmake --build --preset release-bench -j "$(nproc)" --target micro_algorithms \
   --benchmark_min_time=0.05s 2>/dev/null | grep -E 'BM_|items_per_second' \
   | head -20
 
-echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate"
+echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate + shard gate"

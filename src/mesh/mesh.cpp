@@ -40,6 +40,19 @@ ServiceDeployment& Mesh::deploy(const std::string& service, ClusterId cluster,
   return ref;
 }
 
+void Mesh::declare_remote(const std::string& service, ClusterId cluster,
+                          ServiceDeployment* deployment) {
+  L3_EXPECTS(cluster < clusters_.size());
+  L3_EXPECTS(deployment != nullptr && deployment->cluster() == cluster);
+  // A remote declaration only makes sense on a sharded mesh: without a
+  // router the proxy would have to schedule onto a foreign simulator.
+  L3_EXPECTS(config_.shard_router != nullptr);
+  L3_EXPECTS(find_deployment(service, cluster) == nullptr);
+  auto& per_cluster = remote_deployments_[service];
+  L3_EXPECTS(per_cluster.find(cluster) == per_cluster.end());
+  per_cluster.emplace(cluster, deployment);
+}
+
 ServiceDeployment* Mesh::find_deployment(const std::string& service,
                                          ClusterId cluster) {
   const auto it = deployments_.find(service);
@@ -52,10 +65,28 @@ std::vector<ServiceDeployment*> Mesh::deployments_of(
     const std::string& service) {
   std::vector<ServiceDeployment*> out;
   const auto it = deployments_.find(service);
-  if (it == deployments_.end()) return out;
-  out.reserve(it->second.size());
-  for (auto& [cluster, deployment] : it->second) {
-    out.push_back(deployment.get());  // std::map iterates in cluster order
+  const auto rt = remote_deployments_.find(service);
+  if (it != deployments_.end()) {
+    out.reserve(it->second.size());
+    for (auto& [cluster, deployment] : it->second) {
+      out.push_back(deployment.get());  // std::map iterates in cluster order
+    }
+  }
+  if (rt != remote_deployments_.end()) {
+    // Merge the two cluster-ordered runs so the combined list is ordered by
+    // cluster id exactly as a single-shard mesh (with every deployment
+    // local) would produce it.
+    std::vector<ServiceDeployment*> merged;
+    merged.reserve(out.size() + rt->second.size());
+    auto local = out.begin();
+    for (auto& [cluster, deployment] : rt->second) {
+      while (local != out.end() && (*local)->cluster() < cluster) {
+        merged.push_back(*local++);
+      }
+      merged.push_back(deployment);
+    }
+    merged.insert(merged.end(), local, out.end());
+    out = std::move(merged);
   }
   return out;
 }
@@ -89,6 +120,9 @@ Proxy& Mesh::proxy(ClusterId source, const std::string& service) {
       *registries_[source],
       config_.health_probe_interval > 0.0 ? &health_ : nullptr,
       rng_.split("proxy/" + names_[source] + "/" + service), pc, names_);
+  if (config_.shard_router != nullptr) {
+    proxy->enable_presampled(config_.shard_router);
+  }
   proxy->set_tracer(tracer_);
   Proxy& ref = *proxy;
   proxies_.emplace(key, std::move(proxy));

@@ -1,8 +1,10 @@
 #include "l3/mesh/proxy.h"
 
 #include "l3/common/assert.h"
+#include "l3/mesh/mesh.h"
 #include "l3/mesh/metric_names.h"
 #include "l3/obs/recorder.h"
+#include "l3/sim/shard_engine.h"
 #include "l3/trace/tracer.h"
 
 #include <algorithm>
@@ -328,6 +330,10 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
 
   const SimDuration outbound =
       wan_.sample(source_, slot.deployment->cluster(), sim_.now(), rng_);
+  if (presampled_) {
+    send_presampled(handle, depth, slot, outbound);
+    return;
+  }
   if (state.span.sampled()) {
     tracer_->add_span(state.span, trace::SpanKind::kWan, slot.wan_out_name,
                       src_name_, split_.service(), sim_.now(),
@@ -372,6 +378,63 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
           sim_.schedule_after(inbound, [this, handle, delivered] {
             on_response(handle, delivered);
           });
+        });
+  });
+}
+
+void Proxy::enable_presampled(sim::ShardRouter* router) {
+  L3_EXPECTS(router != nullptr);
+  // The dest-side leg executes on another shard, where this proxy's tracer
+  // and RNG must never be touched; tracing is therefore incompatible, and
+  // the discipline must be fixed before traffic flows.
+  L3_EXPECTS(tracer_ == nullptr);
+  L3_EXPECTS(sent_ == 0);
+  router_ = router;
+  presampled_ = true;
+}
+
+void Proxy::send_presampled(CallHandle handle, int depth, BackendSlot& slot,
+                            SimDuration outbound) {
+  ServiceDeployment* const dep = slot.deployment;
+  const ClusterId dst = dep->cluster();
+  // Both transit legs are drawn here, source-side, back to back — the dest
+  // shard's streams are never touched, so the proxy's draw sequence (and
+  // with it every downstream result) is invariant to how clusters map onto
+  // shards. This differs from the legacy discipline, which draws the
+  // return leg dest-side at completion time; presampled runs have their
+  // own goldens.
+  const SimDuration inbound = wan_.sample(dst, source_, sim_.now(), rng_);
+  const SimTime arrive = sim_.now() + outbound;
+  if (wan_.has_partitions() && wan_.is_partitioned(source_, dst, arrive)) {
+    // Same fast-failure semantics as the legacy arrival-time check:
+    // partitions are registered up front, so the verdict at `arrive` is
+    // already computable here on the source shard.
+    sim_.schedule_after(outbound, [this, handle] {
+      on_response(handle, Outcome{.success = false, .rejected = true});
+    });
+    return;
+  }
+  // Posted under the (source cluster, seq) key; runs at `arrive` on the
+  // shard owning `dst`. From there until the response lands back home only
+  // `dep`, the shared engine and this proxy's immutable fields may be
+  // touched.
+  router_->post(source_, dst, arrive, [this, dep, handle, depth, inbound] {
+    dep->handle(
+        depth + 1, [this, dep, handle, inbound](const Outcome& outcome) {
+          sim::Simulator& dest_sim = dep->sim();
+          const ClusterId dest = dep->cluster();
+          Outcome delivered = outcome;
+          // The dest shard's WAN copy is configured identically to the
+          // source's, so the return-partition verdict matches what the
+          // legacy dest-side check would conclude.
+          const WanModel& dest_wan = dep->mesh().wan();
+          if (dest_wan.has_partitions() &&
+              dest_wan.is_partitioned(dest, source_, dest_sim.now())) {
+            delivered = Outcome{.success = false, .rejected = false};
+          }
+          router_->engine().router_for_cluster(dest).post(
+              dest, source_, dest_sim.now() + inbound,
+              [this, handle, delivered] { on_response(handle, delivered); });
         });
   });
 }

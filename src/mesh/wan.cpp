@@ -8,28 +8,47 @@ namespace l3::mesh {
 
 void WanModel::resize(std::size_t n) {
   std::vector<Link> next(n * n);
+  std::vector<SimDuration> next_floors(
+      n * n, std::numeric_limits<SimDuration>::infinity());
   for (std::size_t i = 0; i < std::min(n_, n); ++i) {
     for (std::size_t j = 0; j < std::min(n_, n); ++j) {
       next[i * n + j] = links_[i * n_ + j];
+      next_floors[i * n + j] = floors_[i * n_ + j];
     }
   }
   links_ = std::move(next);
+  floors_ = std::move(next_floors);
   n_ = n;
 }
 
 void WanModel::set_link(ClusterId from, ClusterId to, Link link) {
   L3_EXPECTS(from < n_ && to < n_);
+  L3_EXPECTS(!frozen_);
   L3_EXPECTS(link.base >= 0.0 && link.jitter_frac >= 0.0);
   L3_EXPECTS(link.flap_amp >= 0.0 && link.flap_period > 0.0);
   links_[from * n_ + to] = link;
+  floors_[from * n_ + to] = link.base;
+}
+
+void WanModel::update_link(ClusterId from, ClusterId to, Link link) {
+  L3_EXPECTS(from < n_ && to < n_);
+  L3_EXPECTS(link.base >= 0.0 && link.jitter_frac >= 0.0);
+  L3_EXPECTS(link.flap_amp >= 0.0 && link.flap_period > 0.0);
+  // The conservative-lookahead invariant: a mid-run mutation may add delay
+  // but never undercut the floor registered at topology-setup time.
+  L3_EXPECTS(link.base >= floors_[from * n_ + to]);
+  links_[from * n_ + to] = link;
+  ++version_;
 }
 
 void WanModel::set_local_delay(SimDuration base, double jitter_frac) {
+  L3_EXPECTS(!frozen_);
   for (std::size_t i = 0; i < n_; ++i) {
     Link l;
     l.base = base;
     l.jitter_frac = jitter_frac;
     links_[i * n_ + i] = l;
+    floors_[i * n_ + i] = base;
   }
 }
 
@@ -42,12 +61,14 @@ void WanModel::add_disturbance(Disturbance d) {
   L3_EXPECTS(d.from < n_ && d.to < n_);
   L3_EXPECTS(d.end > d.start && d.extra >= 0.0);
   disturbances_.push_back(d);
+  ++version_;
 }
 
 void WanModel::add_partition(Partition p) {
   L3_EXPECTS(p.a < n_ && p.b < n_);
   L3_EXPECTS(p.end > p.start);
   partitions_.push_back(p);
+  ++version_;
 }
 
 bool WanModel::is_partitioned(ClusterId from, ClusterId to,

@@ -1,0 +1,273 @@
+#include "l3/sim/shard_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace l3::sim {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+void pin_to_cpu(std::thread& t, std::size_t cpu) {
+#if defined(__linux__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % hw), &set);
+  // Best effort: a failed pin (restricted affinity mask) degrades the bench
+  // numbers, not correctness.
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)cpu;
+#endif
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardRouter
+
+void ShardRouter::post(std::uint32_t origin, std::uint32_t target,
+                       SimTime time, EventFn fn) {
+  L3_EXPECTS(sim_ != nullptr);
+  L3_EXPECTS(static_cast<bool>(fn));
+  L3_EXPECTS(engine_->owner(origin) == shard_);
+  L3_EXPECTS(origin < next_seq_.size());
+  const SimDuration la = engine_->cluster_lookahead(origin, target);
+  const std::size_t target_shard = engine_->owner(target);
+  if (std::isfinite(la)) {
+    // The conservative bound: the barrier promised peers nothing from this
+    // pair arrives earlier than now + floor. Callers derive `time` from a
+    // WAN sample, and sample >= floor makes this exact in floating point
+    // (addition is monotonic per operand).
+    L3_EXPECTS(time >= sim_->now() + la);
+  } else {
+    L3_EXPECTS(target_shard == shard_);
+    L3_EXPECTS(time >= sim_->now());
+  }
+  const std::uint32_t seq = next_seq_[origin]++;
+  if (target_shard == shard_) {
+    sim_->schedule_delivered(time, origin, seq, std::move(fn));
+  } else {
+    staging_[target_shard].post(ShardMessage{time, origin, seq,
+                                             std::move(fn)});
+  }
+}
+
+void ShardRouter::drain_commit() {
+  drain_buf_.clear();
+  engine_->inbox(shard_).drain(drain_buf_);
+  for (ShardMessage& m : drain_buf_) {
+    sim_->schedule_delivered(m.time, m.origin_cluster, m.origin_seq,
+                             std::move(m.fn));
+  }
+  drain_buf_.clear();
+}
+
+void ShardRouter::flush_all() {
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    if (s != shard_) staging_[s].flush();
+  }
+}
+
+void ShardRouter::run_until(SimTime end) {
+  L3_EXPECTS(sim_ != nullptr);
+  L3_EXPECTS(end >= sim_->now());
+  for (;;) {
+    const SimTime safe = engine_->acquire(shard_, committed_);
+    drain_commit();
+    if (safe > end) {
+      // Final window: every message still in flight toward this shard
+      // arrives strictly after `end`. Run inclusively, exactly like the
+      // legacy loop, and release the peers for good.
+      sim_->run_until(end);
+      flush_all();
+      engine_->publish(shard_, kInf);
+      committed_ = kInf;
+      return;
+    }
+    // Execute strictly below `safe`: t < safe  <=>  t <= pred(safe), so the
+    // legacy inclusive run_until needs no new entry point.
+    sim_->run_until(std::nextafter(safe, -kInf));
+    flush_all();
+    engine_->publish(shard_, safe);
+    committed_ = safe;
+  }
+}
+
+MailboxStats ShardRouter::mailbox_stats() const {
+  MailboxStats total;
+  for (const MailboxStaging& s : staging_) total += s.stats();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ShardEngine
+
+ShardEngine::ShardEngine(Config config)
+    : config_(config), shard_count_(config.shards) {
+  L3_EXPECTS(shard_count_ >= 1);
+  L3_EXPECTS(config_.mailbox_capacity >= 1);
+  inboxes_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    inboxes_.push_back(std::make_unique<MailboxInbox>());
+  }
+  routers_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    auto router = std::make_unique<ShardRouter>();
+    router->engine_ = this;
+    router->shard_ = s;
+    router->staging_.resize(shard_count_);
+    for (std::size_t t = 0; t < shard_count_; ++t) {
+      if (t == s) continue;
+      router->staging_[t].bind(inboxes_[t].get(), config_.mailbox_capacity);
+    }
+    routers_.push_back(std::move(router));
+  }
+  horizons_.assign(shard_count_, 0.0);
+}
+
+void ShardEngine::set_cluster_owners(std::vector<std::size_t> owners) {
+  for (const std::size_t s : owners) L3_EXPECTS(s < shard_count_);
+  owners_ = std::move(owners);
+  cluster_la_.assign(owners_.size() * owners_.size(), kInf);
+  for (auto& r : routers_) {
+    r->next_seq_.assign(owners_.size(), 0);
+  }
+}
+
+void ShardEngine::set_cluster_lookahead(std::uint32_t from, std::uint32_t to,
+                                        SimDuration lookahead) {
+  L3_EXPECTS(from < owners_.size() && to < owners_.size());
+  L3_EXPECTS(lookahead >= 0.0);
+  cluster_la_[from * owners_.size() + to] = lookahead;
+}
+
+SimDuration ShardEngine::cluster_lookahead(std::uint32_t from,
+                                           std::uint32_t to) const {
+  L3_EXPECTS(from < owners_.size() && to < owners_.size());
+  return cluster_la_[from * owners_.size() + to];
+}
+
+SimDuration ShardEngine::shard_lookahead(std::size_t from,
+                                         std::size_t to) const {
+  L3_EXPECTS(from < shard_count_ && to < shard_count_);
+  SimDuration la = kInf;
+  const std::size_t n = owners_.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    if (owners_[a] != from) continue;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (owners_[b] != to) continue;
+      la = std::min(la, cluster_la_[a * n + b]);
+    }
+  }
+  return la;
+}
+
+void ShardEngine::prepare() {
+  shard_la_.assign(shard_count_ * shard_count_, kInf);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    for (std::size_t j = 0; j < shard_count_; ++j) {
+      if (i == j) continue;
+      const SimDuration la = shard_lookahead(i, j);
+      // Zero cross-shard lookahead deadlocks the barrier: neither side
+      // could ever advance past the other's horizon.
+      L3_EXPECTS(!(std::isfinite(la) && la <= 0.0));
+      shard_la_[i * shard_count_ + j] = la;
+    }
+  }
+  horizons_.assign(shard_count_, 0.0);
+  aborted_ = false;
+  first_error_ = nullptr;
+}
+
+void ShardEngine::run(const std::function<void(std::size_t)>& body) {
+  prepare();
+  std::vector<std::thread> threads;
+  const std::size_t first_spawned = config_.pin_threads ? 0 : 1;
+  threads.reserve(shard_count_ - first_spawned);
+  for (std::size_t s = first_spawned; s < shard_count_; ++s) {
+    threads.emplace_back([this, s, &body] { run_shard(s, body); });
+    if (config_.pin_threads) pin_to_cpu(threads.back(), s);
+  }
+  if (!config_.pin_threads) run_shard(0, body);
+  for (auto& t : threads) t.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ShardEngine::run_shard(std::size_t shard,
+                            const std::function<void(std::size_t)>& body) {
+  try {
+    body(shard);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+  // Idle, finished or failed alike: this shard owes nothing more, so peers
+  // must never wait on it again.
+  publish(shard, kInf);
+}
+
+void ShardEngine::sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) throw ContractViolation("barrier", "peer shard failed",
+                                        __FILE__, __LINE__);
+  const std::uint64_t generation = sync_generation_;
+  if (++sync_waiting_ == shard_count_) {
+    sync_waiting_ = 0;
+    ++sync_generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return sync_generation_ != generation || aborted_; });
+  if (aborted_ && sync_generation_ == generation) {
+    throw ContractViolation("barrier", "peer shard failed", __FILE__,
+                            __LINE__);
+  }
+}
+
+SimTime ShardEngine::acquire(std::size_t shard, SimTime committed) {
+  L3_EXPECTS(shard < shard_count_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    SimTime safe = kInf;
+    for (std::size_t j = 0; j < shard_count_; ++j) {
+      if (j == shard) continue;
+      const SimDuration la = shard_la_[j * shard_count_ + shard];
+      if (!std::isfinite(la)) continue;
+      safe = std::min(safe, horizons_[j] + la);
+    }
+    if (safe > committed) return safe;
+    cv_.wait(lock);
+  }
+}
+
+void ShardEngine::publish(std::size_t shard, SimTime horizon) {
+  L3_EXPECTS(shard < shard_count_);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    L3_EXPECTS(horizon >= horizons_[shard]);
+    horizons_[shard] = horizon;
+  }
+  cv_.notify_all();
+}
+
+MailboxStats ShardEngine::mailbox_stats() const {
+  MailboxStats total;
+  for (const auto& r : routers_) total += r->mailbox_stats();
+  return total;
+}
+
+}  // namespace l3::sim

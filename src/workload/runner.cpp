@@ -10,6 +10,7 @@
 #include "l3/metrics/scraper.h"
 #include "l3/metrics/tsdb.h"
 #include "l3/obs/recorder.h"
+#include "l3/sim/shard_engine.h"
 #include "l3/sim/simulator.h"
 #include "l3/workload/trace_behavior.h"
 
@@ -170,8 +171,25 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
         [&sim, &recorder] { recorder->sample_tracks(sim.now()); });
   }
 
-  // Run, then drain outstanding responses.
-  sim.run_until(t1 + 30.0);
+  // Run, then drain outstanding responses. With --shards=N > 1 the run goes
+  // through the shard engine: the fig topologies are RNG-coupled through
+  // the legacy WAN discipline (the return delay is drawn dest-side on the
+  // proxy's stream), so every cluster stays on shard 0 and the extra shards
+  // idle at a +inf horizon — shard 0 then sees no coupled peer and executes
+  // the whole run in a single window, byte-identical to the plain loop.
+  if (config.shards <= 1) {
+    sim.run_until(t1 + 30.0);
+  } else {
+    sim::ShardEngine engine(config.shards);
+    engine.set_cluster_owners(
+        std::vector<std::size_t>(mesh.clusters().size(), 0));
+    engine.run([&](std::size_t shard) {
+      if (shard != 0) return;
+      sim::ShardRouter& router = engine.router(0);
+      router.attach(sim);
+      router.run_until(t1 + 30.0);
+    });
+  }
   track_task.cancel();
 
   RunResult result;

@@ -171,6 +171,46 @@ TEST(BenchArgsTest, UsageMentionsEveryFlag) {
   EXPECT_NE(usage.find("--profile"), std::string::npos);
   EXPECT_NE(usage.find("--batch=N"), std::string::npos);
   EXPECT_NE(usage.find("--no-batch"), std::string::npos);
+  EXPECT_NE(usage.find("--shards=N"), std::string::npos);
+}
+
+TEST(BenchArgsTest, ShardsDefaultsToOne) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->shards, 1);
+}
+
+TEST(BenchArgsTest, ParsesShardsValue) {
+  const auto args = parse({"--shards=4"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->shards, 4);
+}
+
+TEST(BenchArgsTest, ShardsComposesWithOtherFlags) {
+  const auto args =
+      parse({"--fast", "--shards=2", "--jobs", "3", "--batch=8"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->fast);
+  EXPECT_EQ(args->shards, 2);
+  EXPECT_EQ(args->jobs, 3);
+  EXPECT_EQ(args->batch, 8);
+}
+
+TEST(BenchArgsTest, RejectsInvalidShardsValues) {
+  std::string error;
+  EXPECT_FALSE(parse({"--shards=0"}, &error).has_value());
+  EXPECT_NE(error.find("--shards"), std::string::npos);
+  EXPECT_FALSE(parse({"--shards=abc"}).has_value());
+  EXPECT_FALSE(parse({"--shards=-2"}).has_value());
+  EXPECT_FALSE(parse({"--shards=2.5"}).has_value());
+  EXPECT_FALSE(parse({"--shards="}).has_value());
+}
+
+TEST(BenchArgsTest, RejectsDetachedShardsValue) {
+  std::string error;
+  EXPECT_FALSE(parse({"--shards"}, &error).has_value());
+  EXPECT_NE(error.find("--shards"), std::string::npos);
+  EXPECT_FALSE(parse({"--shards", "4"}).has_value());
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 namespace l3::mesh {
 namespace {
 
@@ -108,6 +111,57 @@ TEST(Wan, RejectsOutOfRangeClusters) {
   EXPECT_THROW(wan.set_link(0, 5, {}), ContractViolation);
   SplitRng rng(8);
   EXPECT_THROW(wan.sample(5, 0, 0.0, rng), ContractViolation);
+}
+
+TEST(Wan, MinBaseRecordsRegisteredFloors) {
+  WanModel wan;
+  wan.resize(3);
+  wan.set_link(0, 1, {.base = 0.005, .jitter_frac = 0.1});
+  // Unregistered pairs float at +inf: no coupling for the shard barrier.
+  EXPECT_FALSE(std::isfinite(wan.min_base(1, 0)));
+  EXPECT_FALSE(std::isfinite(wan.min_base(0, 2)));
+  EXPECT_EQ(wan.min_base(0, 1), 0.005);
+  // Samples never dip below the registered floor.
+  SplitRng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(wan.sample(0, 1, 0.01 * i, rng), 0.005);
+  }
+}
+
+TEST(Wan, UpdateLinkKeepsTheFloorAndBumpsVersion) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.005, .jitter_frac = 0.0});
+  const std::uint64_t v0 = wan.version();
+  wan.update_link(0, 1, {.base = 0.009, .jitter_frac = 0.0});
+  EXPECT_GT(wan.version(), v0);
+  EXPECT_EQ(wan.min_base(0, 1), 0.005);  // floor stays at registration
+  SplitRng rng(10);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 0.0, rng), 0.009);
+  // Dropping the base below the registered floor would let a shard observe
+  // a delay under its lookahead — rejected.
+  EXPECT_THROW(wan.update_link(0, 1, {.base = 0.001, .jitter_frac = 0.0}),
+               ContractViolation);
+}
+
+TEST(Wan, FreezeForbidsTopologyChangesButAllowsFaults) {
+  WanModel wan;
+  wan.resize(2);
+  wan.set_link(0, 1, {.base = 0.004, .jitter_frac = 0.0});
+  wan.freeze();
+  EXPECT_TRUE(wan.frozen());
+  EXPECT_THROW(wan.set_link(1, 0, {.base = 0.004}), ContractViolation);
+  EXPECT_THROW(wan.set_local_delay(0.001), ContractViolation);
+  // Faults only ADD delay, so they stay legal after freeze — and each bumps
+  // the version so cached views revalidate.
+  const std::uint64_t v0 = wan.version();
+  wan.add_disturbance({.from = 0, .to = 1, .start = 1.0, .end = 2.0,
+                       .extra = 0.010});
+  EXPECT_GT(wan.version(), v0);
+  wan.add_partition({.a = 0, .b = 1, .start = 3.0, .end = 4.0});
+  EXPECT_GT(wan.version(), v0 + 1);
+  SplitRng rng(11);
+  EXPECT_DOUBLE_EQ(wan.sample(0, 1, 1.5, rng), 0.014);
 }
 
 }  // namespace

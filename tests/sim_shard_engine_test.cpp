@@ -1,0 +1,167 @@
+// Tests for the conservative-lookahead shard engine: ownership + lookahead
+// tables, barrier progress, deterministic cross-shard ping-pong, the
+// lookahead-violation contract, abort propagation through sync(), and the
+// zero-lookahead deadlock guard.
+#include "l3/sim/shard_engine.h"
+
+#include "l3/common/assert.h"
+#include "l3/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace l3::sim {
+namespace {
+
+TEST(ShardEngine, OwnershipAndLookaheadTables) {
+  ShardEngine engine(2);
+  engine.set_cluster_owners({0, 1, 1});
+  EXPECT_EQ(engine.cluster_count(), 3u);
+  EXPECT_EQ(engine.owner(0), 0u);
+  EXPECT_EQ(engine.owner(2), 1u);
+
+  // Unregistered pairs are uncoupled (+inf).
+  EXPECT_FALSE(std::isfinite(engine.cluster_lookahead(0, 1)));
+
+  engine.set_cluster_lookahead(0, 1, 0.010);
+  engine.set_cluster_lookahead(0, 2, 0.004);
+  EXPECT_EQ(engine.cluster_lookahead(0, 1), 0.010);
+  // Shard lookahead is the min over the owned cluster pairs.
+  EXPECT_EQ(engine.shard_lookahead(0, 1), 0.004);
+  EXPECT_FALSE(std::isfinite(engine.shard_lookahead(1, 0)));
+}
+
+TEST(ShardEngine, PostFromForeignClusterThrows) {
+  ShardEngine engine(2);
+  engine.set_cluster_owners({0, 1});
+  Simulator sim;
+  ShardRouter& router = engine.router(0);
+  router.attach(sim);
+  // Cluster 1 is owned by shard 1; shard 0's router must refuse to forge
+  // its origin key.
+  EXPECT_THROW(router.post(1, 0, 1.0, [] {}), ContractViolation);
+}
+
+TEST(ShardEngine, ZeroCrossShardLookaheadIsRejected) {
+  ShardEngine engine(2);
+  engine.set_cluster_owners({0, 1});
+  engine.set_cluster_lookahead(0, 1, 0.0);  // would deadlock the barrier
+  EXPECT_THROW(engine.run([](std::size_t) {}), ContractViolation);
+}
+
+TEST(ShardEngine, LookaheadViolatingPostThrows) {
+  ShardEngine engine(2);
+  engine.set_cluster_owners({0, 1});
+  engine.set_cluster_lookahead(0, 1, 0.010);
+  engine.set_cluster_lookahead(1, 0, 0.010);
+  EXPECT_THROW(
+      engine.run([&](std::size_t shard) {
+        Simulator sim;
+        ShardRouter& router = engine.router(shard);
+        router.attach(sim);
+        if (shard == 0) {
+          sim.schedule_at(0.0, [&router] {
+            router.post(0, 1, 0.005, [] {});  // below the 10 ms floor
+          });
+        }
+        router.run_until(0.1);
+      }),
+      ContractViolation);
+}
+
+TEST(ShardEngine, BodyExceptionPropagatesThroughSync) {
+  ShardEngine engine(2);
+  engine.set_cluster_owners({0, 1});
+  std::atomic<bool> peer_unblocked{false};
+  EXPECT_ANY_THROW(engine.run([&](std::size_t shard) {
+    if (shard == 0) throw std::runtime_error("boom");
+    engine.sync();  // must throw instead of deadlocking
+    peer_unblocked = true;
+  }));
+  EXPECT_FALSE(peer_unblocked.load());
+}
+
+TEST(ShardEngine, UncoupledShardsRunToCompletionIndependently) {
+  ShardEngine engine(3);
+  engine.set_cluster_owners({0, 1, 2});  // no lookaheads: fully uncoupled
+  std::vector<int> counts(3, 0);
+  engine.run([&](std::size_t shard) {
+    Simulator sim;
+    ShardRouter& router = engine.router(shard);
+    router.attach(sim);
+    for (int i = 0; i < 5; ++i) {
+      sim.schedule_at(0.1 * i, [&counts, shard] { ++counts[shard]; });
+    }
+    router.run_until(1.0);
+    EXPECT_EQ(sim.now(), 1.0);
+  });
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+// Two clusters ping-ponging a token with data attached: the receive order
+// (and the token's mutation history) must match the single-shard run
+// exactly, including the tie at the end where both sides deliver at the
+// same instant.
+struct PingState {
+  std::vector<std::pair<SimTime, std::uint64_t>> received;
+};
+
+std::vector<PingState> run_pingpong(std::size_t shards) {
+  ShardEngine engine(shards);
+  std::vector<std::size_t> owners = {0, shards > 1 ? 1ul : 0ul};
+  engine.set_cluster_owners(owners);
+  engine.set_cluster_lookahead(0, 1, 0.010);
+  engine.set_cluster_lookahead(1, 0, 0.010);
+  std::vector<PingState> states(2);
+  engine.run([&](std::size_t shard) {
+    Simulator sim;
+    ShardRouter& router = engine.router(shard);
+    router.attach(sim);
+    struct Bouncer {
+      ShardEngine* eng;
+      std::vector<PingState>* states;
+      std::uint32_t cluster;
+      std::uint64_t token;
+      void operator()() {
+        ShardRouter& rt = eng->router_for_cluster(cluster);
+        (*states)[cluster].received.emplace_back(rt.sim().now(), token);
+        if (token >= 20) return;
+        const std::uint32_t dest = 1 - cluster;
+        rt.post(cluster, dest, rt.sim().now() + 0.010,
+                Bouncer{eng, states, dest, token * 3 + cluster + 1});
+      }
+    };
+    if (owners[0] == shard) {
+      sim.schedule_at(0.0, Bouncer{&engine, &states, 0, 1});
+      // A deliberate same-time tie against the bounced token's arrival:
+      // delivered keys must order it identically at every shard count.
+      sim.schedule_at(0.0, [&engine, st = &states] {
+        ShardRouter& rt = engine.router_for_cluster(0);
+        rt.post(0, 1, 0.010, [st, eng = &rt.engine()] {
+          (*st)[1].received.emplace_back(
+              eng->router_for_cluster(1).sim().now(), 999);
+        });
+      });
+    }
+    router.run_until(1.0);
+  });
+  return states;
+}
+
+TEST(ShardEngine, PingPongMatchesSingleShardRun) {
+  const auto oracle = run_pingpong(1);
+  EXPECT_FALSE(oracle[0].received.empty());
+  EXPECT_FALSE(oracle[1].received.empty());
+  const auto sharded = run_pingpong(2);
+  EXPECT_EQ(sharded[0].received, oracle[0].received);
+  EXPECT_EQ(sharded[1].received, oracle[1].received);
+}
+
+}  // namespace
+}  // namespace l3::sim

@@ -69,6 +69,26 @@ TEST(Runner, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(a.summary.success_rate, b.summary.success_rate);
 }
 
+// The fig topologies are RNG-coupled, so the runner keeps every cluster on
+// shard 0 and extra shards idle at a +inf horizon: --shards=N must be
+// byte-identical to the plain loop for every N.
+TEST(Runner, ShardCountDoesNotChangeResults) {
+  const auto trace = tiny_uniform_trace(0.020, 0.100, 50.0);
+  const auto oracle = run_scenario(trace, PolicyKind::kL3, fast_config());
+  for (const std::size_t shards : {2ul, 4ul}) {
+    RunnerConfig config = fast_config();
+    config.shards = shards;
+    const auto got = run_scenario(trace, PolicyKind::kL3, config);
+    EXPECT_EQ(got.requests, oracle.requests) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(got.summary.latency.p99, oracle.summary.latency.p99)
+        << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(got.summary.latency.p50, oracle.summary.latency.p50);
+    EXPECT_DOUBLE_EQ(got.summary.success_rate, oracle.summary.success_rate);
+    EXPECT_EQ(got.traffic_share, oracle.traffic_share);
+    EXPECT_EQ(got.weight_updates, oracle.weight_updates);
+  }
+}
+
 // The obs contract: binding the flight recorder must not perturb the
 // simulation. Identical results with profiling on and off, and the profile
 // itself is deterministic across runs.
