@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,14 +63,27 @@ class HistogramSeries {
 
   const std::vector<double>& bounds() const { return histo_.bounds(); }
 
-  /// Cumulative counts per Prometheus convention.
-  std::vector<double> cumulative_counts() const {
-    std::vector<double> cum(histo_.counts().size());
+  /// Number of cumulative buckets: bounds().size() + 1 (+Inf last).
+  std::size_t bucket_count() const { return histo_.counts().size(); }
+
+  /// Writes the Prometheus cumulative counts into `out` (exactly
+  /// bucket_count() entries) without allocating — the scrape hot path
+  /// appends straight from a reused row buffer.
+  void write_cumulative(std::span<double> out) const {
+    const auto& counts = histo_.counts();
+    L3_EXPECTS(out.size() == counts.size());
     double running = 0.0;
-    for (std::size_t i = 0; i < cum.size(); ++i) {
-      running += static_cast<double>(histo_.counts()[i]);
-      cum[i] = running;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      running += static_cast<double>(counts[i]);
+      out[i] = running;
     }
+  }
+
+  /// Cumulative counts per Prometheus convention (allocating convenience
+  /// form of write_cumulative).
+  std::vector<double> cumulative_counts() const {
+    std::vector<double> cum(bucket_count());
+    write_cumulative(cum);
     return cum;
   }
 

@@ -8,6 +8,8 @@
 #include "l3/common/assert.h"
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -15,11 +17,21 @@ namespace l3::metrics {
 
 /// FIFO ring with random access. Samples enter at the back (append) and
 /// leave at the front (retention trimming).
+///
+/// Elements also carry an absolute sequence number: the i-th oldest element
+/// is sequence `popped() + i`, and sequences never repeat or shift as the
+/// ring trims. Window cursors cache sequences rather than indices so a
+/// pop_front (retention trimming, compact) cannot silently re-point them at
+/// a different sample.
 template <typename T>
 class SampleRing {
  public:
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of elements ever removed from the front — the absolute sequence
+  /// number of the current front element.
+  std::uint64_t popped() const noexcept { return popped_; }
 
   /// i-th oldest element, 0 <= i < size().
   const T& operator[](std::size_t i) const {
@@ -43,6 +55,7 @@ class SampleRing {
     slots_[head_] = T{};
     head_ = (head_ + 1) & mask_;
     --size_;
+    ++popped_;
   }
 
   void clear() noexcept {
@@ -50,6 +63,7 @@ class SampleRing {
     head_ = 0;
     size_ = 0;
     mask_ = 0;
+    popped_ = 0;
   }
 
   /// Capacity currently reserved (always zero or a power of two).
@@ -74,6 +88,81 @@ class SampleRing {
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+/// FIFO ring of fixed-width double rows, stored in ONE contiguous slab
+/// (row i occupies width() consecutive doubles). This is the columnar
+/// histogram-sample store: where a SampleRing<vector<double>> pays one heap
+/// allocation + pointer chase per sample, a RowRing append is a memcpy into
+/// the slab and a window query walks contiguous memory.
+///
+/// The row width is fixed by the first push and every later row must match —
+/// the same invariant Prometheus histograms have (immutable bucket layout
+/// per series).
+class RowRing {
+ public:
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t width() const noexcept { return width_; }
+
+  /// Rows ever removed from the front (absolute sequence of the front row).
+  std::uint64_t popped() const noexcept { return popped_; }
+
+  /// i-th oldest row, 0 <= i < size().
+  std::span<const double> operator[](std::size_t i) const {
+    L3_EXPECTS(i < size_);
+    return {slots_.data() + ((head_ + i) & mask_) * width_, width_};
+  }
+
+  std::span<const double> front() const { return (*this)[0]; }
+  std::span<const double> back() const { return (*this)[size_ - 1]; }
+
+  void push_back(std::span<const double> row) {
+    L3_EXPECTS(!row.empty());
+    if (width_ == 0) width_ = row.size();
+    L3_EXPECTS(row.size() == width_);
+    if (size_ * width_ == slots_.size()) grow();
+    double* dst = slots_.data() + ((head_ + size_) & mask_) * width_;
+    for (std::size_t i = 0; i < width_; ++i) dst[i] = row[i];
+    ++size_;
+  }
+
+  void pop_front() {
+    L3_EXPECTS(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    ++popped_;
+  }
+
+  /// Row capacity currently reserved (zero or a power of two).
+  std::size_t capacity() const noexcept {
+    return width_ == 0 ? 0 : slots_.size() / width_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t rows =
+        slots_.empty() ? kInitialRows : slots_.size() / width_ * 2;
+    std::vector<double> next(rows * width_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      const double* src = slots_.data() + ((head_ + i) & mask_) * width_;
+      double* dst = next.data() + i * width_;
+      for (std::size_t j = 0; j < width_; ++j) dst[j] = src[j];
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = rows - 1;
+  }
+
+  static constexpr std::size_t kInitialRows = 8;
+
+  std::vector<double> slots_;
+  std::size_t width_ = 0;
+  std::size_t head_ = 0;  ///< front row index (in rows, not doubles)
+  std::size_t size_ = 0;  ///< rows stored
+  std::size_t mask_ = 0;  ///< row-capacity - 1
+  std::uint64_t popped_ = 0;
 };
 
 }  // namespace l3::metrics

@@ -3,11 +3,14 @@
 // Targets can be disabled at runtime to inject scrape gaps — the ">10 s
 // without data" path that makes L3 converge its EWMAs back to defaults.
 //
-// Each target keeps a snapshot plan — (series pointer, interned TSDB id)
-// pairs — rebuilt only when the registry's version changes (i.e. a series
-// was created). Steady-state scrapes therefore do zero string hashing,
-// key building or map lookups: they walk two flat vectors and append
-// through interned ids.
+// Each target keeps a columnar snapshot plan (ColumnBlock) — SoA arrays of
+// series pointers and interned TSDB ids — rebuilt only when the registry's
+// version changes (i.e. a series was created). Steady-state scrapes
+// therefore do zero string hashing, key building or map lookups: they are
+// tight loops over contiguous pointer/SeriesId columns. Histogram bucket
+// bounds are declared to the TSDB once at plan-build time, so each scrape
+// appends one contiguous cumulative row from a reused scratch buffer — no
+// per-scrape bounds or counts vector copies.
 #pragma once
 
 #include "l3/common/time.h"
@@ -15,7 +18,9 @@
 #include "l3/metrics/tsdb.h"
 #include "l3/sim/simulator.h"
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace l3::metrics {
@@ -54,27 +59,53 @@ class Scraper {
   SimDuration interval() const { return interval_; }
   std::size_t scrape_count() const { return scrapes_; }
 
+  /// How many times any target's ColumnBlock was (re)built — steady state
+  /// is one build per target, so this staying flat across scrapes is the
+  /// O(changed-data) property the control_plane bench gates on.
+  std::uint64_t plan_rebuilds() const { return plan_rebuilds_; }
+
  private:
+  /// Columnar (SoA) snapshot plan of one target: parallel arrays of stable
+  /// series pointers and their interned TSDB ids, in the registry's sorted
+  /// enumeration order (a determinism invariant — it fixes both the TSDB
+  /// interning order and the append order).
+  struct ColumnBlock {
+    std::vector<const Counter*> counters;
+    std::vector<SeriesId> counter_ids;
+    std::vector<const Gauge*> gauges;
+    std::vector<SeriesId> gauge_ids;
+    std::vector<const HistogramSeries*> histograms;
+    std::vector<HistogramId> histogram_ids;
+    /// Cumulative-row widths (bounds + 1), cached so the scrape loop never
+    /// touches the bounds vectors.
+    std::vector<std::uint32_t> histogram_widths;
+  };
+
   struct Target {
     std::string name;
     const Registry* registry = nullptr;
     bool enabled = true;
     /// Registry version the plan below was built against (~0 = never).
     std::uint64_t planned_version = ~std::uint64_t{0};
-    std::vector<std::pair<const Counter*, SeriesId>> counters;
-    std::vector<std::pair<const Gauge*, SeriesId>> gauges;
-    std::vector<std::pair<const HistogramSeries*, HistogramId>> histograms;
+    ColumnBlock plan;
   };
 
-  /// (Re)builds `target`'s snapshot plan, interning any new series names.
+  /// (Re)builds `target`'s ColumnBlock, interning any new series names and
+  /// declaring histogram bounds to the TSDB.
   void build_plan(Target& target);
 
   sim::Simulator& sim_;
   TimeSeriesDb& tsdb_;
   std::vector<Target> targets_;
+  /// name -> targets_ index; first add_target wins on duplicate names
+  /// (matching the old linear scan's first-match semantics).
+  std::unordered_map<std::string, std::size_t> target_index_;
+  /// Reused cumulative-row buffer, sized to the widest histogram planned.
+  std::vector<double> row_scratch_;
   sim::PeriodicHandle task_;
   SimDuration interval_ = 5.0;
   std::size_t scrapes_ = 0;
+  std::uint64_t plan_rebuilds_ = 0;
 };
 
 }  // namespace l3::metrics

@@ -8,9 +8,21 @@
 // HistogramId handles (TimeSeriesDb::series / histogram_series); the
 // scraper and controller cache those ids, so steady-state appends and
 // queries do zero string hashing or comparison. Samples live in
-// power-of-two ring buffers (SampleRing) and window boundaries are found
-// by binary search over the time-ordered samples. The string-keyed API is
-// kept as a thin compatibility layer over the interned one.
+// power-of-two ring buffers (SampleRing); histogram bucket rows live in a
+// contiguous columnar slab (RowRing) so an append is a row memcpy, not a
+// per-sample vector allocation. The string-keyed API is kept as a thin
+// compatibility layer over the interned one.
+//
+// Window folds are incremental: each series carries a WindowCursor caching
+// the [first, end) sample span of the last query as ABSOLUTE sequence
+// numbers (SampleRing::popped()-based, so retention trims can't re-point
+// it). The controller always asks with the same window and monotonically
+// increasing `now`, so steady-state queries advance the cursor a step or
+// two instead of re-running two binary searches per query; a different
+// window or a backwards `now` falls back to the binary search and reseeds
+// the cursor. The fold only locates window boundaries — the arithmetic on
+// the samples inside (rate endpoints, avg summation order, quantile bucket
+// deltas) is unchanged, which is what keeps every output byte identical.
 #pragma once
 
 #include "l3/common/time.h"
@@ -18,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -90,16 +103,33 @@ class TimeSeriesDb {
     append(series(key), t, value);
   }
 
-  /// Appends a histogram sample: the cumulative bucket counts at time t.
-  /// `bounds` is stored on first append and must match thereafter.
+  /// Declares the bucket bounds of a histogram series: stored on first
+  /// call, verified to match on every later one. Idempotent; the scraper
+  /// calls this once per plan rebuild so steady-state appends don't carry
+  /// (or compare) the bounds vector at all.
+  void set_histogram_bounds(HistogramId id, std::span<const double> bounds);
+
+  /// Bounds previously declared for the series (empty if none yet).
+  std::span<const double> histogram_bounds(HistogramId id) const;
+
+  /// Appends a histogram sample: the cumulative bucket counts at time t,
+  /// one contiguous row of `histogram_bounds(id).size() + 1` values (the
+  /// last being the +Inf total). Bounds must have been declared first.
+  void append_histogram(HistogramId id, SimTime t,
+                        std::span<const double> cumulative_counts);
+
+  /// Compatibility form carrying bounds on every call (verified against the
+  /// stored ones, declaring them on first use).
   void append_histogram(HistogramId id, SimTime t,
                         const std::vector<double>& bounds,
-                        std::vector<double> cumulative_counts);
+                        const std::vector<double>& cumulative_counts) {
+    set_histogram_bounds(id, bounds);
+    append_histogram(id, t, std::span<const double>(cumulative_counts));
+  }
   void append_histogram(const std::string& key, SimTime t,
                         const std::vector<double>& bounds,
-                        std::vector<double> cumulative_counts) {
-    append_histogram(histogram_series(key), t, bounds,
-                     std::move(cumulative_counts));
+                        const std::vector<double>& cumulative_counts) {
+    append_histogram(histogram_series(key), t, bounds, cumulative_counts);
   }
 
   // ---- Queries ----------------------------------------------------------
@@ -182,23 +212,43 @@ class TimeSeriesDb {
 
   SimDuration retention() const { return retention_; }
 
+  /// Window-fold cursor statistics, for tests and the control_plane bench:
+  /// a "hit" is a query answered by advancing a cached cursor, a "rebuild"
+  /// is a query that had to fall back to the two binary searches (first
+  /// query of a series, window change, or non-monotone `now`).
+  std::uint64_t cursor_hits() const { return cursor_hits_; }
+  std::uint64_t cursor_rebuilds() const { return cursor_rebuilds_; }
+
  private:
   struct ScalarSample {
     SimTime t = 0.0;
     double v = 0.0;
   };
-  struct HistoSample {
-    SimTime t = 0.0;
-    std::vector<double> cumulative;
+  /// Cached window span of the most recent query against one series, in
+  /// absolute sample sequences (see SampleRing::popped()). Valid for a new
+  /// query iff the window matches and `now` did not go backwards; then the
+  /// span only needs advancing forward past newly-expired / newly-appended
+  /// samples.
+  struct WindowCursor {
+    SimDuration window = -1.0;  ///< -1 never matches a real (positive) window
+    SimTime last_now = 0.0;
+    std::uint64_t first = 0;  ///< seq of first sample with t >= now - window
+    std::uint64_t end = 0;    ///< seq one past the last sample with t <= now
   };
   struct ScalarSeries {
     std::string name;
     SampleRing<ScalarSample> samples;
+    mutable WindowCursor cursor;
   };
+  /// Columnar histogram series: timestamps in one ring, cumulative bucket
+  /// rows in a parallel fixed-width slab ring (kept in lockstep).
   struct HistoSeries {
     std::string name;
     std::vector<double> bounds;
-    SampleRing<HistoSample> samples;
+    bool bounds_set = false;
+    SampleRing<SimTime> times;
+    RowRing rows;
+    mutable WindowCursor cursor;
   };
 
   /// Heterogeneous hashing so string_view lookups don't allocate.
@@ -218,10 +268,25 @@ class TimeSeriesDb {
     if (t < oldest_sample_) oldest_sample_ = t;
   }
 
+  /// Locates the window [now - window, now] in a time-ordered sequence via
+  /// the series' cursor (advance) or binary search (reseed). Returns the
+  /// logical [first, last] index pair, or nullopt if fewer than
+  /// `min_samples` samples fall inside.
+  template <typename GetTime>
+  std::optional<std::pair<std::size_t, std::size_t>> fold_window(
+      WindowCursor& cursor, std::size_t count, std::uint64_t base,
+      GetTime time_at, SimDuration window, SimTime now,
+      std::size_t min_samples) const;
+
   std::vector<ScalarSeries> scalars_;
   std::vector<HistoSeries> histograms_;
   NameIndex scalar_index_;
   NameIndex histogram_index_;
+  /// Reused scratch for quantile bucket deltas (sized to the widest row
+  /// queried); avoids a vector allocation per quantile query.
+  mutable std::vector<double> delta_scratch_;
+  mutable std::uint64_t cursor_hits_ = 0;
+  mutable std::uint64_t cursor_rebuilds_ = 0;
   std::size_t nonempty_scalars_ = 0;
   std::size_t nonempty_histograms_ = 0;
   /// Lower bound on the oldest sample timestamp across ALL series; compact

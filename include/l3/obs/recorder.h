@@ -62,7 +62,9 @@ enum class ScopeId : std::uint8_t {
   kTsdbAppend,        ///< TimeSeriesDb::append / append_histogram
   kTsdbCompact,       ///< TimeSeriesDb::compact (slow path only)
   kScraperScrape,     ///< Scraper::scrape_once
+  kScraperPlan,       ///< Scraper::build_plan (registry-version rebuilds)
   kControllerManage,  ///< L3Controller per-split control tick
+  kControllerGather,  ///< fused per-split TSDB signal gather
   kChaosTransition,   ///< FaultInjector begin/end_fault
   kCount
 };

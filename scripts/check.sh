@@ -8,8 +8,9 @@
 # run, plain and chaos), an L3_OBS=OFF byte-identical golden, a
 # Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json), the
 # flight-recorder overhead gate, the batched pick-path gate (batched
-# >= 1.5x scalar picks/s), the sharded-mega throughput gate, and a
-# per-kernel micro-bench smoke.
+# >= 1.5x scalar picks/s), the sharded-mega throughput gate, the serial-mega
+# columnar control-plane gate (shards=1 req/s >= 1.5x recorded baseline),
+# the control_plane section gate, and a per-kernel micro-bench smoke.
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
@@ -45,7 +46,11 @@ for preset in "${presets[@]}"; do
     # channels in the sharded simulator, so they run under TSan in full
     # (including the 10k-backend mega scenario at --shards=4).
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels|Shard|Mailbox|Mega'
+    # ...plus the control-plane fast-path suites (WindowCursor, ColumnBlock):
+    # single-threaded by design, but their cursor/plan caches are mutable
+    # state the sharded runners touch per tick, so they get TSan coverage.
+    ctest --preset "$preset" \
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels|Shard|Mailbox|Mega|WindowCursor|ColumnBlock'
   else
     ctest --preset "$preset"
   fi
@@ -88,6 +93,13 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   diff "$smoke_dir/p1.json" "$smoke_dir/p2.json"
   grep -q '"profile"' "$smoke_dir/p1.json" \
     || { echo "FAIL: --profile produced no profile block"; exit 1; }
+  # The control-plane scopes (columnar scrape plan, fused controller
+  # gather) must appear in the profile block — and, being inside the
+  # byte-identical p1/p2 diff above, be jobs-invariant themselves.
+  for scope in 'scraper.plan' 'controller.gather'; do
+    grep -q "\"$scope\"" "$smoke_dir/p1.json" \
+      || { echo "FAIL: profile block lacks control-plane scope $scope"; exit 1; }
+  done
   echo "    profiled output byte-identical at --jobs 1 and --jobs 2"
 
   # Batch-identity smoke: --no-batch restores the strictly per-event loop,
@@ -213,6 +225,58 @@ else
   echo "    no committed sharded-mega baseline yet; comparison skipped"
 fi
 
+# Serial-mega gate for the columnar control plane: the 24x420 mega scenario
+# at --shards=1 must hold >= 1.5x the committed baseline. The columnar
+# scrape + window-cursor work bought ~2x; losing a third of that back
+# (a cursor that stops hitting, a plan rebuilt per scrape) trips this well
+# before scheduler noise can.
+serial_baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
+  | awk -F': ' '/"shards1_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' || true)
+serial_current=$(awk -F': ' '/"shards1_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' \
+  BENCH_sim_core.json)
+if [[ -z "${serial_current:-}" ]]; then
+  echo "FAIL: no shards1_reqs_per_sec in BENCH_sim_core.json"
+  exit 1
+fi
+if [[ -n "${serial_baseline:-}" ]]; then
+  awk -v b="$serial_baseline" -v c="$serial_current" 'BEGIN {
+    if (c + 0.0 < 1.5 * b) {
+      printf "FAIL: serial mega %.4g req/s < 1.5x committed baseline %.4g\n", c, b
+      exit 1
+    }
+    printf "    serial mega ok: %.4g req/s at --shards=1 (baseline %.4g)\n", c, b
+  }'
+else
+  echo "    no committed serial-mega baseline yet; comparison skipped"
+fi
+
+# Control-plane gate: BENCH_sim_core.json must carry the control_plane
+# section (24-region scrape+manage at mega scale), and its two throughput
+# numbers must stay within 50% of the committed baseline when one exists.
+grep -q '"control_plane"' BENCH_sim_core.json \
+  || { echo "FAIL: no control_plane section in BENCH_sim_core.json"; exit 1; }
+for field in scrape_series_per_sec manage_backends_per_sec; do
+  cp_baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
+    | awk -F': ' -v f="\"$field\"" '$0 ~ f {gsub(/,/,"",$2); print $2}' || true)
+  cp_current=$(awk -F': ' -v f="\"$field\"" '$0 ~ f {gsub(/,/,"",$2); print $2}' \
+    BENCH_sim_core.json)
+  if [[ -z "${cp_current:-}" ]]; then
+    echo "FAIL: no $field in BENCH_sim_core.json control_plane section"
+    exit 1
+  fi
+  if [[ -n "${cp_baseline:-}" ]]; then
+    awk -v b="$cp_baseline" -v c="$cp_current" -v f="$field" 'BEGIN {
+      if (c + 0.0 < 0.5 * b) {
+        printf "FAIL: control_plane %s %.4g < 50%% of committed baseline %.4g\n", f, c, b
+        exit 1
+      }
+      printf "    control_plane ok: %s %.4g (baseline %.4g)\n", f, c, b
+    }'
+  else
+    echo "    no committed control_plane baseline for $field yet; comparison skipped"
+  fi
+done
+
 # Pick-kernel micro bench smoke: every (kernel, table size) pair runs and
 # the selector itself stays cheap. Output is informational; failure to run
 # (bad kernel id, out-of-bounds table) aborts the script.
@@ -221,7 +285,7 @@ cmake --build --preset release-bench -j "$(nproc)" --target micro_algorithms \
   >/dev/null
 ./build-release/bench/micro_algorithms \
   --benchmark_filter='BM_WeightedPickKernel|BM_KernelSelection' \
-  --benchmark_min_time=0.05s 2>/dev/null | grep -E 'BM_|items_per_second' \
+  --benchmark_min_time=0.05 2>/dev/null | grep -E 'BM_|items_per_second' \
   | head -20
 
-echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate + shard gate"
+echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate + shard gate + serial-mega gate + control-plane gate"

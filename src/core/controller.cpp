@@ -41,18 +41,44 @@ struct L3Controller::BackendFilters {
 struct L3Controller::ManagedSplit {
   mesh::TrafficSplit* split = nullptr;
   std::vector<BackendFilters> filters;
-  /// Interned TSDB handles per backend, resolved once in manage() so the
-  /// 5 s control tick queries the store with zero string work.
-  struct Keys {
-    metrics::SeriesId requests;
-    metrics::SeriesId success;
-    metrics::SeriesId failure;
-    metrics::HistogramId latency_success;
-    metrics::HistogramId latency_failure;
-    metrics::SeriesId latency_success_sum;
-    metrics::SeriesId inflight;
+  /// Interned TSDB handles, resolved once in manage() so the 5 s control
+  /// tick queries the store with zero string work. One column per signal
+  /// (SoA): the gather phase walks each column in a tight loop, which also
+  /// keeps each series' window cursor advancing with consecutive accesses.
+  struct KeyColumns {
+    std::vector<metrics::SeriesId> requests;
+    std::vector<metrics::SeriesId> success;
+    std::vector<metrics::SeriesId> failure;
+    std::vector<metrics::HistogramId> latency_success;
+    std::vector<metrics::HistogramId> latency_failure;
+    std::vector<metrics::SeriesId> latency_success_sum;
+    std::vector<metrics::SeriesId> inflight;
   };
-  std::vector<Keys> keys;
+  KeyColumns keys;
+  /// Raw per-backend query results of one tick, one column per signal.
+  /// Persistent scratch: resized once, overwritten every tick.
+  struct GatherColumns {
+    std::vector<std::optional<double>> rps;
+    std::vector<std::optional<double>> succ_rate;
+    std::vector<std::optional<double>> fail_rate;
+    std::vector<std::optional<double>> p99;
+    std::vector<std::optional<double>> inflight;
+    std::vector<std::optional<double>> latency_sum_rate;
+    std::vector<std::optional<double>> fail_p50;
+    void resize(std::size_t n) {
+      rps.resize(n);
+      succ_rate.resize(n);
+      fail_rate.resize(n);
+      p99.resize(n);
+      inflight.resize(n);
+      latency_sum_rate.resize(n);
+      fail_p50.resize(n);
+    }
+  };
+  GatherColumns gather;
+  /// Per-tick scratch reused across ticks (PolicyInput takes spans).
+  std::vector<lb::BackendSignals> signals_scratch;
+  std::vector<mesh::BackendRef> refs_scratch;
   /// Introspection gauges per backend, resolved once in manage() (Registry
   /// guarantees pointer stability) instead of per tick via series_key().
   struct IntrospectionGauges {
@@ -100,23 +126,22 @@ void L3Controller::manage(mesh::TrafficSplit& split) {
   for (const auto& backend : split.backends()) {
     managed->filters.emplace_back(config_, now);
     const std::string& dst_name = mesh_.cluster_names()[backend.ref.cluster];
-    ManagedSplit::Keys keys;
-    keys.requests = tsdb_.series(
+    auto& keys = managed->keys;
+    keys.requests.push_back(tsdb_.series(
         mn::backend_series(mn::kRequestTotal, split.service(), src_name,
-                           dst_name));
-    keys.success = tsdb_.series(mn::backend_series(
-        mn::kSuccessTotal, split.service(), src_name, dst_name));
-    keys.failure = tsdb_.series(mn::backend_series(
-        mn::kFailureTotal, split.service(), src_name, dst_name));
-    keys.latency_success = tsdb_.histogram_series(mn::backend_series(
-        mn::kLatencySuccess, split.service(), src_name, dst_name));
-    keys.latency_failure = tsdb_.histogram_series(mn::backend_series(
-        mn::kLatencyFailure, split.service(), src_name, dst_name));
-    keys.latency_success_sum = tsdb_.series(mn::backend_series(
-        mn::kLatencySuccessSum, split.service(), src_name, dst_name));
-    keys.inflight = tsdb_.series(mn::backend_series(
-        mn::kInflight, split.service(), src_name, dst_name));
-    managed->keys.push_back(keys);
+                           dst_name)));
+    keys.success.push_back(tsdb_.series(mn::backend_series(
+        mn::kSuccessTotal, split.service(), src_name, dst_name)));
+    keys.failure.push_back(tsdb_.series(mn::backend_series(
+        mn::kFailureTotal, split.service(), src_name, dst_name)));
+    keys.latency_success.push_back(tsdb_.histogram_series(mn::backend_series(
+        mn::kLatencySuccess, split.service(), src_name, dst_name)));
+    keys.latency_failure.push_back(tsdb_.histogram_series(mn::backend_series(
+        mn::kLatencyFailure, split.service(), src_name, dst_name)));
+    keys.latency_success_sum.push_back(tsdb_.series(mn::backend_series(
+        mn::kLatencySuccessSum, split.service(), src_name, dst_name)));
+    keys.inflight.push_back(tsdb_.series(mn::backend_series(
+        mn::kInflight, split.service(), src_name, dst_name)));
 
     if (config_.export_introspection) {
       auto& registry = mesh_.registry(source_);
@@ -176,26 +201,64 @@ void L3Controller::tick() {
 void L3Controller::tick_split(ManagedSplit& managed) {
   const SimTime now = mesh_.simulator().now();
   const SimDuration window = config_.query_window;
+  const std::size_t n = managed.filters.size();
 
-  std::vector<lb::BackendSignals> signals(managed.filters.size());
+  // Phase 1 — fused gather: all TSDB reads for the split, one signal column
+  // at a time. Every query is independent (per-series cursors, identical
+  // results in any order), so walking column-wise is free to reorder them
+  // relative to the old per-backend interleaving while producing the same
+  // values; the filter arithmetic below still runs per backend in the
+  // original order, keeping the outputs byte-identical.
+  auto& g = managed.gather;
+  g.resize(n);
+  {
+    L3_OBS_SCOPE(obs_gather, kControllerGather);
+    const auto& keys = managed.keys;
+    for (std::size_t i = 0; i < n; ++i) {
+      g.rps[i] = tsdb_.rate(keys.requests[i], window, now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.succ_rate[i] = tsdb_.rate(keys.success[i], window, now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.fail_rate[i] = tsdb_.rate(keys.failure[i], window, now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.p99[i] =
+          tsdb_.quantile(keys.latency_success[i], config_.quantile, window,
+                         now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.inflight[i] = tsdb_.avg(keys.inflight[i], window, now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.latency_sum_rate[i] =
+          tsdb_.rate(keys.latency_success_sum[i], window, now);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.fail_p50[i] = tsdb_.quantile(keys.latency_failure[i], 0.50, window,
+                                     now);
+    }
+  }
+
+  // Phase 2 — per-backend filter updates from the gathered columns.
+  managed.signals_scratch.assign(n, lb::BackendSignals{});
+  std::vector<lb::BackendSignals>& signals = managed.signals_scratch;
   double total_rps_sample = 0.0;
   bool any_rps = false;
   double failure_latency_acc = 0.0;
   int failure_latency_n = 0;
 
-  for (std::size_t i = 0; i < managed.filters.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     BackendFilters& f = managed.filters[i];
-    const auto& keys = managed.keys[i];
 
-    const auto rps = tsdb_.rate(keys.requests, window, now);
-    const auto succ_rate = tsdb_.rate(keys.success, window, now);
-    const auto fail_rate = tsdb_.rate(keys.failure, window, now);
-    const auto p99 =
-        tsdb_.quantile(keys.latency_success, config_.quantile, window, now);
-    const auto inflight = tsdb_.avg(keys.inflight, window, now);
-    const auto latency_sum_rate = tsdb_.rate(keys.latency_success_sum, window, now);
-    const auto fail_p50 =
-        tsdb_.quantile(keys.latency_failure, 0.50, window, now);
+    const auto& rps = g.rps[i];
+    const auto& succ_rate = g.succ_rate[i];
+    const auto& fail_rate = g.fail_rate[i];
+    const auto& p99 = g.p99[i];
+    const auto& inflight = g.inflight[i];
+    const auto& latency_sum_rate = g.latency_sum_rate[i];
+    const auto& fail_p50 = g.fail_p50[i];
 
     const bool have_data = rps.has_value() && *rps > 0.0;
     if (have_data) {
@@ -252,7 +315,8 @@ void L3Controller::tick_split(ManagedSplit& managed) {
 
   lb::PolicyInput input;
   input.source = source_;
-  std::vector<mesh::BackendRef> refs;
+  std::vector<mesh::BackendRef>& refs = managed.refs_scratch;
+  refs.clear();
   refs.reserve(managed.split->backend_count());
   for (const auto& b : managed.split->backends()) refs.push_back(b.ref);
   input.backends = refs;

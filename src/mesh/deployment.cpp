@@ -89,6 +89,11 @@ void ServiceDeployment::handle(int depth, trace::SpanContext parent,
       if (load < best_load) {
         best_load = load;
         best = idx;
+        // An idle replica cannot be beaten (later equal loads lose the
+        // tie-break, nothing is below zero), so stop scanning. At mega
+        // scale — hundreds of mostly-idle replicas per region — this turns
+        // the selection from O(replicas) loads into a couple of probes.
+        if (load == 0) break;
       }
     }
     ++idx;

@@ -6,7 +6,11 @@ namespace l3::metrics {
 
 std::string series_key(const std::string& name, Labels labels) {
   std::sort(labels.begin(), labels.end());
-  std::string key = name;
+  std::size_t len = name.size() + 2;
+  for (const auto& [k, v] : labels) len += k.size() + v.size() + 2;
+  std::string key;
+  key.reserve(len);
+  key = name;
   key += '{';
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) key += ',';

@@ -9,15 +9,16 @@
 namespace l3::metrics {
 namespace {
 
-/// First logical index in `samples` with t >= start (samples are
-/// time-ordered, so this is a lower bound by binary search).
-template <typename Ring>
-std::size_t lower_bound_time(const Ring& samples, SimTime start) {
+/// First logical index in [0, count) with time_at(i) >= start (times are
+/// ordered, so this is a lower bound by binary search).
+template <typename GetTime>
+std::size_t lower_bound_time(std::size_t count, GetTime time_at,
+                             SimTime start) {
   std::size_t lo = 0;
-  std::size_t hi = samples.size();
+  std::size_t hi = count;
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (samples[mid].t < start) {
+    if (time_at(mid) < start) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -26,42 +27,64 @@ std::size_t lower_bound_time(const Ring& samples, SimTime start) {
   return lo;
 }
 
-/// First logical index with t > now (i.e. one past the window end).
-template <typename Ring>
-std::size_t upper_bound_time(const Ring& samples, SimTime now) {
+/// First logical index with time_at(i) > now (one past the window end).
+template <typename GetTime>
+std::size_t upper_bound_time(std::size_t count, GetTime time_at, SimTime now) {
   std::size_t lo = 0;
-  std::size_t hi = samples.size();
+  std::size_t hi = count;
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (samples[mid].t <= now) {
+    if (time_at(mid) <= now) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
   return lo;
-}
-
-/// First and last sample index within [now - window, now], or nullopt if
-/// fewer than `min_samples` fall inside.
-template <typename Ring>
-std::optional<std::pair<std::size_t, std::size_t>> window_span(
-    const Ring& samples, SimDuration window, SimTime now,
-    std::size_t min_samples) {
-  const std::size_t first = lower_bound_time(samples, now - window);
-  const std::size_t end = upper_bound_time(samples, now);
-  if (end <= first || end - first < min_samples) return std::nullopt;
-  return std::make_pair(first, end - 1);
 }
 
 }  // namespace
+
+template <typename GetTime>
+std::optional<std::pair<std::size_t, std::size_t>> TimeSeriesDb::fold_window(
+    WindowCursor& cursor, std::size_t count, std::uint64_t base,
+    GetTime time_at, SimDuration window, SimTime now,
+    std::size_t min_samples) const {
+  const SimTime start = now - window;
+  std::uint64_t first;
+  std::uint64_t end;
+  if (cursor.window == window && now >= cursor.last_now) {
+    // Same window, time moving forward: the cached span can only grow at
+    // the back (new appends) and shrink at the front (samples aging past
+    // `start`) — advance, don't search. Retention may have popped samples
+    // the cursor still points at; clamping to `base` keeps the sequences
+    // inside the ring (the popped samples were older, i.e. before `first`).
+    first = std::max(cursor.first, base);
+    end = std::max(cursor.end, first);
+    ++cursor_hits_;
+  } else {
+    first = base + lower_bound_time(count, time_at, start);
+    end = base + upper_bound_time(count, time_at, now);
+    ++cursor_rebuilds_;
+  }
+  while (first - base < count && time_at(first - base) < start) ++first;
+  if (end < first) end = first;
+  while (end - base < count && time_at(end - base) <= now) ++end;
+  cursor.window = window;
+  cursor.last_now = now;
+  cursor.first = first;
+  cursor.end = end;
+  if (end - first < min_samples) return std::nullopt;
+  return std::make_pair(static_cast<std::size_t>(first - base),
+                        static_cast<std::size_t>(end - base - 1));
+}
 
 SeriesId TimeSeriesDb::series(std::string_view name) {
   const auto it = scalar_index_.find(name);
   if (it != scalar_index_.end()) return SeriesId(it->second);
   const auto index = static_cast<std::uint32_t>(scalars_.size());
   L3_EXPECTS(index != SeriesId::kInvalid);
-  scalars_.push_back(ScalarSeries{std::string(name), {}});
+  scalars_.push_back(ScalarSeries{std::string(name), {}, {}});
   scalar_index_.emplace(std::string(name), index);
   return SeriesId(index);
 }
@@ -71,7 +94,7 @@ HistogramId TimeSeriesDb::histogram_series(std::string_view name) {
   if (it != histogram_index_.end()) return HistogramId(it->second);
   const auto index = static_cast<std::uint32_t>(histograms_.size());
   L3_EXPECTS(index != HistogramId::kInvalid);
-  histograms_.push_back(HistoSeries{std::string(name), {}, {}});
+  histograms_.push_back(HistoSeries{std::string(name), {}, false, {}, {}, {}});
   histogram_index_.emplace(std::string(name), index);
   return HistogramId(index);
 }
@@ -103,27 +126,42 @@ void TimeSeriesDb::append(SeriesId id, SimTime t, double value) {
   while (samples.front().t < t - retention_) samples.pop_front();
 }
 
+void TimeSeriesDb::set_histogram_bounds(HistogramId id,
+                                        std::span<const double> bounds) {
+  L3_EXPECTS(id.valid() && id.index_ < histograms_.size());
+  auto& series = histograms_[id.index_];
+  if (!series.bounds_set) {
+    series.bounds.assign(bounds.begin(), bounds.end());
+    series.bounds_set = true;
+    return;
+  }
+  L3_EXPECTS(std::equal(series.bounds.begin(), series.bounds.end(),
+                        bounds.begin(), bounds.end()));
+}
+
+std::span<const double> TimeSeriesDb::histogram_bounds(HistogramId id) const {
+  L3_EXPECTS(id.valid() && id.index_ < histograms_.size());
+  return histograms_[id.index_].bounds;
+}
+
 void TimeSeriesDb::append_histogram(HistogramId id, SimTime t,
-                                    const std::vector<double>& bounds,
-                                    std::vector<double> cumulative_counts) {
+                                    std::span<const double> cumulative_counts) {
   L3_OBS_SCOPE_SAMPLED(obs_append, kTsdbAppend);
   L3_OBS_COUNT(kTsdbSamples, 1);
   L3_EXPECTS(id.valid() && id.index_ < histograms_.size());
   auto& series = histograms_[id.index_];
-  if (series.bounds.empty()) {
-    series.bounds = bounds;
-  } else {
-    L3_EXPECTS(series.bounds == bounds);
-  }
-  L3_EXPECTS(cumulative_counts.size() == bounds.size() + 1);
-  L3_EXPECTS(series.samples.empty() || t >= series.samples.back().t);
-  if (series.samples.empty()) {
+  L3_EXPECTS(series.bounds_set);
+  L3_EXPECTS(cumulative_counts.size() == series.bounds.size() + 1);
+  L3_EXPECTS(series.times.empty() || t >= series.times.back());
+  if (series.times.empty()) {
     ++nonempty_histograms_;
     note_new_front(t);
   }
-  series.samples.push_back({t, std::move(cumulative_counts)});
-  while (series.samples.front().t < t - retention_) {
-    series.samples.pop_front();
+  series.times.push_back(t);
+  series.rows.push_back(cumulative_counts);
+  while (series.times.front() < t - retention_) {
+    series.times.pop_front();
+    series.rows.pop_front();
   }
 }
 
@@ -151,18 +189,19 @@ void TimeSeriesDb::compact(SimTime now) {
     oldest = std::min(oldest, samples.front().t);
   }
   for (auto& series : histograms_) {
-    auto& samples = series.samples;
-    if (samples.empty()) continue;
-    if (samples.front().t < cutoff) {
-      while (!samples.empty() && samples.front().t < cutoff) {
-        samples.pop_front();
+    auto& times = series.times;
+    if (times.empty()) continue;
+    if (times.front() < cutoff) {
+      while (!times.empty() && times.front() < cutoff) {
+        times.pop_front();
+        series.rows.pop_front();
       }
-      if (samples.empty()) {
+      if (times.empty()) {
         --nonempty_histograms_;
         continue;
       }
     }
-    oldest = std::min(oldest, samples.front().t);
+    oldest = std::min(oldest, times.front());
   }
   oldest_sample_ = oldest;
   L3_OBS_EVENT(kMetrics, kCompact, now, 0,
@@ -178,15 +217,18 @@ std::size_t TimeSeriesDb::sample_count(SeriesId id) const {
 std::size_t TimeSeriesDb::histogram_sample_count(HistogramId id) const {
   if (!id.valid()) return 0;
   L3_EXPECTS(id.index_ < histograms_.size());
-  return histograms_[id.index_].samples.size();
+  return histograms_[id.index_].times.size();
 }
 
 std::optional<double> TimeSeriesDb::rate(SeriesId id, SimDuration window,
                                          SimTime now) const {
   if (!id.valid()) return std::nullopt;
   L3_EXPECTS(id.index_ < scalars_.size());
-  const auto& samples = scalars_[id.index_].samples;
-  const auto span = window_span(samples, window, now, 2);
+  const auto& series = scalars_[id.index_];
+  const auto& samples = series.samples;
+  const auto span = fold_window(
+      series.cursor, samples.size(), samples.popped(),
+      [&](std::size_t i) { return samples[i].t; }, window, now, 2);
   if (!span) return std::nullopt;
   const auto& first = samples[span->first];
   const auto& last = samples[span->second];
@@ -206,9 +248,16 @@ std::optional<double> TimeSeriesDb::avg(SeriesId id, SimDuration window,
                                         SimTime now) const {
   if (!id.valid()) return std::nullopt;
   L3_EXPECTS(id.index_ < scalars_.size());
-  const auto& samples = scalars_[id.index_].samples;
-  const auto span = window_span(samples, window, now, 1);
+  const auto& series = scalars_[id.index_];
+  const auto& samples = series.samples;
+  const auto span = fold_window(
+      series.cursor, samples.size(), samples.popped(),
+      [&](std::size_t i) { return samples[i].t; }, window, now, 1);
   if (!span) return std::nullopt;
+  // Summed over the in-window samples in time order, NOT kept as a running
+  // total updated on append: incremental add/subtract would change the
+  // floating-point rounding and break byte-identical outputs. The window
+  // holds a handful of samples (10 s / 5 s scrape), so the loop is short.
   double sum = 0.0;
   for (std::size_t i = span->first; i <= span->second; ++i) {
     sum += samples[i].v;
@@ -220,8 +269,11 @@ std::optional<double> TimeSeriesDb::last(SeriesId id, SimDuration window,
                                          SimTime now) const {
   if (!id.valid()) return std::nullopt;
   L3_EXPECTS(id.index_ < scalars_.size());
-  const auto& samples = scalars_[id.index_].samples;
-  const auto span = window_span(samples, window, now, 1);
+  const auto& series = scalars_[id.index_];
+  const auto& samples = series.samples;
+  const auto span = fold_window(
+      series.cursor, samples.size(), samples.popped(),
+      [&](std::size_t i) { return samples[i].t; }, window, now, 1);
   if (!span) return std::nullopt;
   return samples[span->second].v;
 }
@@ -232,16 +284,21 @@ std::optional<double> TimeSeriesDb::quantile(HistogramId id, double q,
   if (!id.valid()) return std::nullopt;
   L3_EXPECTS(id.index_ < histograms_.size());
   const auto& series = histograms_[id.index_];
-  const auto span = window_span(series.samples, window, now, 2);
+  const auto& times = series.times;
+  const auto span = fold_window(
+      series.cursor, times.size(), times.popped(),
+      [&](std::size_t i) { return times[i]; }, window, now, 2);
   if (!span) return std::nullopt;
-  const auto& first = series.samples[span->first];
-  const auto& last = series.samples[span->second];
-  std::vector<double> delta(last.cumulative.size());
-  for (std::size_t i = 0; i < delta.size(); ++i) {
-    delta[i] = last.cumulative[i] - first.cumulative[i];
+  const std::span<const double> first = series.rows[span->first];
+  const std::span<const double> last = series.rows[span->second];
+  // Element-wise delta of the window's endpoint rows, exactly as before —
+  // only the destination changed from a fresh vector to reused scratch.
+  delta_scratch_.resize(last.size());
+  for (std::size_t i = 0; i < last.size(); ++i) {
+    delta_scratch_[i] = last[i] - first[i];
   }
-  if (delta.back() <= 0.0) return std::nullopt;  // no requests in window
-  return histogram_quantile(series.bounds, delta, q);
+  if (delta_scratch_.back() <= 0.0) return std::nullopt;  // no requests
+  return histogram_quantile(series.bounds, delta_scratch_, q);
 }
 
 }  // namespace l3::metrics

@@ -12,8 +12,8 @@ namespace {
 constexpr std::array<std::string_view, kScopeCount> kScopeNames = {
     "sim.dispatch",        "mesh.picker_rebuild", "mesh.pick_weighted",
     "mesh.pick_p2c",       "mesh.timeout_sweep",  "tsdb.append",
-    "tsdb.compact",        "scraper.scrape",      "controller.manage",
-    "chaos.transition",
+    "tsdb.compact",        "scraper.scrape",      "scraper.plan",
+    "controller.manage",   "controller.gather",   "chaos.transition",
 };
 
 constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
