@@ -33,6 +33,16 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return exp::parse_bench_args(argc, argv);
 }
 
+/// Applies --proxy-cost=US to a runner config: US microseconds of sidecar
+/// CPU per request through the data-plane cost model (DESIGN.md §16). 0
+/// leaves the model disabled — the run is byte-identical to one without
+/// the flag (check.sh diffs this against the fig10 golden).
+template <typename RunnerConfigT>
+inline void apply_proxy_cost(RunnerConfigT& config, const BenchArgs& args) {
+  config.proxy_cost.cpu_per_request =
+      static_cast<double>(args.proxy_cost_us) * 1e-6;
+}
+
 /// Prints the standard bench header naming the reproduced figure.
 inline void print_header(const std::string& figure,
                          const std::string& description) {

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   config.profile = args.profile;
   config.dispatch_batch = static_cast<std::size_t>(args.batch);
   config.shards = static_cast<std::size_t>(args.shards);
+  bench::apply_proxy_cost(config, args);
   if (args.fast) config.duration = 180.0;
   config.health_probe_interval = 0.0;  // failures visible via metrics only
 

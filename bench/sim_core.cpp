@@ -21,6 +21,11 @@
 //   * control_plane — the mega-shaped scrape→TSDB→manage pipeline in
 //     isolation (24 regions × 24-backend splits): columnar scrape series/s
 //     and fused-gather manage backends/s, plus the window-cursor hit rate.
+//   * proxy_cost  — the data-plane cost model (DESIGN.md §16): the same
+//     heterogeneous-latency scenario at zero cost vs a near-saturated
+//     1-worker proxy CPU stage. The saturated proxy tier adds a common
+//     queueing delay to every backend, compressing L3's weight ratios —
+//     reported as the traffic-share skew (max/mean) dropping toward 1.
 //
 // Results print as a table and are written to BENCH_sim_core.json
 // (machine-readable) for longitudinal tracking.
@@ -30,6 +35,7 @@
 #include "l3/core/controller.h"
 #include "l3/exp/runner.h"
 #include "l3/lb/l3_policy.h"
+#include "l3/lb/weighting.h"
 #include "l3/mesh/deployment.h"
 #include "l3/mesh/mesh.h"
 #include "l3/mesh/metric_names.h"
@@ -746,6 +752,79 @@ ControlPlaneResult bench_control_plane(int rounds) {
   return result;
 }
 
+struct ProxyCostResult {
+  std::uint64_t requests = 0;
+  double zero_wall = 0.0;
+  double costed_wall = 0.0;
+  /// Traffic-share skew (lb::weight_skew: max/mean, 1.0 = uniform) of the
+  /// cluster-1 client's post-warm-up traffic.
+  double zero_skew = 0.0;
+  double costed_skew = 0.0;
+  /// (zero_skew - 1) / (costed_skew - 1): how much of the excess over
+  /// uniform the saturated proxy tier erased. > 1 = weights flattened.
+  double skew_compression = 0.0;
+  double zero_p99 = 0.0;
+  double costed_p99 = 0.0;
+  std::uint64_t handshakes = 0;
+  std::uint64_t cpu_queued = 0;
+  double pool_hit_rate = 0.0;
+};
+
+/// The DESIGN.md §16 cost-sweep: a fixed heterogeneous scenario (cluster
+/// medians 90/30/10 ms, 200 rps Poisson) under L3, once with the cost model
+/// off and once with a 1-worker 4.8 ms/req proxy CPU stage (ρ ≈ 0.96). The
+/// saturated stage queues; its delay lands on every backend alike, so the
+/// per-backend latency ratios — and with them L3's weights and the
+/// resulting traffic shares — compress toward uniform.
+ProxyCostResult bench_proxy_cost(double duration) {
+  l3::workload::ScenarioTrace trace("proxy-cost", 3, duration);
+  const double medians[3] = {0.090, 0.030, 0.010};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t s = 0; s < trace.steps(); ++s) {
+      trace.at(c, s) =
+          l3::workload::TracePoint{medians[c], medians[c] * 3.0, 1.0};
+    }
+  }
+  for (std::size_t s = 0; s < trace.steps(); ++s) trace.set_rps(s, 200.0);
+
+  l3::workload::RunnerConfig config;
+  config.warmup = 30.0;
+  config.poisson_arrivals = true;
+
+  ProxyCostResult result;
+  {
+    const auto start = Clock::now();
+    const auto run = l3::workload::run_scenario(
+        trace, l3::workload::PolicyKind::kL3, config);
+    result.zero_wall = seconds_since(start);
+    result.requests = run.requests;
+    result.zero_skew = l3::lb::weight_skew(run.traffic_share);
+    result.zero_p99 = run.summary.latency.p99;
+  }
+  l3::workload::RunnerConfig costed = config;
+  costed.proxy_cost.cpu_per_request = 0.0048;  // 208 req/s capacity
+  costed.proxy_cost.concurrency = 1;
+  costed.proxy_cost.handshake_cost = 0.002;
+  costed.proxy_cost.pool_size = 16;
+  costed.proxy_cost.idle_timeout = 30.0;
+  {
+    const auto start = Clock::now();
+    const auto run = l3::workload::run_scenario(
+        trace, l3::workload::PolicyKind::kL3, costed);
+    result.costed_wall = seconds_since(start);
+    result.costed_skew = l3::lb::weight_skew(run.traffic_share);
+    result.costed_p99 = run.summary.latency.p99;
+    result.handshakes = run.proxy_cost_stats.handshakes;
+    result.cpu_queued = run.proxy_cost_stats.queued;
+    result.pool_hit_rate = run.proxy_cost_stats.pool_hit_rate();
+  }
+  result.skew_compression = result.costed_skew > 1.0
+                                ? (result.zero_skew - 1.0) /
+                                      (result.costed_skew - 1.0)
+                                : 0.0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -852,6 +931,15 @@ int main(int argc, char** argv) {
             << cp.manage_backends_per_sec << " backends/s (cursor hits "
             << 100.0 * cp.cursor_hit_frac << "%, " << cp.plan_rebuilds
             << " plan rebuilds in " << cp.rounds << " rounds)\n";
+
+  const double proxy_cost_duration = fast ? 60.0 : 120.0;
+  const ProxyCostResult pc = bench_proxy_cost(proxy_cost_duration);
+  std::cout << "proxy cost   : share skew " << pc.zero_skew
+            << " (zero cost) -> " << pc.costed_skew
+            << " (saturated proxy, compression " << pc.skew_compression
+            << "x); p99 " << pc.zero_p99 << " s -> " << pc.costed_p99
+            << " s, " << pc.handshakes << " handshakes, pool hit rate "
+            << pc.pool_hit_rate << "\n";
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -961,6 +1049,19 @@ int main(int argc, char** argv) {
        << ",\n"
        << "    \"cursor_hit_frac\": " << cp.cursor_hit_frac << ",\n"
        << "    \"plan_rebuilds\": " << cp.plan_rebuilds << "\n"
+       << "  },\n"
+       << "  \"proxy_cost\": {\n"
+       << "    \"requests\": " << pc.requests << ",\n"
+       << "    \"zero_wall_seconds\": " << pc.zero_wall << ",\n"
+       << "    \"costed_wall_seconds\": " << pc.costed_wall << ",\n"
+       << "    \"zero_share_skew\": " << pc.zero_skew << ",\n"
+       << "    \"costed_share_skew\": " << pc.costed_skew << ",\n"
+       << "    \"skew_compression\": " << pc.skew_compression << ",\n"
+       << "    \"zero_p99_seconds\": " << pc.zero_p99 << ",\n"
+       << "    \"costed_p99_seconds\": " << pc.costed_p99 << ",\n"
+       << "    \"handshakes\": " << pc.handshakes << ",\n"
+       << "    \"cpu_queued\": " << pc.cpu_queued << ",\n"
+       << "    \"pool_hit_rate\": " << pc.pool_hit_rate << "\n"
        << "  }\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -55,4 +55,12 @@ std::vector<double> assign_weights(std::span<const BackendSignals> signals,
 std::vector<std::uint64_t> finalize_weights(std::span<const double> weights,
                                             double min_share = 0.002);
 
+/// Saturation diagnostic: max(w) / mean(w) over a weight (or traffic-share)
+/// vector; 1.0 = perfectly uniform, larger = more concentrated. When a
+/// shared upstream stage dominates latency — e.g. the proxy tier's CPU
+/// stage saturating (DESIGN.md §16) — every backend's L_est converges to
+/// the common queueing delay, Algorithm 1's ratios compress, and the skew
+/// trends toward 1. Returns 1.0 for empty or all-zero input.
+double weight_skew(std::span<const double> weights);
+
 }  // namespace l3::lb

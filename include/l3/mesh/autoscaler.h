@@ -14,7 +14,8 @@
 #include "l3/sim/simulator.h"
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <vector>
 
 namespace l3::mesh {
 
@@ -63,10 +64,19 @@ class Autoscaler {
     std::size_t pending_up = 0;  ///< replicas still provisioning
   };
 
+  /// The watch entry for `deployment`, or nullptr. Provisioning callbacks
+  /// re-resolve their entry through this instead of holding an element
+  /// pointer, so watched_ may reallocate freely (watch() after start()).
+  Watched* find(const ServiceDeployment* deployment);
+
   sim::Simulator& sim_;
   Config config_;
-  // deque: stable element addresses (provisioning callbacks hold them).
-  std::deque<Watched> watched_;
+  std::vector<Watched> watched_;
+  /// Liveness token for in-flight provisioning events: schedule_after has
+  /// no cancellation, so a callback outliving the autoscaler checks the
+  /// weak_ptr and abandons the provisioning instead of touching freed
+  /// state.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
   sim::PeriodicHandle task_;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;

@@ -47,6 +47,10 @@ struct MeshConfig {
   RoutingMode routing = RoutingMode::kWeighted;
   /// Envoy-style outlier detection applied by every proxy (§5.1).
   OutlierDetectionConfig outlier_detection;
+  /// Data-plane cost model for every proxy (DESIGN.md §16): sidecar CPU,
+  /// bounded-concurrency service stage, per-edge connection pools with
+  /// mTLS handshake costs. Zero-cost defaults = byte-identical behaviour.
+  ProxyCostConfig proxy_cost;
   /// Sharded-run wiring: when set, every proxy this mesh creates uses the
   /// presampled WAN discipline and posts remote calls through this router
   /// instead of scheduling directly (see Proxy::enable_presampled). The

@@ -36,6 +36,24 @@ inline constexpr const char* kLatencyFailureSum =
 /// Gauge: requests currently in flight towards a backend.
 inline constexpr const char* kInflight = "inflight_requests";
 
+// Audit families of the data-plane cost model (DESIGN.md §16). Deliberately
+// low-cardinality: one series per proxy ({split, src} only — no dst label),
+// registered only when the cost model is enabled. Per-edge and per-request
+// detail stays in the bounded l3::obs RT rings.
+/// Counter: connections opened on any edge (mTLS handshakes paid).
+inline constexpr const char* kHandshakeTotal = "proxy_handshake_total";
+/// Counter: checkouts served by a warm pooled connection.
+inline constexpr const char* kPoolHitTotal = "proxy_pool_hit_total";
+/// Counter: connections closed (client timeout churn + pool overflow).
+inline constexpr const char* kConnCloseTotal = "proxy_conn_close_total";
+
+/// Label set for one proxy's audit families (no dst — per-proxy, not
+/// per-edge).
+inline metrics::Labels proxy_labels(const std::string& service,
+                                    const std::string& src_cluster) {
+  return metrics::Labels{{"split", service}, {"src", src_cluster}};
+}
+
 /// Label set for one backend of one TrafficSplit.
 inline metrics::Labels backend_labels(const std::string& service,
                                       const std::string& src_cluster,

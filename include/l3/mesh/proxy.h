@@ -24,6 +24,7 @@
 #include "l3/mesh/health.h"
 #include "l3/mesh/outlier.h"
 #include "l3/mesh/pick_kernels.h"
+#include "l3/mesh/proxy_cost.h"
 #include "l3/mesh/traffic_split.h"
 #include "l3/mesh/types.h"
 #include "l3/mesh/wan.h"
@@ -61,6 +62,11 @@ struct ProxyConfig {
   SimDuration p2c_default_latency = 0.005;
   SimDuration p2c_half_life = 5.0;
   OutlierDetectionConfig outlier;
+  /// Data-plane cost model (DESIGN.md §16): per-request sidecar CPU, the
+  /// bounded-concurrency proxy service stage and the per-edge connection
+  /// pool with mTLS handshake costs. The zero-cost defaults disable the
+  /// model entirely (byte-identical behaviour).
+  ProxyCostConfig cost;
 };
 
 /// Sidecar proxy: routes calls from one cluster to one service's backends.
@@ -117,6 +123,14 @@ class Proxy {
 
   /// Outlier-detection state (for tests/observability).
   const OutlierDetector& outlier_detector() const { return outlier_; }
+
+  /// Cost-model accounting (all zeros when the model is disabled).
+  const ProxyCostStats& cost_stats() const { return cost_stats_; }
+
+  /// Idle pooled connections on the edge to backend `idx` (tests).
+  std::size_t idle_connections(std::size_t idx) const {
+    return cost_enabled_ ? pools_[idx].idle() : 0;
+  }
 
   RoutingMode routing_mode() const { return config_.routing; }
 
@@ -191,9 +205,17 @@ class Proxy {
   /// P2C cost: PeakEWMA latency × (outstanding + 1) — Linkerd's score.
   double p2c_cost(const BackendSlot& slot) const;
 
+  /// Runs the cost model for one request to backend `idx`: leases a
+  /// connection on that edge (handshake when none is warm) and admits the
+  /// request into the bounded-concurrency CPU stage. Returns the total
+  /// delay (queueing + service) folded into the outbound leg. Only called
+  /// when the model is enabled; draws no RNG, schedules no events.
+  SimDuration admit_cost(std::size_t idx);
+
   /// The presampled-discipline outbound leg: draws both transit delays on
   /// this proxy's stream and posts the dest-side execution through the
-  /// shard router (see enable_presampled).
+  /// shard router (see enable_presampled). `outbound` is the full
+  /// source-side delay: the sampled WAN leg plus any cost-model delay.
   void send_presampled(CallHandle handle, int depth, BackendSlot& slot,
                        SimDuration outbound);
 
@@ -275,6 +297,18 @@ class Proxy {
   OutlierDetector outlier_;
   std::uint64_t inflight_total_ = 0;
   std::uint64_t sent_ = 0;
+
+  // Data-plane cost model (DESIGN.md §16); all empty/unused when disabled.
+  bool cost_enabled_ = false;
+  ProxyCpuStage cpu_stage_;
+  std::vector<EdgeConnectionPool> pools_;  ///< one per backend edge
+  ProxyCostStats cost_stats_;
+  // Low-cardinality audit families: one series per proxy ({split, src}),
+  // not per edge. Registered only when the model is enabled, so zero-cost
+  // runs keep a byte-identical registry.
+  metrics::Counter* audit_handshakes_ = nullptr;
+  metrics::Counter* audit_pool_hits_ = nullptr;
+  metrics::Counter* audit_conn_closed_ = nullptr;
 
   common::SlotPool<CallState> calls_;
 

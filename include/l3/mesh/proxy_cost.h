@@ -1,0 +1,165 @@
+// The data-plane cost model of the sidecar proxy (DESIGN.md §16). The
+// mesh-framework mTLS technical report (PAPERS.md) shows that at production
+// traffic the proxy tier itself is a first-order cost: every request burns
+// sidecar CPU, and every new connection pays an mTLS handshake. This module
+// models both so the *proxy*, not just the backends, can become the
+// bottleneck — the regime where capacity-aware weighting earns its keep:
+//
+//  * ProxyCpuStage — a bounded-concurrency service stage in front of the
+//    WAN leg: each admitted request occupies one of `concurrency` workers
+//    for its service time (cpu_per_request + any handshake), FIFO in send
+//    order. When offered load exceeds capacity the stage queues, and the
+//    queueing delay lands in the request latency the client (and therefore
+//    the EWMA/L3 signal path) observes.
+//  * EdgeConnectionPool — one per (source proxy, backend) edge. A checkout
+//    reuses the most-recently-released idle connection when one is live;
+//    otherwise it opens a new connection and pays `handshake_cost` in the
+//    CPU stage. On release a connection returns to the idle list unless the
+//    call timed out (the client closed mid-flight — churn) or the idle list
+//    already holds `pool_size` connections. Idle connections expire after
+//    `idle_timeout`, so traffic shifting away from an edge and back — the
+//    bursty-reweighting pattern — drains the warm pool and triggers a
+//    handshake storm on return.
+//
+// Determinism contract: the model draws no RNG and schedules no events of
+// its own — the computed delay is folded into the outbound-leg delay the
+// proxy already schedules. With the zero-cost defaults (`enabled()` false)
+// the proxy skips the model entirely and behaviour is byte-identical to a
+// build without it (enforced by check.sh against the fig goldens).
+#pragma once
+
+#include "l3/common/time.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace l3::mesh {
+
+/// Knobs of the proxy-tier cost model. The defaults are zero-cost: no CPU
+/// burn, no handshakes, no state — byte-identical to a proxy without the
+/// model.
+struct ProxyCostConfig {
+  /// Sidecar CPU time burned per request (seconds). 0 disables the model
+  /// together with handshake_cost.
+  SimDuration cpu_per_request = 0.0;
+  /// Extra CPU time for establishing a new (mTLS) connection on an edge.
+  SimDuration handshake_cost = 0.0;
+  /// Proxy worker threads: requests admitted concurrently into the CPU
+  /// stage; beyond this the stage queues (FIFO).
+  std::size_t concurrency = 2;
+  /// Idle connections retained per (source, backend) edge; a release beyond
+  /// this closes the connection instead of parking it.
+  std::size_t pool_size = 4;
+  /// Idle connections older than this expire and are pruned at the next
+  /// checkout on that edge.
+  SimDuration idle_timeout = 300.0;
+
+  /// The model runs only when it can change an outcome.
+  bool enabled() const { return cpu_per_request > 0.0 || handshake_cost > 0.0; }
+};
+
+/// Aggregate cost-model accounting for one proxy (all edges). Sim-time
+/// deterministic; exposed for tests, the proxy_cost bench section and the
+/// obs audit export.
+struct ProxyCostStats {
+  std::uint64_t handshakes = 0;     ///< connections opened (mTLS paid)
+  std::uint64_t pool_hits = 0;      ///< checkouts served by a warm connection
+  std::uint64_t expired = 0;        ///< idle connections pruned by timeout
+  std::uint64_t closed = 0;         ///< closes: timeouts + pool overflow
+  std::uint64_t queued = 0;         ///< admissions that waited for a worker
+  SimDuration cpu_busy_total = 0.0; ///< total service time through the stage
+  SimDuration queue_delay_total = 0.0;  ///< total admission wait
+  SimDuration queue_delay_max = 0.0;    ///< worst single admission wait
+
+  /// Fraction of checkouts served without a handshake (1.0 when idle).
+  double pool_hit_rate() const {
+    const std::uint64_t total = handshakes + pool_hits;
+    return total == 0 ? 1.0
+                      : static_cast<double>(pool_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Bounded-concurrency FIFO service stage: admit() assigns the request to
+/// the earliest-free worker and returns when service *completes*. Pure
+/// arithmetic on worker free-times — no events, no RNG.
+class ProxyCpuStage {
+ public:
+  /// Sizes the worker set; free times start at 0 (all idle).
+  void configure(std::size_t concurrency) {
+    free_at_.assign(std::max<std::size_t>(concurrency, 1), 0.0);
+  }
+
+  /// Admits one request of `service` seconds at `now`; returns its
+  /// completion time (>= now + service; the excess is queueing delay).
+  SimTime admit(SimTime now, SimDuration service) {
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    const SimTime start = std::max(now, *it);
+    *it = start + service;
+    return *it;
+  }
+
+  /// Workers still busy at `now` (observability for tests).
+  std::size_t busy(SimTime now) const {
+    std::size_t n = 0;
+    for (const SimTime t : free_at_) n += (t > now) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<SimTime> free_at_;  ///< per-worker earliest next admission
+};
+
+/// Connection pool for one (source proxy, backend) edge. Tracks only the
+/// *idle* connections (each with its expiry time, in release order, so the
+/// list stays sorted ascending); busy connections need no state because a
+/// checkout carries everything release() needs.
+class EdgeConnectionPool {
+ public:
+  struct Checkout {
+    bool handshake = false;       ///< a new connection was opened
+    std::uint32_t expired = 0;    ///< idle connections pruned this checkout
+  };
+
+  /// Leases a connection: reuses the most-recently-released live idle
+  /// connection, else opens a new one (handshake).
+  Checkout checkout(SimTime now) {
+    Checkout result;
+    result.expired = prune(now);
+    if (!idle_until_.empty()) {
+      idle_until_.pop_back();  // MRU: warmest connection, longest to live
+    } else {
+      result.handshake = true;
+    }
+    return result;
+  }
+
+  /// Returns a leased connection. `close` (client timeout — the connection
+  /// is torn down mid-flight) or an idle list already at `pool_size` closes
+  /// it; otherwise it parks until now + idle_timeout.
+  /// Returns true when the connection was closed (churn accounting).
+  bool release(SimTime now, bool close, const ProxyCostConfig& config) {
+    if (close || idle_until_.size() >= config.pool_size) return true;
+    idle_until_.push_back(now + config.idle_timeout);
+    return false;
+  }
+
+  std::size_t idle() const { return idle_until_.size(); }
+
+ private:
+  /// Drops idle connections whose expiry passed. Entries are appended in
+  /// release order with a constant idle_timeout, so the list is sorted
+  /// ascending and expiry is a prefix.
+  std::uint32_t prune(SimTime now) {
+    std::size_t n = 0;
+    while (n < idle_until_.size() && idle_until_[n] <= now) ++n;
+    if (n > 0) idle_until_.erase(idle_until_.begin(),
+                                 idle_until_.begin() + static_cast<std::ptrdiff_t>(n));
+    return static_cast<std::uint32_t>(n);
+  }
+
+  std::vector<SimTime> idle_until_;  ///< idle connections' expiry, ascending
+};
+
+}  // namespace l3::mesh

@@ -59,6 +59,7 @@ enum class ScopeId : std::uint8_t {
   kWeightedPick,      ///< Proxy::pick_weighted
   kP2cPick,           ///< Proxy::pick_p2c
   kTimeoutSweep,      ///< Proxy timeout-ring timer sweep
+  kProxyCost,         ///< Proxy cost-model admission (pool + CPU stage)
   kTsdbAppend,        ///< TimeSeriesDb::append / append_histogram
   kTsdbCompact,       ///< TimeSeriesDb::compact (slow path only)
   kScraperScrape,     ///< Scraper::scrape_once
@@ -78,6 +79,9 @@ enum class CounterId : std::uint8_t {
   kSimBatches,         ///< dispatch batches drained (>=1 event each)
   kMeshRequests,       ///< proxy sends
   kMeshTimeouts,       ///< requests answered by the timeout path
+  kMeshHandshakes,     ///< connections opened (mTLS handshake paid)
+  kMeshPoolHits,       ///< checkouts served by a warm pooled connection
+  kMeshConnExpired,    ///< idle connections pruned by idle_timeout
   kPickKernelLinear,   ///< weighted picks served by the linear-scan kernel
   kPickKernelMultiLane,///< weighted picks served by the multi-lane kernel
   kPickKernelBinary,   ///< weighted picks served by the binary-search kernel
@@ -97,6 +101,7 @@ std::string_view counter_name(CounterId id);  ///< e.g. "rt.counter.sim.events"
 enum class GaugeId : std::uint8_t {
   kSimPendingEvents = 0,  ///< event-queue depth (sampled)
   kMeshInflight,          ///< proxy in-flight calls (refresh-path sampled)
+  kMeshProxyQueueDelay,   ///< last cost-stage admission wait (saturation)
   kTsdbSeries,            ///< non-empty TSDB series
   kCount
 };
@@ -122,6 +127,7 @@ enum class EventCode : std::uint16_t {
   kPickerRebuild = 0,    ///< arg = availability mask, value = table size
   kAvailabilityRefresh,  ///< arg = availability mask, value = popcount
   kTimeoutFired,         ///< arg = backend index, value = timeout seconds
+  kHandshake,            ///< arg = backend index, value = handshake cost (s)
   kScrape,               ///< arg = targets scraped, value = series copied
   kCompact,              ///< arg = 0, value = live series after compaction
   kControllerTick,       ///< arg = managed splits, value = total RPS sample

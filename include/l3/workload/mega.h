@@ -21,6 +21,7 @@
 #pragma once
 
 #include "l3/common/time.h"
+#include "l3/mesh/proxy_cost.h"
 #include "l3/sim/mailbox.h"
 
 #include <cstdint>
@@ -63,6 +64,12 @@ struct MegaConfig {
   /// are injected on the owning shard; WAN faults are installed into every
   /// shard's WanModel copy identically (they are pure functions of time).
   bool chaos = false;
+
+  /// Data-plane proxy cost model applied in every region's mesh
+  /// (DESIGN.md §16). Entirely source-side deterministic state, so the
+  /// digest stays byte-identical for every shard count. Zero-cost defaults
+  /// reproduce the cost-free mega run exactly.
+  mesh::ProxyCostConfig proxy_cost;
 
   /// Cross-shard mailbox flush threshold (ShardEngine::Config).
   std::size_t mailbox_capacity = 256;

@@ -66,6 +66,11 @@ struct RunnerConfig {
   mesh::RoutingMode routing = mesh::RoutingMode::kWeighted;
   /// Envoy-style outlier detection in every proxy (§5.1's circuit breaker).
   mesh::OutlierDetectionConfig outlier;
+  /// Data-plane proxy cost model (DESIGN.md §16): per-request sidecar CPU
+  /// through a bounded-concurrency service stage plus per-edge connection
+  /// pools with mTLS handshake costs. The zero-cost defaults reproduce the
+  /// cost-free runner byte-for-byte.
+  mesh::ProxyCostConfig proxy_cost;
   /// Client-side request timeout for every proxy (0 disables).
   SimDuration request_timeout = 30.0;
   /// Health-probe interval (0 disables health checking). Chaos benches set
@@ -115,6 +120,9 @@ struct RunResult {
   double mean_attempts = 1.0;
   /// Post-warm-up traffic share per backend cluster (fraction of requests).
   std::vector<double> traffic_share;
+  /// Data-plane cost-model accounting of the cluster-1 proxy (handshakes,
+  /// pool hits, CPU-stage queueing); all zeros when the model is disabled.
+  mesh::ProxyCostStats proxy_cost_stats;
   /// Deterministic self-profile digest (empty unless RunnerConfig::profile).
   obs::ProfileBlock profile;
 };

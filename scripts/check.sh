@@ -4,13 +4,15 @@
 # runner, simulator, logging, obs shard merge, shard engine + mailboxes)
 # under ThreadSanitizer, then the plain RelWithDebInfo build,
 # jobs-invariance smoke diffs on figure benches (plain, chaos, --profile,
-# and --no-batch), shard-invariance smoke diffs (--shards=2/4 vs the serial
+# and --no-batch), a --proxy-cost=0 zero-cost identity diff,
+# shard-invariance smoke diffs (--shards=2/4 vs the serial
 # run, plain and chaos), an L3_OBS=OFF byte-identical golden, a
 # Release-mode bench/sim_core smoke run (writes BENCH_sim_core.json), the
 # flight-recorder overhead gate, the batched pick-path gate (batched
 # >= 1.5x scalar picks/s), the sharded-mega throughput gate, the serial-mega
-# columnar control-plane gate (shards=1 req/s >= 1.5x recorded baseline),
-# the control_plane section gate, and a per-kernel micro-bench smoke.
+# columnar control-plane gate (shards=1 req/s >= 2/3 of recorded baseline),
+# the control_plane section gate, the proxy_cost saturation gate, and a
+# per-kernel micro-bench smoke.
 # Intended as the pre-merge gate; any failure aborts immediately.
 #
 # Usage: scripts/check.sh [preset...]
@@ -45,12 +47,14 @@ for preset in "${presets[@]}"; do
     # handshake and the staging/inbox handoff are the only cross-thread
     # channels in the sharded simulator, so they run under TSan in full
     # (including the 10k-backend mega scenario at --shards=4).
-    ctest --preset "$preset" \
     # ...plus the control-plane fast-path suites (WindowCursor, ColumnBlock):
     # single-threaded by design, but their cursor/plan caches are mutable
     # state the sharded runners touch per tick, so they get TSan coverage.
+    # ...plus the proxy cost-model suites (ProxyCost, ConnectionPool): the
+    # pool/CPU-stage state rides inside every proxy the parallel experiment
+    # runner and the sharded mega scenario instantiate per worker.
     ctest --preset "$preset" \
-      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels|Shard|Mailbox|Mega|WindowCursor|ColumnBlock'
+      -R 'Experiment|ResultGrid|CellSeed|Simulator|LogContext|SlotPool|ProxyCallPool|Chaos|Crash|ObsRecorder|DispatchBatch|BatchedTraceIdentity|PickKernels|Shard|Mailbox|Mega|WindowCursor|ColumnBlock|ProxyCost|ConnectionPool'
   else
     ctest --preset "$preset"
   fi
@@ -111,6 +115,17 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   diff "$smoke_dir/j1.out" "$smoke_dir/nb.out"
   diff "$smoke_dir/j1.json" "$smoke_dir/nb.json"
   echo "    byte-identical with --no-batch"
+
+  # Zero-cost proxy identity: an explicit --proxy-cost=0 arms the whole
+  # ProxyCostConfig plumbing (runner -> mesh -> proxy) with zero-valued
+  # knobs, which must not move a single byte of stdout or JSON relative
+  # to the untouched default run (DESIGN.md §16's zero-cost guarantee).
+  echo "==> [default] --proxy-cost=0 identity smoke (fig10_scenarios)"
+  ./build/bench/fig10_scenarios --fast --reps 1 --jobs 1 --proxy-cost=0 \
+      --json "$smoke_dir/pc0.json" > "$smoke_dir/pc0.out"
+  diff "$smoke_dir/j1.out" "$smoke_dir/pc0.out"
+  diff "$smoke_dir/j1.json" "$smoke_dir/pc0.json"
+  echo "    byte-identical with --proxy-cost=0"
 
   # Shard-invariance smoke: running the bench grid through the sharded
   # engine must produce byte-identical stdout and JSON to the serial run
@@ -226,10 +241,13 @@ else
 fi
 
 # Serial-mega gate for the columnar control plane: the 24x420 mega scenario
-# at --shards=1 must hold >= 1.5x the committed baseline. The columnar
-# scrape + window-cursor work bought ~2x; losing a third of that back
-# (a cursor that stops hitting, a plan rebuilt per scrape) trips this well
-# before scheduler noise can.
+# at --shards=1 must hold >= 2/3 of the committed baseline. The committed
+# BENCH_sim_core.json already carries the columnar-era number (~3x the
+# pre-columnar tree), so a plain regression bound keeps the win: losing a
+# third of it (a cursor that stops hitting, a plan rebuilt per scrape)
+# trips this well before scheduler noise can. (The old form compared
+# against 1.5x the committed value, which became unsatisfiable the moment
+# the columnar baseline itself was committed.)
 serial_baseline=$(git show HEAD:BENCH_sim_core.json 2>/dev/null \
   | awk -F': ' '/"shards1_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' || true)
 serial_current=$(awk -F': ' '/"shards1_reqs_per_sec"/ {gsub(/,/,"",$2); print $2}' \
@@ -240,8 +258,8 @@ if [[ -z "${serial_current:-}" ]]; then
 fi
 if [[ -n "${serial_baseline:-}" ]]; then
   awk -v b="$serial_baseline" -v c="$serial_current" 'BEGIN {
-    if (c + 0.0 < 1.5 * b) {
-      printf "FAIL: serial mega %.4g req/s < 1.5x committed baseline %.4g\n", c, b
+    if (c + 0.0 < b * 2.0 / 3.0) {
+      printf "FAIL: serial mega %.4g req/s < 2/3 of committed baseline %.4g\n", c, b
       exit 1
     }
     printf "    serial mega ok: %.4g req/s at --shards=1 (baseline %.4g)\n", c, b
@@ -277,6 +295,31 @@ for field in scrape_series_per_sec manage_backends_per_sec; do
   fi
 done
 
+# Proxy-cost gate: BENCH_sim_core.json must carry the proxy_cost section
+# (the DESIGN.md §16 cost sweep), the costed run must have actually paid
+# handshakes, and proxy saturation must compress the L3 traffic-share skew
+# by a clear margin: skew_compression = (zero_skew-1)/(costed_skew-1) >= 1.5.
+# The committed baseline measures ~4.3x, so 1.5x trips on a cost model that
+# stopped feeding the EWMA signal well before run-to-run noise can.
+grep -q '"proxy_cost"' BENCH_sim_core.json \
+  || { echo "FAIL: no proxy_cost section in BENCH_sim_core.json"; exit 1; }
+awk -F': ' '
+  /"skew_compression"/ {gsub(/,/,"",$2); compression = $2}
+  /"handshakes"/ {gsub(/,/,"",$2); handshakes = $2}
+  END {
+    if (compression == "") {
+      print "FAIL: no skew_compression in proxy_cost section"; exit 1
+    }
+    if (handshakes + 0 < 1) {
+      print "FAIL: costed proxy run paid no handshakes"; exit 1
+    }
+    if (compression + 0.0 < 1.5) {
+      printf "FAIL: proxy saturation compressed share skew only %.3gx (gate: 1.5x)\n", compression
+      exit 1
+    }
+    printf "    proxy_cost ok: skew compression %.3gx, %d handshakes\n", compression, handshakes
+  }' BENCH_sim_core.json
+
 # Pick-kernel micro bench smoke: every (kernel, table size) pair runs and
 # the selector itself stays cheap. Output is informational; failure to run
 # (bad kernel id, out-of-bounds table) aborts the script.
@@ -288,4 +331,4 @@ cmake --build --preset release-bench -j "$(nproc)" --target micro_algorithms \
   --benchmark_min_time=0.05 2>/dev/null | grep -E 'BM_|items_per_second' \
   | head -20
 
-echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate + shard gate + serial-mega gate + control-plane gate"
+echo "All checks passed: ${presets[*]} + sim_core smoke + obs gate + batch gate + shard gate + serial-mega gate + control-plane gate + proxy-cost gate"

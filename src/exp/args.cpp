@@ -79,6 +79,17 @@ std::optional<BenchArgs> try_parse_bench_args(int argc, char** argv,
     } else if (arg == "--shards") {
       *error = "--shards requires an attached value: --shards=N";
       return std::nullopt;
+    } else if (arg.rfind("--proxy-cost=", 0) == 0) {
+      const auto value = parse_uint(arg.substr(13));
+      if (!value || *value > std::numeric_limits<int>::max()) {
+        *error = "--proxy-cost expects an integer >= 0 (microseconds), got '" +
+                 std::string(arg.substr(13)) + "'";
+        return std::nullopt;
+      }
+      args.proxy_cost_us = static_cast<int>(*value);
+    } else if (arg == "--proxy-cost") {
+      *error = "--proxy-cost requires an attached value: --proxy-cost=US";
+      return std::nullopt;
     } else if (arg == "--reps") {
       const auto value = take_int_value(argc, argv, i, arg, 1, error);
       if (!value) return std::nullopt;
@@ -110,7 +121,7 @@ std::string bench_usage(std::string_view argv0) {
   usage += argv0;
   usage +=
       " [--reps N] [--fast] [--jobs N] [--json PATH] [--profile]\n"
-      "       [--batch=N] [--no-batch] [--shards=N]\n"
+      "       [--batch=N] [--no-batch] [--shards=N] [--proxy-cost=US]\n"
       "  --reps N     repetitions per configuration (default: the paper's "
       "count)\n"
       "  --fast       shrink durations/repetitions for smoke runs\n"
@@ -126,7 +137,11 @@ std::string bench_usage(std::string_view argv0) {
       "  --no-batch   per-event dispatch (equivalent to --batch=1)\n"
       "  --shards=N   simulator shards for the conservative-lookahead\n"
       "               parallel engine (default 1); results are\n"
-      "               byte-identical for every N\n";
+      "               byte-identical for every N\n"
+      "  --proxy-cost=US\n"
+      "               per-request sidecar CPU in microseconds for the\n"
+      "               data-plane cost model (default 0 = model off;\n"
+      "               0 is byte-identical to a cost-free run)\n";
   return usage;
 }
 

@@ -64,4 +64,17 @@ std::vector<std::uint64_t> finalize_weights(std::span<const double> weights,
   return out;
 }
 
+double weight_skew(std::span<const double> weights) {
+  if (weights.empty()) return 1.0;
+  double total = 0.0;
+  double max_w = 0.0;
+  for (const double w : weights) {
+    L3_EXPECTS(std::isfinite(w) && w >= 0.0);
+    total += w;
+    max_w = std::max(max_w, w);
+  }
+  if (total <= 0.0) return 1.0;
+  return max_w * static_cast<double>(weights.size()) / total;
+}
+
 }  // namespace l3::lb

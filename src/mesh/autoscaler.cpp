@@ -12,16 +12,25 @@ void Autoscaler::start() {
                               config_.interval);
 }
 
+Autoscaler::Watched* Autoscaler::find(const ServiceDeployment* deployment) {
+  for (auto& w : watched_) {
+    if (w.deployment == deployment) return &w;
+  }
+  return nullptr;
+}
+
 void Autoscaler::evaluate() {
   const SimTime now = sim_.now();
   for (auto& w : watched_) {
     if (now - w.last_action < config_.cooldown) continue;
     ServiceDeployment& d = *w.deployment;
+    const std::size_t replicas = d.replica_count();
+    if (replicas == 0) continue;  // no capacity basis to extrapolate from
     const double capacity =
         static_cast<double>(d.total_concurrency()) +
         static_cast<double>(w.pending_up) *
             static_cast<double>(d.total_concurrency()) /
-            static_cast<double>(d.replica_count());
+            static_cast<double>(replicas);
     if (capacity <= 0.0) continue;
     const double utilisation = static_cast<double>(d.load()) / capacity;
 
@@ -30,10 +39,21 @@ void Autoscaler::evaluate() {
       w.last_action = now;
       w.pending_up += 1;
       ++scale_ups_;
-      sim_.schedule_after(config_.provisioning_delay, [this, &w] {
-        w.deployment->add_replica();
-        if (w.pending_up > 0) w.pending_up -= 1;
-      });
+      // The callback must not hold `&w`: watched_ reallocates on watch()
+      // and the event can outlive the autoscaler itself (schedule_after is
+      // uncancellable). It re-resolves the entry by deployment pointer and
+      // abandons the provisioning when the autoscaler is gone.
+      ServiceDeployment* dep = w.deployment;
+      sim_.schedule_after(
+          config_.provisioning_delay,
+          [this, dep, alive = std::weak_ptr<const bool>(alive_)] {
+            if (alive.expired()) return;
+            dep->add_replica();
+            Watched* entry = find(dep);
+            if (entry != nullptr && entry->pending_up > 0) {
+              entry->pending_up -= 1;
+            }
+          });
     } else if (utilisation < config_.scale_down_utilisation &&
                d.replica_count() > config_.min_replicas &&
                w.pending_up == 0) {

@@ -115,6 +115,7 @@ Proxy& Mesh::proxy(ClusterId source, const std::string& service) {
   pc.timeout = config_.request_timeout;
   pc.routing = config_.routing;
   pc.outlier = config_.outlier_detection;
+  pc.cost = config_.proxy_cost;
   auto proxy = std::make_unique<Proxy>(
       sim_, wan_, source, split_ref, std::move(deployments),
       *registries_[source],

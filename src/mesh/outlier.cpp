@@ -46,9 +46,12 @@ void OutlierDetector::maybe_eject(std::size_t backend, SimTime now) {
       static_cast<double>(state.failures) / static_cast<double>(total);
   if (ratio < config_.failure_threshold) return;
   // Respect the ejection budget: never isolate more than the configured
-  // fraction of the backend set.
-  const auto budget = static_cast<std::size_t>(std::floor(
+  // fraction of the backend set. A positive fraction always admits at least
+  // one ejection — flooring alone silently disables the detector on small
+  // sets (5 backends × 0.15 → 0, so nothing could ever be ejected).
+  auto budget = static_cast<std::size_t>(std::floor(
       config_.max_ejected_fraction * static_cast<double>(backends_.size())));
+  if (budget == 0 && config_.max_ejected_fraction > 0.0) budget = 1;
   if (ejected_count(now) >= budget) return;
   state.ejected_until = now + config_.ejection_duration;
   state.window_start = now;

@@ -63,6 +63,57 @@ Proxy::Proxy(sim::Simulator& sim, const WanModel& wan, ClusterId source,
     };
     backends_.push_back(std::move(slot));
   }
+  if (config_.cost.enabled()) {
+    cost_enabled_ = true;
+    cpu_stage_.configure(config_.cost.concurrency);
+    pools_.resize(backends_.size());
+    // Audit families (per-proxy, {split, src}): registered only here so a
+    // zero-cost run's registry — and everything scraped from it — stays
+    // byte-identical to a build without the model.
+    const auto audit_labels =
+        metric_names::proxy_labels(split.service(), src_name);
+    audit_handshakes_ =
+        &registry.counter(metric_names::kHandshakeTotal, audit_labels);
+    audit_pool_hits_ =
+        &registry.counter(metric_names::kPoolHitTotal, audit_labels);
+    audit_conn_closed_ =
+        &registry.counter(metric_names::kConnCloseTotal, audit_labels);
+  }
+}
+
+SimDuration Proxy::admit_cost(std::size_t idx) {
+  L3_OBS_SCOPE_SAMPLED(obs_cost, kProxyCost);
+  const SimTime now = sim_.now();
+  const EdgeConnectionPool::Checkout checkout = pools_[idx].checkout(now);
+  SimDuration service = config_.cost.cpu_per_request;
+  if (checkout.handshake) {
+    service += config_.cost.handshake_cost;
+    ++cost_stats_.handshakes;
+    audit_handshakes_->increment();
+    L3_OBS_COUNT(kMeshHandshakes, 1);
+    L3_OBS_EVENT(kMesh, kHandshake, now, static_cast<std::uint32_t>(idx),
+                 config_.cost.handshake_cost);
+  } else {
+    ++cost_stats_.pool_hits;
+    audit_pool_hits_->increment();
+    L3_OBS_COUNT(kMeshPoolHits, 1);
+  }
+  if (checkout.expired > 0) {
+    cost_stats_.expired += checkout.expired;
+    L3_OBS_COUNT_DYN(obs::CounterId::kMeshConnExpired, checkout.expired);
+  }
+  const SimTime done_at = cpu_stage_.admit(now, service);
+  const SimDuration wait = done_at - now - service;
+  cost_stats_.cpu_busy_total += service;
+  if (wait > 0.0) {
+    ++cost_stats_.queued;
+    cost_stats_.queue_delay_total += wait;
+    if (wait > cost_stats_.queue_delay_max) cost_stats_.queue_delay_max = wait;
+    // Saturation signal: sampled on the queueing path only, so an idle
+    // proxy records nothing.
+    L3_OBS_GAUGE(kMeshProxyQueueDelay, wait);
+  }
+  return done_at - now;
 }
 
 void Proxy::refresh_availability() {
@@ -328,18 +379,24 @@ void Proxy::send(int depth, trace::SpanContext parent, ResponseFn done) {
     if (!timeout_timer_armed_) arm_timeout_timer(deadline);
   }
 
+  // The cost model's delay (connection handshake + CPU-stage queueing +
+  // service) rides the outbound leg: the request leaves the proxy only once
+  // its sidecar work is done. No extra event, no RNG draw — with the model
+  // disabled cost_delay is exactly 0.0 and every event time below is
+  // bit-identical to a build without it.
+  const SimDuration cost_delay = cost_enabled_ ? admit_cost(idx) : 0.0;
   const SimDuration outbound =
       wan_.sample(source_, slot.deployment->cluster(), sim_.now(), rng_);
   if (presampled_) {
-    send_presampled(handle, depth, slot, outbound);
+    send_presampled(handle, depth, slot, cost_delay + outbound);
     return;
   }
   if (state.span.sampled()) {
     tracer_->add_span(state.span, trace::SpanKind::kWan, slot.wan_out_name,
-                      src_name_, split_.service(), sim_.now(),
-                      sim_.now() + outbound);
+                      src_name_, split_.service(), sim_.now() + cost_delay,
+                      sim_.now() + cost_delay + outbound);
   }
-  sim_.schedule_after(outbound, [this, handle, depth] {
+  sim_.schedule_after(cost_delay + outbound, [this, handle, depth] {
     CallState* st = calls_.get(handle);
     L3_ASSERT(st != nullptr);  // the response chain holds the slot
     BackendSlot& s = backends_[st->backend];
@@ -566,6 +623,15 @@ void Proxy::settle(CallHandle handle, CallState& state) {
 void Proxy::finish(CallState& state, bool success, SimDuration latency,
                    bool timed_out) {
   state.finished = true;
+  if (cost_enabled_) {
+    // Exactly once per call (finish is guarded by state.finished): a client
+    // timeout tears the connection down mid-flight (churn); otherwise it
+    // parks in the edge pool unless the idle list is already full.
+    if (pools_[state.backend].release(sim_.now(), timed_out, config_.cost)) {
+      ++cost_stats_.closed;
+      audit_conn_closed_->increment();
+    }
+  }
   BackendSlot& slot = backends_[state.backend];
   slot.inflight->add(-1.0);
   L3_ASSERT(slot.outstanding > 0);

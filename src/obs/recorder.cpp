@@ -11,9 +11,10 @@ namespace {
 
 constexpr std::array<std::string_view, kScopeCount> kScopeNames = {
     "sim.dispatch",        "mesh.picker_rebuild", "mesh.pick_weighted",
-    "mesh.pick_p2c",       "mesh.timeout_sweep",  "tsdb.append",
-    "tsdb.compact",        "scraper.scrape",      "scraper.plan",
-    "controller.manage",   "controller.gather",   "chaos.transition",
+    "mesh.pick_p2c",       "mesh.timeout_sweep",  "mesh.proxy_cost",
+    "tsdb.append",         "tsdb.compact",        "scraper.scrape",
+    "scraper.plan",        "controller.manage",   "controller.gather",
+    "chaos.transition",
 };
 
 constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
@@ -21,6 +22,9 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "rt.counter.sim.batches",
     "rt.counter.mesh.requests",
     "rt.counter.mesh.timeouts",
+    "rt.counter.mesh.handshakes",
+    "rt.counter.mesh.pool_hits",
+    "rt.counter.mesh.conn_expired",
     "rt.counter.mesh.pick_kernel.linear",
     "rt.counter.mesh.pick_kernel.multilane",
     "rt.counter.mesh.pick_kernel.binary",
@@ -39,6 +43,7 @@ constexpr std::array<std::string_view, kBatchBucketCount> kBatchBucketLabels = {
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
     "rt.gauge.sim.pending_events",
     "rt.gauge.mesh.inflight",
+    "rt.gauge.mesh.proxy_queue_delay",
     "rt.gauge.tsdb.series",
 };
 
@@ -80,6 +85,8 @@ std::string_view event_code_name(EventCode code) {
       return "rt.event.mesh.availability_refresh";
     case EventCode::kTimeoutFired:
       return "rt.event.mesh.timeout_fired";
+    case EventCode::kHandshake:
+      return "rt.event.mesh.handshake";
     case EventCode::kScrape:
       return "rt.event.metrics.scrape";
     case EventCode::kCompact:

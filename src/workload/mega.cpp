@@ -37,6 +37,7 @@ mesh::MeshConfig make_mesh_config(const MegaConfig& config,
   // Health probes would read remote replica state across shard boundaries;
   // mega keeps failure visibility metrics-only (like the chaos benches).
   mc.health_probe_interval = 0.0;
+  mc.proxy_cost = config.proxy_cost;
   mc.shard_router = &router;
   return mc;
 }

@@ -87,6 +87,7 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
   mesh_config.propagation_delay = config.propagation_delay;
   mesh_config.routing = config.routing;
   mesh_config.outlier_detection = config.outlier;
+  mesh_config.proxy_cost = config.proxy_cost;
   mesh_config.request_timeout = config.request_timeout;
   mesh_config.health_probe_interval = config.health_probe_interval;
   mesh::Mesh mesh(sim, root.split("mesh"), mesh_config);
@@ -200,6 +201,7 @@ RunResult run_scenario_with(const ScenarioTrace& trace,
   result.timeline = aggregate_timeline(records, t0, t1);
   result.requests = records.size();
   result.weight_updates = mesh.control_plane().updates_applied();
+  result.proxy_cost_stats = mesh.proxy(c1, service).cost_stats();
   result.traffic_share.assign(mesh.clusters().size(), 0.0);
   if (!records.empty()) {
     double attempts = 0.0;

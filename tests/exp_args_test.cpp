@@ -172,6 +172,53 @@ TEST(BenchArgsTest, UsageMentionsEveryFlag) {
   EXPECT_NE(usage.find("--batch=N"), std::string::npos);
   EXPECT_NE(usage.find("--no-batch"), std::string::npos);
   EXPECT_NE(usage.find("--shards=N"), std::string::npos);
+  EXPECT_NE(usage.find("--proxy-cost=US"), std::string::npos);
+}
+
+TEST(BenchArgsTest, ProxyCostDefaultsToZero) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->proxy_cost_us, 0);
+}
+
+TEST(BenchArgsTest, ParsesProxyCostValue) {
+  const auto args = parse({"--proxy-cost=250"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->proxy_cost_us, 250);
+}
+
+TEST(BenchArgsTest, ProxyCostZeroIsExplicitlyAllowed) {
+  // --proxy-cost=0 is the byte-identity baseline check.sh diffs against.
+  const auto args = parse({"--proxy-cost=0"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->proxy_cost_us, 0);
+}
+
+TEST(BenchArgsTest, ProxyCostComposesWithOtherFlags) {
+  const auto args =
+      parse({"--fast", "--proxy-cost=100", "--shards=2", "--jobs", "3"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->fast);
+  EXPECT_EQ(args->proxy_cost_us, 100);
+  EXPECT_EQ(args->shards, 2);
+  EXPECT_EQ(args->jobs, 3);
+}
+
+TEST(BenchArgsTest, RejectsInvalidProxyCostValues) {
+  for (const char* bad : {"--proxy-cost=", "--proxy-cost=abc",
+                          "--proxy-cost=-50", "--proxy-cost=2.5",
+                          "--proxy-cost=99999999999999999999"}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_NE(error.find("--proxy-cost"), std::string::npos) << bad;
+  }
+}
+
+TEST(BenchArgsTest, RejectsDetachedProxyCostValue) {
+  std::string error;
+  EXPECT_FALSE(parse({"--proxy-cost"}, &error).has_value());
+  EXPECT_NE(error.find("--proxy-cost"), std::string::npos);
+  EXPECT_FALSE(parse({"--proxy-cost", "100"}).has_value());
 }
 
 TEST(BenchArgsTest, ShardsDefaultsToOne) {

@@ -132,6 +132,40 @@ TEST(FinalizeWeights, RejectsNonFiniteWeights) {
   EXPECT_THROW(finalize_weights(bad, 0.01), ContractViolation);
 }
 
+TEST(WeightSkew, EmptyAndUniformAreOne) {
+  EXPECT_DOUBLE_EQ(weight_skew({}), 1.0);
+  const std::vector<double> uniform{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(weight_skew(uniform), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(weight_skew(zeros), 1.0);
+}
+
+TEST(WeightSkew, ConcentrationRaisesSkew) {
+  const std::vector<double> mild{2.0, 1.0, 1.0};
+  const std::vector<double> sharp{10.0, 1.0, 1.0};
+  EXPECT_GT(weight_skew(sharp), weight_skew(mild));
+  EXPECT_GT(weight_skew(mild), 1.0);
+  // max/mean: {10,1,1} → 10/4.
+  EXPECT_NEAR(weight_skew(sharp), 10.0 / 4.0, 1e-12);
+}
+
+TEST(WeightSkew, UniformAddedLatencyCompressesSkew) {
+  // DESIGN.md §16: a saturating proxy tier adds the same queueing delay to
+  // every backend's observed latency. Algorithm 1's weights are reciprocal
+  // in latency, so a common additive term compresses their ratios — the
+  // weight distribution flattens toward uniform.
+  const std::vector<BackendSignals> crisp{healthy(0.010), healthy(0.020),
+                                          healthy(0.040)};
+  std::vector<BackendSignals> queued = crisp;
+  for (auto& s : queued) s.latency_p99 += 0.200;  // shared proxy queue delay
+  const double skew_crisp = weight_skew(assign_weights(crisp));
+  const double skew_queued = weight_skew(assign_weights(queued));
+  EXPECT_GT(skew_crisp, skew_queued);
+  EXPECT_GT(skew_queued, 1.0);  // still not perfectly uniform…
+  // …but the excess over uniform collapsed (≈1.71 → ≈1.06 here).
+  EXPECT_LT(skew_queued - 1.0, (skew_crisp - 1.0) / 2.0);
+}
+
 /// Property sweep: weights are always finite and >= 1 for arbitrary inputs.
 class WeightingProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -32,8 +32,17 @@ class AutoscalerTest : public ::testing::Test {
   }
 
   void issue(ServiceDeployment& d) {
-    d.handle(0, [this, &d](const Outcome&) {
-      if (keep_going) issue(d);
+    d.handle(0, [this, &d](const Outcome& outcome) {
+      if (!keep_going) return;
+      if (outcome.rejected) {
+        // All replicas crashed/down: rejections complete synchronously, so
+        // re-issuing inline would recurse without bound. Back off instead.
+        sim.schedule_after(0.050, [this, &d] {
+          if (keep_going) issue(d);
+        });
+      } else {
+        issue(d);
+      }
     });
   }
 
@@ -153,6 +162,98 @@ TEST_F(AutoscalerTest, ScaleUpRestoresThroughput) {
             1.1);
   keep_going = false;
   sim.run_until(210.0);
+}
+
+TEST_F(AutoscalerTest, ProvisioningEventOutlivingAutoscalerIsAbandoned) {
+  // Regression: the provisioning callback used to capture a reference into
+  // watched_ (plus the autoscaler itself) and schedule_after events cannot
+  // be cancelled — destroying the autoscaler before the event fired made it
+  // dereference freed memory (heap-use-after-free under ASan) and still
+  // grow the deployment. The callback now holds a liveness token and
+  // abandons the orphaned provisioning.
+  auto& d = deploy_slow();
+  {
+    Autoscaler::Config config;
+    config.interval = 1.0;
+    config.cooldown = 30.0;
+    config.provisioning_delay = 20.0;
+    Autoscaler scaler(sim, config);
+    scaler.watch(d);
+    scaler.start();
+    sustain_load(d, 16);
+    sim.run_until(2.0);
+    EXPECT_EQ(scaler.scale_ups(), 1u);
+    EXPECT_EQ(d.replica_count(), 1u);  // still provisioning
+  }  // scaler destroyed; its provisioning event is still queued
+  keep_going = false;
+  sim.run_until(60.0);
+  EXPECT_EQ(d.replica_count(), 1u);  // orphaned provisioning abandoned
+}
+
+TEST_F(AutoscalerTest, WatchDuringPendingProvisioningKeepsAccounting) {
+  // watch() after start() may reallocate the watch list while a
+  // provisioning callback is outstanding; the callback re-resolves its
+  // entry by deployment, so the pending_up accounting must survive.
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 1.0;
+  config.cooldown = 5.0;
+  config.provisioning_delay = 10.0;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sustain_load(d, 32);
+  sim.run_until(2.0);  // scale-up decided; provisioning in flight
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  for (int i = 0; i < 16; ++i) {
+    auto& extra = mesh.deploy(
+        "extra" + std::to_string(i), cluster,
+        {.replicas = 1, .concurrency = 4, .queue_capacity = 4096},
+        std::make_unique<FixedLatencyBehavior>(0.500, 0.501));
+    scaler.watch(extra);
+  }
+  sim.run_until(15.0);
+  EXPECT_GE(d.replica_count(), 2u);  // the in-flight provisioning landed
+  // pending_up drained correctly: sustained overload keeps scaling.
+  sim.run_until(40.0);
+  EXPECT_GE(scaler.scale_ups(), 2u);
+  EXPECT_GE(d.replica_count(), 3u);
+  keep_going = false;
+  sim.run_until(50.0);
+}
+
+TEST_F(AutoscalerTest, CrashDuringProvisioningKeepsPendingAccounting) {
+  // Chaos-crash interaction: the only live replica crashes while a new one
+  // is provisioning. The provisioning event fires after the crash and must
+  // still add its replica and drain pending_up (capacity extrapolation
+  // divides by replica_count, which includes the crashed replica).
+  auto& d = deploy_slow();
+  Autoscaler::Config config;
+  config.interval = 1.0;
+  config.cooldown = 3.0;
+  // Mid-interval landing: were the replica to come up exactly on an
+  // evaluation tick, the evaluator would see it idle (the crashed loop's
+  // retries have not re-queued yet) and immediately scale it back down —
+  // that timing artefact is not what this test is about.
+  config.provisioning_delay = 10.5;
+  Autoscaler scaler(sim, config);
+  scaler.watch(d);
+  scaler.start();
+  sustain_load(d, 32);
+  sim.run_until(2.0);  // pending_up == 1
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  d.crash_replica(0);
+  EXPECT_EQ(d.alive_replicas(), 0u);
+  sim.run_until(13.0);  // provisioning fired after the crash
+  EXPECT_EQ(d.replica_count(), 2u);  // crashed replica retained + new one
+  EXPECT_EQ(d.alive_replicas(), 1u);
+  d.restart_replica(0);
+  // Accounting intact: continued overload can still scale further.
+  sustain_load(d, 32);
+  sim.run_until(40.0);
+  EXPECT_GE(scaler.scale_ups(), 2u);
+  keep_going = false;
+  sim.run_until(50.0);
 }
 
 TEST_F(AutoscalerTest, RejectsBadConfig) {

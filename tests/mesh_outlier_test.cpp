@@ -75,6 +75,34 @@ TEST(OutlierDetector, EjectionBudgetRespected) {
   EXPECT_FALSE(detector.is_ejected(2, 1.0));  // the third stays in rotation
 }
 
+TEST(OutlierDetector, SmallClusterBudgetAllowsOneEjection) {
+  // Regression: floor(0.15 × 5) == 0 used to zero the ejection budget, so
+  // on small backend sets no backend could ever be ejected and outlier
+  // detection was silently disabled. A positive fraction must always admit
+  // at least one ejection.
+  OutlierDetectionConfig config = enabled_config();
+  config.max_ejected_fraction = 0.15;
+  OutlierDetector detector(5, config);
+  for (int i = 0; i < 10; ++i) detector.record(1, false, 1.0);
+  EXPECT_TRUE(detector.is_ejected(1, 1.0));
+  EXPECT_EQ(detector.ejections(), 1u);
+  // The budget is still a cap: a second failing backend stays in rotation.
+  for (int i = 0; i < 10; ++i) detector.record(3, false, 1.0);
+  EXPECT_FALSE(detector.is_ejected(3, 1.0));
+  EXPECT_EQ(detector.ejected_count(1.0), 1u);
+}
+
+TEST(OutlierDetector, ZeroFractionNeverEjects) {
+  // max_ejected_fraction == 0 means "never eject"; the at-least-one rule
+  // must not apply there.
+  OutlierDetectionConfig config = enabled_config();
+  config.max_ejected_fraction = 0.0;
+  OutlierDetector detector(5, config);
+  for (int i = 0; i < 50; ++i) detector.record(0, false, 1.0);
+  EXPECT_FALSE(detector.is_ejected(0, 1.0));
+  EXPECT_EQ(detector.ejections(), 0u);
+}
+
 TEST(OutlierDetector, SuccessesKeepBackendIn) {
   OutlierDetector detector(2, enabled_config());
   for (int i = 0; i < 100; ++i) {

@@ -41,6 +41,28 @@ TEST(Mega, DigestIsShardCountInvariant) {
   }
 }
 
+TEST(Mega, ProxyCostDigestIsShardCountInvariant) {
+  // The data-plane cost model (DESIGN.md §16) is pure arithmetic on the
+  // outbound leg — no extra events, no RNG draws — so a costed mega run
+  // must stay shard-count invariant like the cost-free one.
+  MegaConfig config = small_config();
+  config.proxy_cost.cpu_per_request = 0.0005;
+  config.proxy_cost.handshake_cost = 0.002;
+  config.proxy_cost.concurrency = 4;
+  config.proxy_cost.pool_size = 8;
+  config.proxy_cost.idle_timeout = 1.0;
+  config.shards = 1;
+  const MegaResult oracle = run_mega(config);
+  EXPECT_GT(oracle.total_requests, 0u);
+
+  for (const std::size_t shards : {2ul, 4ul}) {
+    MegaConfig sharded = config;
+    sharded.shards = shards;
+    const MegaResult got = run_mega(sharded);
+    EXPECT_EQ(got.digest(), oracle.digest()) << "shards=" << shards;
+  }
+}
+
 TEST(Mega, ChaosDigestIsShardCountInvariant) {
   MegaConfig config = small_config();
   config.chaos = true;  // region 3 crashes + brownout 0<->1 + partition 1<->2
